@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDatasets(t *testing.T) {
+	dir := t.TempDir()
+	for _, ds := range []string{"binomial", "zipf", "wiki", "usagov", "uniform", "retail"} {
+		out := filepath.Join(dir, ds+".csv")
+		if err := run(ds, 200, 0.3, 4, 1, out); err != nil {
+			t.Fatalf("%s: %v", ds, err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) != 201 {
+			t.Errorf("%s: %d lines, want 201", ds, len(lines))
+		}
+		cols := len(strings.Split(lines[0], ","))
+		for i, l := range lines {
+			if len(strings.Split(l, ",")) != cols {
+				t.Fatalf("%s: ragged row %d", ds, i)
+			}
+		}
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run("nope", 10, 0, 4, 1, ""); err == nil {
+		t.Error("unknown dataset must fail")
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.csv")
+	b := filepath.Join(dir, "b.csv")
+	if err := run("wiki", 100, 0, 4, 42, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("wiki", 100, 0, 4, 42, b); err != nil {
+		t.Fatal(err)
+	}
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if string(da) != string(db) {
+		t.Error("generator output not deterministic")
+	}
+}

@@ -1,0 +1,58 @@
+// Command spbench regenerates the paper's evaluation figures on the
+// simulated cluster. Each experiment prints the same series as the
+// corresponding figure of Milo & Altshuler (SIGMOD'16).
+//
+// Usage:
+//
+//	spbench -exp fig6                 # one experiment
+//	spbench -exp all -format csv      # everything, machine readable
+//	spbench -exp fig4 -scale 0.1      # a 10x smaller, faster sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/spcube/spcube/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id: fig4 fig5 fig6 fig7 fig8 balance traffic ablation rounds sketch, or all")
+		workers = flag.Int("k", 20, "simulated cluster size (machines)")
+		seed    = flag.Int64("seed", 2016, "deterministic seed for data generation and sampling")
+		scale   = flag.Float64("scale", 1, "sweep size multiplier (1 = paper scale / 1000)")
+		format  = flag.String("format", "table", "output format: table, csv, or chart")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Workers: *workers, Seed: *seed, Scale: *scale}
+	var figs []bench.Figure
+	if *exp == "all" {
+		figs = bench.All(cfg)
+	} else {
+		var err error
+		figs, err = bench.ByID(*exp, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	var err error
+	switch *format {
+	case "table":
+		err = bench.Render(os.Stdout, figs)
+	case "csv":
+		err = bench.RenderCSV(os.Stdout, figs)
+	case "chart":
+		err = bench.RenderCharts(os.Stdout, figs)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

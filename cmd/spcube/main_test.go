@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `name,city,year,sales
+laptop,Rome,2012,2000
+laptop,Paris,2012,1500
+printer,Rome,2013,300
+laptop,Rome,2013,900
+`
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.csv")
+	out := filepath.Join(dir, "out.csv")
+	if err := os.WriteFile(in, []byte(sampleCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, out, "sum", "sp-cube", 3, 1, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if lines[0] != "name,city,year,sum" {
+		t.Errorf("header: %q", lines[0])
+	}
+	// The full cube of these 4 rows has 20 c-groups (1+2+2+2+3+3+3+4
+	// across the 8 cuboids).
+	if len(lines)-1 != 20 {
+		t.Errorf("got %d groups", len(lines)-1)
+	}
+	found := false
+	for _, l := range lines[1:] {
+		if l == "laptop,*,2012,3500" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing (laptop,*,2012)=3500 in output:\n%s", data)
+	}
+}
+
+func TestRunAllAlgorithmsAndMinSup(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.csv")
+	if err := os.WriteFile(in, []byte(sampleCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []string{"sp-cube", "naive", "mr-cube", "hive"} {
+		out := filepath.Join(dir, algo+".csv")
+		if err := run(in, out, "count", algo, 2, 1, 0, false); err != nil {
+			t.Errorf("%s: %v", algo, err)
+		}
+	}
+	out := filepath.Join(dir, "iceberg.csv")
+	if err := run(in, out, "count", "sp-cube", 2, 1, 3, false); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out)
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	// Only groups with >= 3 rows survive: (laptop,*,*), (*,Rome,*), (*,*,*).
+	if len(lines)-1 != 3 {
+		t.Errorf("iceberg output has %d groups, want 3:\n%s", len(lines)-1, data)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.csv")
+
+	if err := run(in, "", "count", "sp-cube", 2, 1, 0, false); err == nil {
+		t.Error("missing input must fail")
+	}
+	if err := os.WriteFile(in, []byte(sampleCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, "", "median", "sp-cube", 2, 1, 0, false); err == nil {
+		t.Error("unknown aggregate must fail")
+	}
+	if err := run(in, "", "count", "spark", 2, 1, 0, false); err == nil {
+		t.Error("unknown algorithm must fail")
+	}
+
+	bad := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(bad, []byte("a,b,m\nx,y,notanumber\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, "", "count", "sp-cube", 2, 1, 0, false); err == nil {
+		t.Error("non-numeric measure must fail")
+	}
+	empty := filepath.Join(dir, "empty.csv")
+	if err := os.WriteFile(empty, []byte("a,b,m\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(empty, "", "count", "sp-cube", 2, 1, 0, false); err == nil {
+		t.Error("headerless/empty data must fail")
+	}
+	oneCol := filepath.Join(dir, "one.csv")
+	if err := os.WriteFile(oneCol, []byte("m\n1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(oneCol, "", "count", "sp-cube", 2, 1, 0, false); err == nil {
+		t.Error("single-column input must fail")
+	}
+}

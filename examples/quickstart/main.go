@@ -1,0 +1,68 @@
+// Quickstart: build a tiny sales relation, compute its data cube with
+// SP-Cube, and query a few c-groups — the running example of the paper's
+// introduction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/spcube/spcube"
+)
+
+func main() {
+	rel := spcube.NewRelation([]string{"name", "city", "year"}, "sales")
+	rows := []struct {
+		name, city, year string
+		sales            int64
+	}{
+		{"laptop", "Rome", "2012", 2000},
+		{"laptop", "Paris", "2012", 1500},
+		{"laptop", "Rome", "2013", 900},
+		{"printer", "Rome", "2013", 300},
+		{"printer", "Paris", "2012", 250},
+		{"keyboard", "Paris", "2013", 120},
+		{"keyboard", "Rome", "2012", 180},
+	}
+	for _, r := range rows {
+		rel.AddRow([]string{r.name, r.city, r.year}, r.sales)
+	}
+
+	c, err := spcube.Compute(rel,
+		spcube.Aggregate(spcube.Sum),
+		spcube.Workers(4),
+		spcube.Seed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("cube has %d c-groups across %d cuboids\n\n", c.NumGroups(), 1<<rel.NumDims())
+
+	// Point lookups: "*" means the dimension is aggregated away.
+	queries := [][]string{
+		{"*", "*", "*"},            // total sales
+		{"laptop", "*", "*"},       // all laptop sales
+		{"laptop", "*", "2012"},    // laptop sales in 2012
+		{"*", "Rome", "*"},         // everything sold in Rome
+		{"laptop", "Rome", "2012"}, // the finest granularity
+	}
+	for _, q := range queries {
+		v, ok := c.Value(q...)
+		fmt.Printf("sales(%s,%s,%s) = %v (found=%v)\n", q[0], q[1], q[2], v, ok)
+	}
+
+	// Whole cuboids: group-by name and year.
+	fmt.Println("\nsales by (name, year):")
+	groups, err := c.Cuboid("name", "year")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, g := range groups {
+		fmt.Printf("  (%s, %s, %s) -> %v\n", g.Dims[0], g.Dims[1], g.Dims[2], g.Value)
+	}
+
+	st := c.Stats()
+	fmt.Printf("\nexecuted %d MapReduce rounds, %d intermediate records (%d bytes), sketch %d bytes\n",
+		st.Rounds, st.ShuffleRecords, st.ShuffleBytes, st.SketchBytes)
+}

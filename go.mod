@@ -1,0 +1,3 @@
+module github.com/spcube/spcube
+
+go 1.22

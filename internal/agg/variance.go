@@ -1,0 +1,95 @@
+package agg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Var and Stddev are algebraic functions (population variance / standard
+// deviation): like avg, a constant-size partial state — (count, sum, sum of
+// squares) — merges exactly, so SP-Cube's mapper-side pre-aggregation of
+// skewed c-groups applies to them unchanged.
+var (
+	Var    Func = momentsFunc{stddev: false}
+	Stddev Func = momentsFunc{stddev: true}
+)
+
+type momentsFunc struct {
+	stddev bool
+}
+
+func (f momentsFunc) Name() string {
+	if f.stddev {
+		return "stddev"
+	}
+	return "var"
+}
+
+func (momentsFunc) Kind() Kind { return Algebraic }
+
+func (f momentsFunc) NewState() State { return &momentsState{stddev: f.stddev} }
+
+func (f momentsFunc) DecodeState(b []byte) (State, error) {
+	st := &momentsState{stddev: f.stddev}
+	var n int
+	st.cnt, n = binary.Varint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("agg: truncated %s state count", f.Name())
+	}
+	b = b[n:]
+	st.sum, n = binary.Varint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("agg: truncated %s state sum", f.Name())
+	}
+	b = b[n:]
+	bits, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("agg: truncated %s state sumsq", f.Name())
+	}
+	st.sumsq = math.Float64frombits(bits)
+	return st, nil
+}
+
+// momentsState accumulates the first two moments. The sum of squares is a
+// float64 because int64 overflows at ~3M tuples of measure 10^6.
+type momentsState struct {
+	cnt    int64
+	sum    int64
+	sumsq  float64
+	stddev bool
+}
+
+func (s *momentsState) Add(m int64) {
+	s.cnt++
+	s.sum += m
+	s.sumsq += float64(m) * float64(m)
+}
+
+func (s *momentsState) Merge(o State) {
+	os := o.(*momentsState)
+	s.cnt += os.cnt
+	s.sum += os.sum
+	s.sumsq += os.sumsq
+}
+
+func (s *momentsState) Final() float64 {
+	if s.cnt == 0 {
+		return math.NaN()
+	}
+	mean := float64(s.sum) / float64(s.cnt)
+	v := s.sumsq/float64(s.cnt) - mean*mean
+	if v < 0 {
+		v = 0 // floating-point guard
+	}
+	if s.stddev {
+		return math.Sqrt(v)
+	}
+	return v
+}
+
+func (s *momentsState) AppendEncode(buf []byte) []byte {
+	buf = binary.AppendVarint(buf, s.cnt)
+	buf = binary.AppendVarint(buf, s.sum)
+	return binary.AppendUvarint(buf, math.Float64bits(s.sumsq))
+}

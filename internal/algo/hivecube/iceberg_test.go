@@ -1,0 +1,34 @@
+package hivecube
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/spcube/spcube/internal/agg"
+	"github.com/spcube/spcube/internal/cube"
+	"github.com/spcube/spcube/internal/cubetest"
+	"github.com/spcube/spcube/internal/mr"
+	"github.com/spcube/spcube/internal/relation"
+)
+
+func TestIcebergAndDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	rel := cubetest.RandomRelation(rng, 500, 3, 5)
+	fn := func(eng *mr.Engine, r *relation.Relation, spec cube.Spec) (*cube.Run, error) {
+		return ComputeOpts(eng, r, spec, Options{DisableOOM: true})
+	}
+	for _, spec := range []cube.Spec{
+		{Agg: agg.Avg, MinSup: 6},
+		{Agg: agg.Distinct},
+	} {
+		eng := cubetest.NewEngine(4)
+		res, _, err := cubetest.RunAndCollect(eng, fn, rel, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := cube.BruteSpec(rel, spec)
+		if ok, diff := want.Equal(res); !ok {
+			t.Errorf("%s minSup=%d: %s", spec.Agg.Name(), spec.MinSup, diff)
+		}
+	}
+}

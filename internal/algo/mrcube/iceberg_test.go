@@ -1,0 +1,32 @@
+package mrcube
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/spcube/spcube/internal/agg"
+	"github.com/spcube/spcube/internal/cube"
+	"github.com/spcube/spcube/internal/cubetest"
+)
+
+func TestIcebergAndDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	// Heavy skew so value partitioning kicks in: iceberg filtering must
+	// happen only after the merge round reassembles chunked groups.
+	rel := cubetest.SkewedRelation(rng, 800, 3, 0.7, 2)
+	for _, spec := range []cube.Spec{
+		{Agg: agg.Count, MinSup: 8},
+		{Agg: agg.Sum, MinSup: 50},
+		{Agg: agg.Distinct},
+	} {
+		eng := cubetest.NewEngine(4)
+		res, _, err := cubetest.RunAndCollect(eng, Compute, rel, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := cube.BruteSpec(rel, spec)
+		if ok, diff := want.Equal(res); !ok {
+			t.Errorf("%s minSup=%d: %s", spec.Agg.Name(), spec.MinSup, diff)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package naive
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/spcube/spcube/internal/agg"
+	"github.com/spcube/spcube/internal/cube"
+	"github.com/spcube/spcube/internal/cubetest"
+)
+
+func TestIcebergAndDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	rel := cubetest.RandomRelation(rng, 500, 3, 4)
+	for _, spec := range []cube.Spec{
+		{Agg: agg.Sum, MinSup: 10},
+		{Agg: agg.Distinct},
+		{Agg: agg.Distinct, MinSup: 20},
+	} {
+		eng := cubetest.NewEngine(4)
+		res, _, err := cubetest.RunAndCollect(eng, Compute, rel, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := cube.BruteSpec(rel, spec)
+		if ok, diff := want.Equal(res); !ok {
+			t.Errorf("%s minSup=%d: %s", spec.Agg.Name(), spec.MinSup, diff)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package naive
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/spcube/spcube/internal/agg"
+	"github.com/spcube/spcube/internal/cube"
+	"github.com/spcube/spcube/internal/cubetest"
+)
+
+func TestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, tc := range []struct{ n, d, card, k int }{
+		{100, 2, 3, 2},
+		{300, 3, 4, 4},
+		{500, 4, 6, 5},
+	} {
+		rel := cubetest.RandomRelation(rng, tc.n, tc.d, tc.card)
+		for _, f := range []agg.Func{agg.Count, agg.Sum, agg.Min, agg.Max, agg.Avg} {
+			if err := cubetest.CheckAgainstBrute(Compute, rel, f, tc.k); err != nil {
+				t.Errorf("%s: %v", f.Name(), err)
+			}
+		}
+	}
+}
+
+func TestSkewedGroupOverloadsOneReducer(t *testing.T) {
+	// §3.2: under heavy skew the naive algorithm ships every tuple of a
+	// skewed group to a single reducer, whose input then dwarfs m and
+	// spills.
+	rng := rand.New(rand.NewSource(23))
+	rel := cubetest.SkewedRelation(rng, 20000, 3, 0.95, 1)
+	eng := cubetest.NewEngine(4)
+	run, err := Compute(eng, rel, cube.Spec{Agg: agg.Count})
+	if err != nil {
+		t.Fatal(err)
+	}
+	round := run.Metrics.Rounds[0]
+	var spill int64
+	var largest int64
+	for _, r := range round.Reducers {
+		spill += r.SpillBytes
+		if r.LargestKeyRecords > largest {
+			largest = r.LargestKeyRecords
+		}
+	}
+	if largest < int64(eng.MemTuples(rel.N())) {
+		t.Errorf("expected a skewed key larger than m=%d, largest=%d", eng.MemTuples(rel.N()), largest)
+	}
+	if spill == 0 {
+		t.Error("expected reducer spill under heavy skew")
+	}
+}

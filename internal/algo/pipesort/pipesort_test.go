@@ -1,0 +1,78 @@
+package pipesort
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/spcube/spcube/internal/agg"
+	"github.com/spcube/spcube/internal/cube"
+	"github.com/spcube/spcube/internal/cubetest"
+)
+
+func TestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, tc := range []struct{ n, d, card, k int }{
+		{100, 1, 3, 2},
+		{300, 3, 4, 4},
+		{500, 4, 6, 5},
+	} {
+		rel := cubetest.RandomRelation(rng, tc.n, tc.d, tc.card)
+		for _, f := range []agg.Func{agg.Count, agg.Sum, agg.Avg, agg.Distinct} {
+			if err := cubetest.CheckAgainstBrute(Compute, rel, f, tc.k); err != nil {
+				t.Errorf("%s: %v", f.Name(), err)
+			}
+		}
+	}
+}
+
+func TestMatchesBruteForceSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for _, p := range []float64{0.2, 0.8} {
+		rel := cubetest.SkewedRelation(rng, 500, 3, p, 3)
+		if err := cubetest.CheckAgainstBrute(Compute, rel, agg.Count, 4); err != nil {
+			t.Errorf("p=%v: %v", p, err)
+		}
+	}
+}
+
+func TestIceberg(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	rel := cubetest.RandomRelation(rng, 400, 3, 3)
+	spec := cube.Spec{Agg: agg.Sum, MinSup: 20}
+	eng := cubetest.NewEngine(4)
+	res, _, err := cubetest.RunAndCollect(eng, Compute, rel, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cube.BruteSpec(rel, spec)
+	if ok, diff := want.Equal(res); !ok {
+		t.Error(diff)
+	}
+}
+
+func TestRoundCountIsDPlusOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for _, d := range []int{2, 4, 5} {
+		rel := cubetest.RandomRelation(rng, 300, d, 4)
+		eng := cubetest.NewEngine(4)
+		run, err := Compute(eng, rel, cube.Spec{Agg: agg.Count})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(run.Metrics.Rounds); got != d+1 {
+			t.Errorf("d=%d: %d rounds, want %d (the §7 objection to top-down MR cubes)", d, got, d+1)
+		}
+	}
+}
+
+func TestParentSelection(t *testing.T) {
+	if parentOf(0b0000, 4) != 0b0001 {
+		t.Error("apex parent should add attribute 0")
+	}
+	if parentOf(0b0101, 4) != 0b0111 {
+		t.Error("parent of {0,2} should add attribute 1")
+	}
+	if parentOf(0b1111, 4) != 0b1111 {
+		t.Error("full cuboid has no parent")
+	}
+}

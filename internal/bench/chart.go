@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// RenderCharts writes figures as ASCII scatter/line charts — a terminal
+// rendition of the paper's plots. Each series is drawn with its own glyph;
+// DNF points are drawn as 'x' on the top border.
+func RenderCharts(w io.Writer, figs []Figure) error {
+	for fi := range figs {
+		if err := renderChart(w, &figs[fi]); err != nil {
+			return err
+		}
+		if fi != len(figs)-1 {
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+const (
+	chartWidth  = 64
+	chartHeight = 16
+)
+
+var glyphs = []byte{'*', 'o', '+', '#', '@', '%', '&', '$'}
+
+func renderChart(w io.Writer, f *Figure) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymax := math.Inf(-1)
+	hasPoint := false
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			x := p.X
+			if f.LogX && x > 0 {
+				x = math.Log10(x)
+			}
+			xmin = math.Min(xmin, x)
+			xmax = math.Max(xmax, x)
+			if !p.DNF {
+				ymax = math.Max(ymax, p.Y)
+				hasPoint = true
+			}
+		}
+	}
+	if !hasPoint {
+		_, err := fmt.Fprintln(w, "  (no completed points)")
+		return err
+	}
+	if ymax <= 0 {
+		ymax = 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]byte, chartHeight)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", chartWidth))
+	}
+	col := func(x float64) int {
+		if f.LogX && x > 0 {
+			x = math.Log10(x)
+		}
+		c := int(math.Round((x - xmin) / (xmax - xmin) * float64(chartWidth-1)))
+		return clamp(c, 0, chartWidth-1)
+	}
+	row := func(y float64) int {
+		r := chartHeight - 1 - int(math.Round(y/ymax*float64(chartHeight-1)))
+		return clamp(r, 0, chartHeight-1)
+	}
+	for si, s := range f.Series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			c := col(p.X)
+			if p.DNF {
+				grid[0][c] = 'x'
+				continue
+			}
+			grid[row(p.Y)][c] = g
+		}
+	}
+
+	for i, line := range grid {
+		label := "          "
+		switch i {
+		case 0:
+			label = padLabel(formatNum(ymax))
+		case chartHeight - 1:
+			label = padLabel("0")
+		case chartHeight / 2:
+			label = padLabel(formatNum(ymax / 2))
+		}
+		if _, err := fmt.Fprintf(w, "  %s|%s\n", label, line); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "  %s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", chartWidth)); err != nil {
+		return err
+	}
+	xl, xr := f.XLabel, ""
+	if f.LogX {
+		xl += " (log)"
+	}
+	xr = formatNum(chartXMax(f))
+	if _, err := fmt.Fprintf(w, "  %s%s%s\n", strings.Repeat(" ", 11), padRight(xl, chartWidth-len(xr)), xr); err != nil {
+		return err
+	}
+
+	var legend []string
+	for si, s := range f.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", glyphs[si%len(glyphs)], s.Name))
+	}
+	_, err := fmt.Fprintf(w, "  legend: %s; y: %s; x: DNF\n", strings.Join(legend, " · "), f.YLabel)
+	return err
+}
+
+func chartXMax(f *Figure) float64 {
+	xmax := math.Inf(-1)
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xmax = math.Max(xmax, p.X)
+		}
+	}
+	return xmax
+}
+
+func padLabel(s string) string {
+	if len(s) > 10 {
+		return s[:10]
+	}
+	return strings.Repeat(" ", 10-len(s)) + s
+}
+
+func padRight(s string, w int) string {
+	if len(s) >= w {
+		return s[:w]
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Render writes figures as aligned text tables: one row per x value, one
+// column per series, with DNF cells marked — the textual equivalent of the
+// paper's plots.
+func Render(w io.Writer, figs []Figure) error {
+	for fi := range figs {
+		if err := renderOne(w, &figs[fi]); err != nil {
+			return err
+		}
+		if fi != len(figs)-1 {
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+func renderOne(w io.Writer, f *Figure) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	// Collect the union of x values in order of first appearance.
+	var xs []float64
+	seen := make(map[float64]bool)
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	header := make([]string, 0, len(f.Series)+1)
+	header = append(header, f.XLabel)
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := []string{formatNum(x)}
+		for _, s := range f.Series {
+			cell := "-"
+			for _, p := range s.Points {
+				if p.X == x {
+					if p.DNF {
+						cell = "DNF"
+					} else {
+						cell = formatNum(p.Y)
+					}
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		parts := make([]string, len(row))
+		for i, cell := range row {
+			parts[i] = fmt.Sprintf("%*s", widths[i], cell)
+		}
+		if _, err := fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "  (y: %s)\n", f.YLabel)
+	return err
+}
+
+// formatNum renders values compactly: integers plainly, large magnitudes
+// with k/M/G suffixes, small ones with limited precision.
+func formatNum(v float64) string {
+	abs := v
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case abs >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case abs >= 1e4:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case v == float64(int64(v)):
+		return fmt.Sprintf("%d", int64(v))
+	case abs >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// RenderCSV writes figures as CSV: figure,series,x,y,dnf.
+func RenderCSV(w io.Writer, figs []Figure) error {
+	if _, err := fmt.Fprintln(w, "figure,series,x,y,dnf"); err != nil {
+		return err
+	}
+	for _, f := range figs {
+		for _, s := range f.Series {
+			for _, p := range s.Points {
+				if _, err := fmt.Fprintf(w, "%s,%s,%g,%g,%v\n", f.ID, s.Name, p.X, p.Y, p.DNF); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

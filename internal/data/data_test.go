@@ -1,0 +1,169 @@
+package data
+
+import (
+	"testing"
+
+	"github.com/spcube/spcube/internal/lattice"
+	"github.com/spcube/spcube/internal/relation"
+	"github.com/spcube/spcube/internal/sketch"
+)
+
+func TestDeterministic(t *testing.T) {
+	gens := map[string]func() *relation.Relation{
+		"binomial": func() *relation.Relation { return GenBinomial(500, 4, 0.3, 42) },
+		"zipf":     func() *relation.Relation { return GenZipf(500, 42) },
+		"wiki":     func() *relation.Relation { return WikiTraffic(500, 42) },
+		"usagov":   func() *relation.Relation { return USAGov(500, 42) },
+		"uniform":  func() *relation.Relation { return Uniform(500, 3, 100, 42) },
+		"retail":   func() *relation.Relation { return Retail(500, 42) },
+	}
+	for name, gen := range gens {
+		a, b := gen(), gen()
+		if a.N() != b.N() {
+			t.Fatalf("%s: sizes differ", name)
+		}
+		for i := range a.Tuples {
+			if a.Tuples[i].Measure != b.Tuples[i].Measure {
+				t.Fatalf("%s: measure differs at %d", name, i)
+			}
+			for j := range a.Tuples[i].Dims {
+				if a.Tuples[i].Dims[j] != b.Tuples[i].Dims[j] {
+					t.Fatalf("%s: dim differs at tuple %d", name, i)
+				}
+			}
+		}
+	}
+}
+
+// skewFingerprint counts exact skewed c-groups at k machines, m=n/k.
+func skewFingerprint(t *testing.T, rel *relation.Relation, k int) (skews int, largestFrac float64) {
+	t.Helper()
+	n := rel.N()
+	m := n / k
+	sk := sketch.BuildExact(rel, k, m)
+	d := rel.D()
+	counts := make(map[string]int)
+	for _, tu := range rel.Tuples {
+		for mask := lattice.Mask(0); mask <= lattice.Full(d); mask++ {
+			counts[relation.GroupKey(uint32(mask), tu.Dims)]++
+		}
+	}
+	largest := 0
+	for key, c := range counts {
+		mask, _, _ := relation.DecodeGroupKey(key)
+		if c > m && mask != 0 {
+			if c > largest {
+				largest = c
+			}
+		}
+	}
+	return sk.NumSkews(), float64(largest) / float64(n)
+}
+
+func TestGenBinomialSkewGrowsWithP(t *testing.T) {
+	const n, k = 20000, 20
+	prev := -1
+	for _, p := range []float64{0, 0.1, 0.4, 0.75} {
+		rel := GenBinomial(n, 4, p, 7)
+		skews, _ := skewFingerprint(t, rel, k)
+		t.Logf("p=%.2f: %d skewed groups", p, skews)
+		if skews < prev {
+			t.Errorf("skew count should not decrease with p: p=%v gives %d < %d", p, skews, prev)
+		}
+		prev = skews
+		if p == 0 && skews > 1 {
+			t.Errorf("p=0 should have at most the apex skewed, got %d", skews)
+		}
+		if p >= 0.1 && skews < 2 {
+			t.Errorf("p=%v should produce skewed hot groups, got %d", p, skews)
+		}
+	}
+}
+
+func TestWikiTrafficFingerprint(t *testing.T) {
+	rel := WikiTraffic(30000, 11)
+	skews, largest := skewFingerprint(t, rel, 20)
+	t.Logf("wiki: %d skewed groups, largest %.0f%% of n", skews, largest*100)
+	// Paper: ~50 skewed groups of 5%-30% of n. Same order of magnitude.
+	if skews < 10 || skews > 200 {
+		t.Errorf("wiki skew count %d outside plausible range [10,200]", skews)
+	}
+	if largest < 0.05 || largest > 0.45 {
+		t.Errorf("largest skewed group %.2f of n outside [0.05,0.45]", largest)
+	}
+}
+
+func TestUSAGovFingerprint(t *testing.T) {
+	rel := USAGov(20000, 13).Restrict(USAGovCubeDims)
+	skews, largest := skewFingerprint(t, rel, 20)
+	t.Logf("usagov: %d skewed groups, largest %.0f%% of n", skews, largest*100)
+	if skews < 10 || skews > 400 {
+		t.Errorf("usagov skew count %d outside plausible range [10,400]", skews)
+	}
+	if largest < 0.06 {
+		t.Errorf("largest skewed group %.2f of n below the paper's 6%%", largest)
+	}
+}
+
+func TestUniformHasOnlyApexSkew(t *testing.T) {
+	rel := Uniform(10000, 4, 1<<30, 3)
+	skews, _ := skewFingerprint(t, rel, 10)
+	if skews != 1 {
+		t.Errorf("uniform data should only have the apex skewed, got %d", skews)
+	}
+}
+
+func TestAdversarialShape(t *testing.T) {
+	d, m := 4, 10
+	rel := Adversarial(d, m)
+	want := 6 * (m + 1) // C(4,2) patterns × (m+1) tuples
+	if rel.N() != want {
+		t.Errorf("n=%d, want %d", rel.N(), want)
+	}
+	// Every level-d/2 cuboid must contain a group of exactly m+1 tuples.
+	counts := make(map[string]int)
+	for _, tu := range rel.Tuples {
+		for mask := lattice.Mask(0); mask <= lattice.Full(d); mask++ {
+			counts[relation.GroupKey(uint32(mask), tu.Dims)]++
+		}
+	}
+	for mask := lattice.Mask(0); mask <= lattice.Full(d); mask++ {
+		if mask.Level() != d/2 {
+			continue
+		}
+		found := false
+		for key, c := range counts {
+			km, vals, _ := relation.DecodeGroupKey(key)
+			if lattice.Mask(km) == mask && c > m && allOnes(vals) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("cuboid %b lacks its skewed all-ones group", mask)
+		}
+	}
+}
+
+func allOnes(vals []relation.Value) bool {
+	for _, v := range vals {
+		if v != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"binomial", "zipf", "wiki", "usagov", "uniform", "retail"} {
+		gen, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rel := gen(100, 1); rel.N() != 100 {
+			t.Errorf("%s: wrong size %d", name, rel.N())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+}

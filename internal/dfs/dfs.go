@@ -1,0 +1,168 @@
+// Package dfs simulates the distributed file system shared by all machines
+// of the MapReduce cluster (§2.3): the input relation is read from it, the
+// SP-Sketch is distributed through it, and the output cuboids are written
+// back to it.
+//
+// Files are in-memory byte buffers with exact size accounting. A FS can run
+// in Discard mode, in which written bytes are counted (and folded into a
+// rolling checksum) but not retained — large cube outputs can then be
+// produced at benchmark scale without materializing them.
+package dfs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// FS is a simulated distributed file system.
+type FS struct {
+	mu      sync.Mutex
+	files   map[string]*file
+	discard bool
+}
+
+type file struct {
+	data []byte
+	size int64
+	sum  uint64
+	recs int64
+}
+
+// New creates an empty file system. When discard is true, written content is
+// dropped after being counted and checksummed.
+func New(discard bool) *FS {
+	return &FS{files: make(map[string]*file), discard: discard}
+}
+
+// Append appends one record to the named file, creating it if needed.
+func (fs *FS) Append(name string, rec []byte) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := fs.files[name]
+	if f == nil {
+		f = &file{}
+		fs.files[name] = f
+	}
+	f.size += int64(len(rec))
+	f.recs++
+	h := fnv.New64a()
+	h.Write(rec)
+	f.sum ^= h.Sum64() // order-independent combination
+	if !fs.discard {
+		f.data = append(f.data, rec...)
+	}
+}
+
+// Write replaces the named file's content.
+func (fs *FS) Write(name string, data []byte) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	h := fnv.New64a()
+	h.Write(data)
+	f := &file{size: int64(len(data)), recs: 1, sum: h.Sum64()}
+	if !fs.discard {
+		f.data = append([]byte(nil), data...)
+	}
+	fs.files[name] = f
+}
+
+// Read returns the named file's content. It fails in discard mode and for
+// missing files.
+func (fs *FS) Read(name string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("dfs: file %q does not exist", name)
+	}
+	if fs.discard {
+		return nil, fmt.Errorf("dfs: file %q content discarded (FS in discard mode)", name)
+	}
+	return f.data, nil
+}
+
+// Size returns the named file's size in bytes (0 for a missing file).
+func (fs *FS) Size(name string) int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f, ok := fs.files[name]; ok {
+		return f.size
+	}
+	return 0
+}
+
+// Records returns the number of records appended to the named file.
+func (fs *FS) Records(name string) int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f, ok := fs.files[name]; ok {
+		return f.recs
+	}
+	return 0
+}
+
+// Checksum returns an order-independent checksum of the records written to
+// the named file, usable to compare outputs across algorithms even in
+// discard mode.
+func (fs *FS) Checksum(name string) uint64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f, ok := fs.files[name]; ok {
+		return f.sum
+	}
+	return 0
+}
+
+// List returns the file names with a given prefix, sorted.
+func (fs *FS) List(prefix string) []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var names []string
+	for name := range fs.files {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalSize returns the combined size of all files with the given prefix.
+func (fs *FS) TotalSize(prefix string) int64 {
+	var total int64
+	for _, name := range fs.List(prefix) {
+		total += fs.Size(name)
+	}
+	return total
+}
+
+// TotalChecksum combines the checksums of all files with the given prefix.
+func (fs *FS) TotalChecksum(prefix string) uint64 {
+	var sum uint64
+	for _, name := range fs.List(prefix) {
+		sum ^= fs.Checksum(name)
+	}
+	return sum
+}
+
+// TotalRecords returns the combined record count of files with the prefix.
+func (fs *FS) TotalRecords(prefix string) int64 {
+	var total int64
+	for _, name := range fs.List(prefix) {
+		total += fs.Records(name)
+	}
+	return total
+}
+
+// Remove deletes all files with the given prefix.
+func (fs *FS) Remove(prefix string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for name := range fs.files {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			delete(fs.files, name)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package dfs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestReadBack(t *testing.T) {
+	fs := New(false)
+	fs.Append("a/1", []byte("hello"))
+	fs.Append("a/1", []byte("world"))
+	data, err := fs.Read("a/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, []byte("helloworld")) {
+		t.Errorf("read back %q", data)
+	}
+	if fs.Size("a/1") != 10 || fs.Records("a/1") != 2 {
+		t.Errorf("size=%d records=%d", fs.Size("a/1"), fs.Records("a/1"))
+	}
+}
+
+func TestWriteReplaces(t *testing.T) {
+	fs := New(false)
+	fs.Append("f", []byte("old"))
+	fs.Write("f", []byte("new!"))
+	data, _ := fs.Read("f")
+	if string(data) != "new!" || fs.Size("f") != 4 || fs.Records("f") != 1 {
+		t.Errorf("write did not replace: %q", data)
+	}
+}
+
+func TestDiscardModeAccountsWithoutRetaining(t *testing.T) {
+	fs := New(true)
+	fs.Append("big", []byte("0123456789"))
+	if fs.Size("big") != 10 || fs.Records("big") != 1 {
+		t.Error("discard mode must still account")
+	}
+	if _, err := fs.Read("big"); err == nil {
+		t.Error("discard mode must refuse reads")
+	}
+	if fs.Checksum("big") == 0 {
+		t.Error("discard mode must checksum")
+	}
+}
+
+func TestChecksumOrderIndependent(t *testing.T) {
+	a, b := New(true), New(true)
+	a.Append("f", []byte("x"))
+	a.Append("f", []byte("y"))
+	b.Append("f", []byte("y"))
+	b.Append("f", []byte("x"))
+	if a.Checksum("f") != b.Checksum("f") {
+		t.Error("checksum must be order independent")
+	}
+	if a.Checksum("f") == a.Checksum("missing") {
+		t.Error("missing file checksum must differ from non-empty file")
+	}
+}
+
+func TestPrefixOperations(t *testing.T) {
+	fs := New(false)
+	fs.Append("out/job/p0", []byte("aa"))
+	fs.Append("out/job/p1", []byte("bbb"))
+	fs.Append("other/x", []byte("c"))
+	if got := fs.List("out/job/"); len(got) != 2 || got[0] != "out/job/p0" {
+		t.Errorf("List: %v", got)
+	}
+	if fs.TotalSize("out/job/") != 5 {
+		t.Errorf("TotalSize = %d", fs.TotalSize("out/job/"))
+	}
+	if fs.TotalRecords("out/job/") != 2 {
+		t.Errorf("TotalRecords = %d", fs.TotalRecords("out/job/"))
+	}
+	if fs.TotalChecksum("out/job/") == 0 {
+		t.Error("TotalChecksum empty")
+	}
+	fs.Remove("out/job/")
+	if len(fs.List("out/job/")) != 0 {
+		t.Error("Remove failed")
+	}
+	if len(fs.List("other/")) != 1 {
+		t.Error("Remove removed too much")
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	fs := New(false)
+	if _, err := fs.Read("nope"); err == nil {
+		t.Error("missing file must error")
+	}
+	if fs.Size("nope") != 0 || fs.Records("nope") != 0 {
+		t.Error("missing file must have zero accounting")
+	}
+}

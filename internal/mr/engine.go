@@ -1,0 +1,475 @@
+// Package mr is the MapReduce substrate the cube algorithms run on: a
+// deterministic in-process engine that executes map/combine/shuffle/reduce
+// rounds over k simulated machines with memory m each (the cluster model of
+// §2.3 of the paper), accounts every intermediate record and byte exactly,
+// simulates skew-induced spill I/O and out-of-memory failures, and converts
+// the accounting into simulated wall-clock time through a CostModel.
+//
+// Tasks execute sequentially, by design: the simulated parallel makespan is
+// reconstructed from the per-task accounting (max over tasks plus shuffle),
+// runs are bit-for-bit reproducible, and map/reduce closures may keep
+// cheap per-task scratch state without synchronization — the property the
+// algorithm implementations rely on for their reusable buffers and
+// mapper-local aggregation tables.
+package mr
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"github.com/spcube/spcube/internal/dfs"
+	"github.com/spcube/spcube/internal/relation"
+)
+
+// Pair is one intermediate or output key/value record.
+type Pair struct {
+	Key string
+	Val []byte
+}
+
+// RecordOverhead is the per-record framing overhead (length prefixes)
+// charged in byte accounting, mimicking Hadoop's serialized form.
+const RecordOverhead = 8
+
+// MinOOMMemTuples is the absolute floor, in records, of a machine's memory
+// used by spill and out-of-memory checks: tiny inputs do not shrink the
+// physical machines.
+const MinOOMMemTuples = 4000
+
+func pairBytes(key string, val []byte) int64 {
+	return int64(len(key) + len(val) + RecordOverhead)
+}
+
+// Config describes the simulated cluster.
+type Config struct {
+	// Workers is k: the number of machines; each round runs Workers map
+	// tasks and (by default) Workers reduce tasks.
+	Workers int
+	// MemTuples is m: a machine's memory expressed in input tuples (the
+	// paper sets m = n/k). If zero, the engine derives it as n/k at run
+	// time from the current input.
+	MemTuples int
+	// Cost converts accounting into simulated seconds.
+	Cost CostModel
+	// OOMFactor: a reducer whose (inflation-adjusted) input bytes exceed
+	// OOMFactor × machine memory bytes fails when the job sets
+	// FailOnReducerOOM. Default 48 (roughly: a reducer can externally
+	// sort/merge a few dozen memory-fuls before its task trackers give
+	// up, but not an unbounded pile-up).
+	OOMFactor float64
+	// Seed namespaces hash partitioning so runs are reproducible.
+	Seed uint64
+}
+
+// Job describes one MapReduce round. Exactly one of MapTuple and MapPair
+// must be set, matching the input fed to Run.
+type Job struct {
+	Name string
+	// Reducers overrides the number of reduce tasks (default
+	// Config.Workers). SP-Cube uses Workers+1: the extra reducer 0
+	// aggregates skewed c-groups (§5).
+	Reducers int
+
+	MapTuple func(ctx *MapCtx, t relation.Tuple)
+	MapPair  func(ctx *MapCtx, key string, val []byte)
+	// MapFlush runs at the end of each map task; mappers that hold local
+	// state (partial aggregates of skewed groups, map-side hashes) emit
+	// it here.
+	MapFlush func(ctx *MapCtx)
+
+	// Combine, when set, merges each map task's output values per key
+	// before the shuffle (Hadoop combiner semantics).
+	Combine func(key string, vals [][]byte) [][]byte
+
+	// Partition routes a key to a reducer in [0, reducers). Default:
+	// hash partitioning.
+	Partition func(key string, reducers int) int
+
+	Reduce func(ctx *RedCtx, key string, vals [][]byte)
+
+	// MapCPUFactor and ReduceCPUFactor scale the tasks' CPU charges,
+	// modelling per-framework operator efficiency (e.g. Pig's reduce-side
+	// algebraic bag processing is heavier than Hive's streaming merge of
+	// serialized counters). Calibrated once against the orderings of the
+	// paper's Figure 4 and held fixed everywhere; default 1.
+	MapCPUFactor    float64
+	ReduceCPUFactor float64
+
+	// FailOnReducerOOM makes reducer memory overflow fatal (Hive model)
+	// rather than absorbed as spill I/O time.
+	FailOnReducerOOM bool
+	// MemInflation scales reducer input bytes when checking memory
+	// pressure (deserialized-object overhead). Default 1.
+	MemInflation float64
+	// CollectOutput retains reducer EmitSide pairs in the RoundResult for
+	// use as the next round's input.
+	CollectOutput bool
+	// OutputPrefix overrides the DFS prefix reducer output is written
+	// under (default "out/<job name>/").
+	OutputPrefix string
+}
+
+// RoundResult is the outcome of one engine round.
+type RoundResult struct {
+	Metrics RoundMetrics
+	// Output holds the reducers' EmitKV pairs when CollectOutput is set.
+	Output []Pair
+}
+
+// Engine executes rounds against a shared simulated DFS.
+type Engine struct {
+	Cfg Config
+	FS  *dfs.FS
+}
+
+// New creates an engine. When fs is nil a discard-mode DFS is created.
+func New(cfg Config, fs *dfs.FS) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.OOMFactor <= 0 {
+		cfg.OOMFactor = 48
+	}
+	if cfg.Cost == (CostModel{}) {
+		cfg.Cost = DefaultCost()
+	}
+	if fs == nil {
+		fs = dfs.New(true)
+	}
+	return &Engine{Cfg: cfg, FS: fs}
+}
+
+// MemTuples returns the machine memory in tuples for an input of n tuples.
+func (e *Engine) MemTuples(n int) int {
+	if e.Cfg.MemTuples > 0 {
+		return e.Cfg.MemTuples
+	}
+	m := n / e.Cfg.Workers
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// MapCtx is the context passed to map functions.
+type MapCtx struct {
+	Task    int
+	job     *Job
+	eng     *Engine
+	out     []Pair
+	metrics TaskMetrics
+}
+
+// Emit sends a key/value record to the shuffle.
+func (c *MapCtx) Emit(key string, val []byte) {
+	c.out = append(c.out, Pair{Key: key, Val: val})
+	c.metrics.PreCombineRecords++
+	c.metrics.PreCombineBytes += pairBytes(key, val)
+	c.metrics.CPUSeconds += c.eng.Cfg.Cost.MapCPUPerEmit
+}
+
+// ChargeOps reports n elementary algorithm operations (hash probes, lattice
+// node visits) for CPU cost accounting.
+func (c *MapCtx) ChargeOps(n int64) {
+	c.metrics.Ops += n
+	c.metrics.CPUSeconds += float64(n) * c.eng.Cfg.Cost.CPUPerOp
+}
+
+// Workers returns the cluster size k.
+func (c *MapCtx) Workers() int { return c.eng.Cfg.Workers }
+
+// RedCtx is the context passed to reduce functions.
+type RedCtx struct {
+	Task     int
+	job      *Job
+	eng      *Engine
+	file     string
+	sideFile string
+	collect  *[]Pair
+	metrics  *TaskMetrics
+	scratch  []byte
+}
+
+// EmitKV writes one output record (an encoded key/value) to the reducer's
+// DFS output file.
+func (c *RedCtx) EmitKV(key string, val []byte) {
+	c.metrics.OutRecords++
+	c.metrics.OutBytes += pairBytes(key, val)
+	c.metrics.CPUSeconds += c.eng.Cfg.Cost.ReduceCPUPerEmit
+	c.scratch = c.scratch[:0]
+	c.scratch = append(c.scratch, key...)
+	c.scratch = append(c.scratch, '\t')
+	c.scratch = append(c.scratch, val...)
+	c.eng.FS.Append(c.file, c.scratch)
+}
+
+// EmitSide writes one record to the reducer's side-output file (kept apart
+// from the job's primary output) and, when the job collects output, retains
+// it for the next round — how multi-round algorithms pass intermediate
+// results forward.
+func (c *RedCtx) EmitSide(key string, val []byte) {
+	c.metrics.SideRecords++
+	c.metrics.SideBytes += pairBytes(key, val)
+	c.metrics.CPUSeconds += c.eng.Cfg.Cost.ReduceCPUPerEmit
+	c.scratch = c.scratch[:0]
+	c.scratch = append(c.scratch, key...)
+	c.scratch = append(c.scratch, '\t')
+	c.scratch = append(c.scratch, val...)
+	c.eng.FS.Append(c.sideFile, c.scratch)
+	if c.job.CollectOutput {
+		*c.collect = append(*c.collect, Pair{Key: key, Val: append([]byte(nil), val...)})
+	}
+}
+
+// ChargeOps reports n elementary algorithm operations.
+func (c *RedCtx) ChargeOps(n int64) {
+	c.metrics.Ops += n
+	c.metrics.CPUSeconds += float64(n) * c.eng.Cfg.Cost.CPUPerOp
+}
+
+// Workers returns the cluster size k.
+func (c *RedCtx) Workers() int { return c.eng.Cfg.Workers }
+
+// RunTuples executes job with the relation's tuples as input, split equally
+// among the Workers map tasks (the paper's load assumption, §2.3).
+func (e *Engine) RunTuples(job *Job, tuples []relation.Tuple) (*RoundResult, error) {
+	if job.MapTuple == nil {
+		return nil, fmt.Errorf("mr: job %s: RunTuples requires MapTuple", job.Name)
+	}
+	n := len(tuples)
+	inBytes := tupleInputBytes(tuples)
+	return e.run(job, n, inBytes, func(task int, ctx *MapCtx) {
+		lo, hi := split(n, e.Cfg.Workers, task)
+		for i := lo; i < hi; i++ {
+			ctx.metrics.InRecords++
+			ctx.metrics.CPUSeconds += e.Cfg.Cost.MapCPUPerRecord
+			job.MapTuple(ctx, tuples[i])
+		}
+		ctx.metrics.InBytes = inBytes * int64(hi-lo) / int64(max(n, 1))
+	})
+}
+
+// RunPairs executes job with key/value pairs as input (chained rounds).
+func (e *Engine) RunPairs(job *Job, pairs []Pair) (*RoundResult, error) {
+	if job.MapPair == nil {
+		return nil, fmt.Errorf("mr: job %s: RunPairs requires MapPair", job.Name)
+	}
+	n := len(pairs)
+	var inBytes int64
+	for i := range pairs {
+		inBytes += pairBytes(pairs[i].Key, pairs[i].Val)
+	}
+	return e.run(job, n, inBytes, func(task int, ctx *MapCtx) {
+		lo, hi := split(n, e.Cfg.Workers, task)
+		for i := lo; i < hi; i++ {
+			ctx.metrics.InRecords++
+			ctx.metrics.InBytes += pairBytes(pairs[i].Key, pairs[i].Val)
+			ctx.metrics.CPUSeconds += e.Cfg.Cost.MapCPUPerRecord
+			job.MapPair(ctx, pairs[i].Key, pairs[i].Val)
+		}
+	})
+}
+
+func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ctx *MapCtx)) (*RoundResult, error) {
+	memTuples := e.MemTuples(n)
+	reducers := job.Reducers
+	if reducers <= 0 {
+		reducers = e.Cfg.Workers
+	}
+	// Machines have an absolute memory floor regardless of how small the
+	// input is (m = n/k is the paper's asymptotic assumption; a physical
+	// machine does not shrink with n). The floor only affects memory-
+	// pressure checks, not the skew threshold.
+	oomMem := float64(memTuples)
+	if oomMem < float64(MinOOMMemTuples) {
+		oomMem = float64(MinOOMMemTuples)
+	}
+	partition := job.Partition
+	if partition == nil {
+		seed := e.Cfg.Seed
+		partition = func(key string, r int) int { return HashPartition(seed, key, r) }
+	}
+	outPrefix := job.OutputPrefix
+	if outPrefix == "" {
+		outPrefix = "out/" + job.Name + "/"
+	}
+
+	res := &RoundResult{Metrics: RoundMetrics{Job: job.Name}}
+	rm := &res.Metrics
+	rm.Mappers = make([]TaskMetrics, e.Cfg.Workers)
+	rm.Reducers = make([]TaskMetrics, reducers)
+
+	start := time.Now()
+
+	// Map phase.
+	buckets := make([][]Pair, reducers)
+	for task := 0; task < e.Cfg.Workers; task++ {
+		tstart := time.Now()
+		ctx := &MapCtx{Task: task, job: job, eng: e}
+		feed(task, ctx)
+		if job.MapFlush != nil {
+			job.MapFlush(ctx)
+		}
+		out := ctx.out
+		if job.Combine != nil {
+			out = e.combine(job, ctx, out)
+		}
+		ctx.metrics.OutRecords = int64(len(out))
+		for i := range out {
+			b := pairBytes(out[i].Key, out[i].Val)
+			ctx.metrics.OutBytes += b
+			r := partition(out[i].Key, reducers)
+			if r < 0 || r >= reducers {
+				return nil, fmt.Errorf("mr: job %s: partition(%q) = %d out of range [0,%d)", job.Name, out[i].Key, r, reducers)
+			}
+			buckets[r] = append(buckets[r], out[i])
+		}
+		if job.MapCPUFactor > 0 {
+			ctx.metrics.CPUSeconds *= job.MapCPUFactor
+		}
+		ctx.metrics.WallSeconds = time.Since(tstart).Seconds()
+		rm.Mappers[task] = ctx.metrics
+		rm.ShuffleRecords += ctx.metrics.OutRecords
+		rm.ShuffleBytes += ctx.metrics.OutBytes
+	}
+
+	// Reduce phase.
+	for task := 0; task < reducers; task++ {
+		tstart := time.Now()
+		tm := &rm.Reducers[task]
+		in := buckets[task]
+		for i := range in {
+			tm.InRecords++
+			tm.InBytes += pairBytes(in[i].Key, in[i].Val)
+		}
+		tm.CPUSeconds += float64(tm.InRecords) * e.Cfg.Cost.ReduceCPUPerRecord
+
+		inflation := job.MemInflation
+		if inflation <= 0 {
+			inflation = 1
+		}
+		// Memory pressure is checked in records (one record ≈ one tuple
+		// or partial state), making the model independent of encoding
+		// sizes. A reducer whose inflation-adjusted input exceeds
+		// OOMFactor memory-fuls dies when the job opts into hard failure
+		// (the Hive model); others absorb oversized *groups* as external
+		// aggregation I/O below.
+		if float64(tm.InRecords)*inflation > e.Cfg.OOMFactor*oomMem && job.FailOnReducerOOM {
+			rm.Failed = true
+			rm.FailReason = fmt.Sprintf("reducer %d out of memory: %d input records (×%.0f inflation) exceed %.0f×m (m=%d tuples)",
+				task, tm.InRecords, inflation, e.Cfg.OOMFactor, memTuples)
+			rm.finalize(e.Cfg.Cost)
+			rm.WallSeconds = time.Since(start).Seconds()
+			return res, fmt.Errorf("mr: job %s: %s", job.Name, rm.FailReason)
+		}
+
+		// Group by key (Hadoop sorts each reducer's input).
+		sort.SliceStable(in, func(a, b int) bool { return in[a].Key < in[b].Key })
+		ctx := &RedCtx{
+			Task:     task,
+			job:      job,
+			eng:      e,
+			file:     fmt.Sprintf("%spart-r-%05d", outPrefix, task),
+			sideFile: fmt.Sprintf("side/%s/part-r-%05d", job.Name, task),
+			collect:  &res.Output,
+			metrics:  tm,
+		}
+		vals := make([][]byte, 0, 16)
+		var spillRecords float64
+		for i := 0; i < len(in); {
+			j := i
+			vals = vals[:0]
+			var keyBytes int64
+			for j < len(in) && in[j].Key == in[i].Key {
+				vals = append(vals, in[j].Val)
+				keyBytes += pairBytes(in[j].Key, in[j].Val)
+				j++
+			}
+			if int64(len(vals)) > tm.LargestKeyRecords {
+				tm.LargestKeyRecords = int64(len(vals))
+				tm.LargestKeyBytes = keyBytes
+			}
+			// A single key whose value list does not fit in memory is
+			// aggregated externally — the skewed-group I/O penalty of
+			// §3.2. SP-Cube avoids it by pre-aggregating skews in the
+			// mappers; the naive algorithm pays it in full.
+			if ex := float64(len(vals))*inflation - oomMem; ex > 0 {
+				spillRecords += ex
+			}
+			job.Reduce(ctx, in[i].Key, vals)
+			i = j
+		}
+		if job.ReduceCPUFactor > 0 {
+			tm.CPUSeconds *= job.ReduceCPUFactor
+		}
+		if spillRecords > 0 {
+			avgRec := 24.0
+			if tm.InRecords > 0 {
+				avgRec = float64(tm.InBytes) / float64(tm.InRecords)
+			}
+			tm.SpillBytes = int64(spillRecords * avgRec)
+			tm.CPUSeconds += float64(tm.SpillBytes) * e.Cfg.Cost.SpillPasses / e.Cfg.Cost.DiskBytesPerSec
+		}
+		tm.WallSeconds = time.Since(tstart).Seconds()
+		rm.OutputRecords += tm.OutRecords
+		rm.OutputBytes += tm.OutBytes
+	}
+
+	rm.finalize(e.Cfg.Cost)
+	rm.WallSeconds = time.Since(start).Seconds()
+	return res, nil
+}
+
+// combine groups one mapper's buffered output by key and applies the
+// combiner, charging its CPU.
+func (e *Engine) combine(job *Job, ctx *MapCtx, out []Pair) []Pair {
+	ctx.metrics.CPUSeconds += float64(len(out)) * e.Cfg.Cost.CombineCPUPerRecord
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Key < out[b].Key })
+	combined := out[:0]
+	vals := make([][]byte, 0, 16)
+	for i := 0; i < len(out); {
+		j := i
+		vals = vals[:0]
+		for j < len(out) && out[j].Key == out[i].Key {
+			vals = append(vals, out[j].Val)
+			j++
+		}
+		for _, v := range job.Combine(out[i].Key, vals) {
+			combined = append(combined, Pair{Key: out[i].Key, Val: v})
+		}
+		i = j
+	}
+	return combined
+}
+
+// HashPartition is the default partitioner: FNV-1a of the key, salted by
+// the engine seed.
+func HashPartition(seed uint64, key string, reducers int) int {
+	h := fnv.New64a()
+	var s [8]byte
+	for i := 0; i < 8; i++ {
+		s[i] = byte(seed >> (8 * uint(i)))
+	}
+	h.Write(s[:])
+	h.Write([]byte(key))
+	return int(h.Sum64() % uint64(reducers))
+}
+
+// split returns the [lo,hi) range of the i-th of k equal input splits.
+func split(n, k, i int) (int, int) {
+	lo := i * n / k
+	hi := (i + 1) * n / k
+	return lo, hi
+}
+
+func tupleInputBytes(tuples []relation.Tuple) int64 {
+	var total int64
+	buf := make([]byte, 0, 64)
+	for i := range tuples {
+		buf = relation.EncodeTuple(buf, tuples[i])
+		total += int64(len(buf)) + 2
+	}
+	return total
+}

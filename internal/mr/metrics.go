@@ -1,0 +1,207 @@
+package mr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TaskMetrics records the exact work performed by one map or reduce task.
+type TaskMetrics struct {
+	InRecords  int64
+	InBytes    int64
+	OutRecords int64
+	OutBytes   int64
+	// PreCombineRecords/Bytes is the map output before the combiner ran
+	// (equal to OutRecords/Bytes when the job has no combiner).
+	PreCombineRecords int64
+	PreCombineBytes   int64
+	// Ops counts algorithm-reported elementary operations.
+	Ops int64
+	// LargestKeyRecords/Bytes describe the biggest single reduce key seen
+	// by the task — the footprint of its largest c-group.
+	LargestKeyRecords int64
+	LargestKeyBytes   int64
+	// SideRecords/Bytes count side-output records (intermediate results
+	// passed to a later round rather than written to the primary output).
+	SideRecords int64
+	SideBytes   int64
+	// SpillBytes is the reduce-side input volume that exceeded the task's
+	// memory and was externally aggregated.
+	SpillBytes int64
+	// CPUSeconds is the simulated CPU time of the task under the cost
+	// model; WallSeconds is the real time the in-process run took.
+	CPUSeconds  float64
+	WallSeconds float64
+}
+
+// RoundMetrics aggregates one MapReduce round.
+type RoundMetrics struct {
+	Job      string
+	Mappers  []TaskMetrics
+	Reducers []TaskMetrics
+
+	// ShuffleRecords/Bytes is the post-combine map output transferred to
+	// reducers: the paper's "intermediate data size" / "map output".
+	ShuffleRecords int64
+	ShuffleBytes   int64
+
+	// OutputRecords/Bytes is the reducers' total output.
+	OutputRecords int64
+	OutputBytes   int64
+
+	// Simulated phase times (seconds) under the cost model.
+	MapTimeAvg    float64
+	MapTimeMax    float64
+	ShuffleTime   float64
+	ReduceTimeAvg float64
+	ReduceTimeMax float64
+	SimSeconds    float64 // startup + max map + shuffle + max reduce
+
+	// WallSeconds is the real in-process duration of the round.
+	WallSeconds float64
+
+	Failed     bool
+	FailReason string
+}
+
+func (r *RoundMetrics) finalize(cost CostModel) {
+	var mapSum float64
+	for i := range r.Mappers {
+		m := &r.Mappers[i]
+		mapSum += m.CPUSeconds
+		if m.CPUSeconds > r.MapTimeMax {
+			r.MapTimeMax = m.CPUSeconds
+		}
+	}
+	if len(r.Mappers) > 0 {
+		r.MapTimeAvg = mapSum / float64(len(r.Mappers))
+	}
+	var maxIn int64
+	var redSum float64
+	for i := range r.Reducers {
+		t := &r.Reducers[i]
+		redSum += t.CPUSeconds
+		if t.CPUSeconds > r.ReduceTimeMax {
+			r.ReduceTimeMax = t.CPUSeconds
+		}
+		if t.InBytes > maxIn {
+			maxIn = t.InBytes
+		}
+	}
+	if len(r.Reducers) > 0 {
+		r.ReduceTimeAvg = redSum / float64(len(r.Reducers))
+	}
+	r.ShuffleTime = float64(r.ShuffleBytes) / cost.NetBytesPerSec
+	if t := float64(maxIn) / cost.NodeNetBytesPerSec; t > r.ShuffleTime {
+		r.ShuffleTime = t
+	}
+	r.SimSeconds = cost.RoundStartup + r.MapTimeMax + r.ShuffleTime + r.ReduceTimeMax
+}
+
+// ReducerOutputBytes returns the per-reducer output sizes, used to assess
+// load balance (the paper's closing experiment in §6.2).
+func (r *RoundMetrics) ReducerOutputBytes() []int64 {
+	out := make([]int64, len(r.Reducers))
+	for i := range r.Reducers {
+		out[i] = r.Reducers[i].OutBytes
+	}
+	return out
+}
+
+// JobMetrics aggregates a full multi-round algorithm execution.
+type JobMetrics struct {
+	Rounds []RoundMetrics
+}
+
+// Add appends a round.
+func (j *JobMetrics) Add(r RoundMetrics) { j.Rounds = append(j.Rounds, r) }
+
+// SimSeconds is the total simulated running time across rounds.
+func (j *JobMetrics) SimSeconds() float64 {
+	var s float64
+	for i := range j.Rounds {
+		s += j.Rounds[i].SimSeconds
+	}
+	return s
+}
+
+// WallSeconds is the total real in-process duration across rounds.
+func (j *JobMetrics) WallSeconds() float64 {
+	var s float64
+	for i := range j.Rounds {
+		s += j.Rounds[i].WallSeconds
+	}
+	return s
+}
+
+// ShuffleBytes is the total intermediate data transferred across rounds —
+// the quantity plotted in the paper's "map output size" figures.
+func (j *JobMetrics) ShuffleBytes() int64 {
+	var s int64
+	for i := range j.Rounds {
+		s += j.Rounds[i].ShuffleBytes
+	}
+	return s
+}
+
+// ShuffleRecords is the total intermediate record count across rounds.
+func (j *JobMetrics) ShuffleRecords() int64 {
+	var s int64
+	for i := range j.Rounds {
+		s += j.Rounds[i].ShuffleRecords
+	}
+	return s
+}
+
+// MapTimeAvg is the average simulated mapper time across all rounds' tasks.
+func (j *JobMetrics) MapTimeAvg() float64 {
+	var s float64
+	var n int
+	for i := range j.Rounds {
+		s += j.Rounds[i].MapTimeAvg * float64(len(j.Rounds[i].Mappers))
+		n += len(j.Rounds[i].Mappers)
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// ReduceTimeAvg is the average simulated reducer time across all rounds.
+func (j *JobMetrics) ReduceTimeAvg() float64 {
+	var s float64
+	var n int
+	for i := range j.Rounds {
+		s += j.Rounds[i].ReduceTimeAvg * float64(len(j.Rounds[i].Reducers))
+		n += len(j.Rounds[i].Reducers)
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// Failed reports whether any round failed, with its reason.
+func (j *JobMetrics) Failed() (bool, string) {
+	for i := range j.Rounds {
+		if j.Rounds[i].Failed {
+			return true, j.Rounds[i].FailReason
+		}
+	}
+	return false, ""
+}
+
+// String renders a compact per-round summary.
+func (j *JobMetrics) String() string {
+	var b strings.Builder
+	for i := range j.Rounds {
+		r := &j.Rounds[i]
+		fmt.Fprintf(&b, "round %d (%s): shuffle=%d recs/%d B, out=%d recs, sim=%.2fs",
+			i, r.Job, r.ShuffleRecords, r.ShuffleBytes, r.OutputRecords, r.SimSeconds)
+		if r.Failed {
+			fmt.Fprintf(&b, " FAILED: %s", r.FailReason)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

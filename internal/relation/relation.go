@@ -1,0 +1,194 @@
+// Package relation defines the tuple and relation model used throughout the
+// SP-Cube implementation.
+//
+// A relation R(A1..Ad, B) has d dimension attributes and one numeric measure
+// attribute B, matching the model of Milo & Altshuler (SIGMOD'16, §2.1).
+// Dimension values are dictionary-encoded as int32 so that tuples are compact
+// and comparisons are cheap; an optional per-column Dictionary maps encoded
+// values back to their original strings for display.
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Value is a dictionary-encoded dimension attribute value.
+type Value = int32
+
+// Tuple is a single row of a relation: d dimension values plus a measure.
+type Tuple struct {
+	Dims    []Value
+	Measure int64
+}
+
+// Clone returns a deep copy of t.
+func (t Tuple) Clone() Tuple {
+	dims := make([]Value, len(t.Dims))
+	copy(dims, t.Dims)
+	return Tuple{Dims: dims, Measure: t.Measure}
+}
+
+// Schema names the attributes of a relation.
+type Schema struct {
+	DimNames    []string
+	MeasureName string
+}
+
+// D returns the number of dimension attributes.
+func (s Schema) D() int { return len(s.DimNames) }
+
+// Relation is an in-memory relation: a schema, a slice of tuples, and an
+// optional dictionary for the string form of dimension values.
+type Relation struct {
+	Schema Schema
+	Tuples []Tuple
+	Dict   *Dictionary
+}
+
+// New creates an empty relation with the given dimension names and measure
+// name, ready to accept string-valued rows via AppendStrings or encoded rows
+// via Append.
+func New(dimNames []string, measureName string) *Relation {
+	names := make([]string, len(dimNames))
+	copy(names, dimNames)
+	return &Relation{
+		Schema: Schema{DimNames: names, MeasureName: measureName},
+		Dict:   NewDictionary(len(dimNames)),
+	}
+}
+
+// D returns the number of dimension attributes.
+func (r *Relation) D() int { return r.Schema.D() }
+
+// N returns the number of tuples.
+func (r *Relation) N() int { return len(r.Tuples) }
+
+// Append adds an already-encoded tuple. The dims slice is copied.
+func (r *Relation) Append(dims []Value, measure int64) {
+	if len(dims) != r.D() {
+		panic(fmt.Sprintf("relation: Append with %d dims, schema has %d", len(dims), r.D()))
+	}
+	cp := make([]Value, len(dims))
+	copy(cp, dims)
+	r.Tuples = append(r.Tuples, Tuple{Dims: cp, Measure: measure})
+}
+
+// AppendStrings adds a row given as strings, dictionary-encoding each
+// dimension value. It requires the relation to have been built with New.
+func (r *Relation) AppendStrings(dims []string, measure int64) {
+	if r.Dict == nil {
+		panic("relation: AppendStrings on relation without dictionary")
+	}
+	if len(dims) != r.D() {
+		panic(fmt.Sprintf("relation: AppendStrings with %d dims, schema has %d", len(dims), r.D()))
+	}
+	enc := make([]Value, len(dims))
+	for i, s := range dims {
+		enc[i] = r.Dict.Encode(i, s)
+	}
+	r.Tuples = append(r.Tuples, Tuple{Dims: enc, Measure: measure})
+}
+
+// Restrict returns a new relation with only the dimension columns listed in
+// cols (by index, in the given order). Tuples share no storage with r.
+// It is used to cube over a subset of a wide relation's attributes, as the
+// paper does for the 15-dimensional USAGOV dataset.
+func (r *Relation) Restrict(cols []int) *Relation {
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = r.Schema.DimNames[c]
+	}
+	out := &Relation{Schema: Schema{DimNames: names, MeasureName: r.Schema.MeasureName}}
+	if r.Dict != nil {
+		out.Dict = r.Dict.Restrict(cols)
+	}
+	out.Tuples = make([]Tuple, len(r.Tuples))
+	for i, t := range r.Tuples {
+		dims := make([]Value, len(cols))
+		for j, c := range cols {
+			dims[j] = t.Dims[c]
+		}
+		out.Tuples[i] = Tuple{Dims: dims, Measure: t.Measure}
+	}
+	return out
+}
+
+// DimString renders the value of dimension col of an encoded value,
+// falling back to the numeric form when no dictionary entry exists.
+func (r *Relation) DimString(col int, v Value) string {
+	if r.Dict != nil {
+		if s, ok := r.Dict.Decode(col, v); ok {
+			return s
+		}
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// String renders a short description of the relation.
+func (r *Relation) String() string {
+	return fmt.Sprintf("Relation(%s; %s)[n=%d]",
+		strings.Join(r.Schema.DimNames, ","), r.Schema.MeasureName, len(r.Tuples))
+}
+
+// Dictionary maps string dimension values to compact int32 codes, per column.
+// Codes are assigned in first-seen order starting at 0.
+type Dictionary struct {
+	toCode []map[string]Value
+	toStr  [][]string
+}
+
+// NewDictionary creates a dictionary for d columns.
+func NewDictionary(d int) *Dictionary {
+	dict := &Dictionary{
+		toCode: make([]map[string]Value, d),
+		toStr:  make([][]string, d),
+	}
+	for i := range dict.toCode {
+		dict.toCode[i] = make(map[string]Value)
+	}
+	return dict
+}
+
+// Encode returns the code for s in column col, assigning a new code if s has
+// not been seen before.
+func (d *Dictionary) Encode(col int, s string) Value {
+	if v, ok := d.toCode[col][s]; ok {
+		return v
+	}
+	v := Value(len(d.toStr[col]))
+	d.toCode[col][s] = v
+	d.toStr[col] = append(d.toStr[col], s)
+	return v
+}
+
+// Code returns the existing code for s in column col without assigning a
+// new one.
+func (d *Dictionary) Code(col int, s string) (Value, bool) {
+	v, ok := d.toCode[col][s]
+	return v, ok
+}
+
+// Decode returns the string for code v in column col.
+func (d *Dictionary) Decode(col int, v Value) (string, bool) {
+	if v < 0 || int(v) >= len(d.toStr[col]) {
+		return "", false
+	}
+	return d.toStr[col][v], true
+}
+
+// Cardinality returns the number of distinct values seen in column col.
+func (d *Dictionary) Cardinality(col int) int { return len(d.toStr[col]) }
+
+// Restrict returns a dictionary containing only the listed columns.
+func (d *Dictionary) Restrict(cols []int) *Dictionary {
+	out := &Dictionary{
+		toCode: make([]map[string]Value, len(cols)),
+		toStr:  make([][]string, len(cols)),
+	}
+	for i, c := range cols {
+		out.toCode[i] = d.toCode[c]
+		out.toStr[i] = d.toStr[c]
+	}
+	return out
+}

@@ -1,0 +1,428 @@
+// Package sketch implements the Skews and Partitions Sketch (SP-Sketch) of
+// Milo & Altshuler (SIGMOD'16, §4).
+//
+// The SP-Sketch mirrors the cube lattice: for every cuboid C it records
+// (1) skews(C) — the set of skewed c-groups of C, i.e. groups whose tuple
+// set exceeds a machine's memory m, and (2) partition-elements(C) — k−1
+// tuples that split sorted(R,C) into k ranges of O(m) non-skewed tuples
+// each (Definition 4.1, Proposition 4.2).
+//
+// The exact ("utopian") sketch would require sorting R once per cuboid; the
+// practical variant is built from a uniform sample: each tuple is kept with
+// probability α = ln(n·k)/m, and a group is recorded as skewed when its
+// sample count exceeds β = ln(n·k) (§4.2, Algorithm 2). Propositions
+// 4.4–4.7 show the sample and the sketch are both O(m) and that all skewed
+// groups are captured with high probability; the package's tests verify
+// these properties empirically.
+package sketch
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/spcube/spcube/internal/agg"
+	"github.com/spcube/spcube/internal/buc"
+	"github.com/spcube/spcube/internal/lattice"
+	"github.com/spcube/spcube/internal/mr"
+	"github.com/spcube/spcube/internal/relation"
+)
+
+// Sketch is the Skews and Partitions Sketch.
+type Sketch struct {
+	// D is the number of cube dimensions; K the number of machines.
+	D int
+	K int
+	// SampleN is the number of sampled tuples the sketch was built from
+	// (0 for an exact sketch).
+	SampleN int
+	// Alpha and Beta record the sampling probability and skew threshold
+	// used during construction.
+	Alpha float64
+	Beta  float64
+
+	// skews[mask] holds the skewed c-groups of cuboid mask, keyed by the
+	// packed-values encoding of the group.
+	skews []map[string]struct{}
+	// parts[mask] holds the cuboid's sorted partition elements: at most
+	// k−1 packed projections.
+	parts [][][]relation.Value
+}
+
+func newSketch(d, k int) *Sketch {
+	s := &Sketch{
+		D:     d,
+		K:     k,
+		skews: make([]map[string]struct{}, 1<<uint(d)),
+		parts: make([][][]relation.Value, 1<<uint(d)),
+	}
+	for i := range s.skews {
+		s.skews[i] = make(map[string]struct{})
+	}
+	return s
+}
+
+func valsKey(packed []relation.Value) string {
+	buf := make([]byte, 0, 4*len(packed))
+	for _, v := range packed {
+		buf = appendUvarint(buf, zig(v))
+	}
+	return string(buf)
+}
+
+func zig(v relation.Value) uint64 { return uint64(uint32((v << 1) ^ (v >> 31))) }
+
+func appendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+// NewForTest creates an empty sketch for test injection.
+func NewForTest(d, k int) *Sketch { return newSketch(d, k) }
+
+// AddSkew records a skewed c-group.
+func (s *Sketch) AddSkew(mask lattice.Mask, packed []relation.Value) {
+	cp := append([]relation.Value(nil), packed...)
+	s.skews[mask][valsKey(cp)] = struct{}{}
+}
+
+// SetPartitionElements records a cuboid's sorted partition elements.
+func (s *Sketch) SetPartitionElements(mask lattice.Mask, elems [][]relation.Value) {
+	s.parts[mask] = elems
+}
+
+// IsSkewed reports whether the c-group of the given packed projection is
+// recorded as skewed in cuboid mask.
+func (s *Sketch) IsSkewed(mask lattice.Mask, packed []relation.Value) bool {
+	_, ok := s.skews[mask][valsKey(packed)]
+	return ok
+}
+
+// IsSkewedDims is IsSkewed for a full-width dims slice.
+func (s *Sketch) IsSkewedDims(mask lattice.Mask, dims []relation.Value) bool {
+	return s.IsSkewed(mask, relation.Project(dims, uint32(mask)))
+}
+
+// Partition returns the range partition (in [0, K)) that the packed
+// projection belongs to in cuboid mask: partition 0 holds t ≤ e0, partition
+// i holds e_{i-1} < t ≤ e_i, partition K−1 holds t > e_{K-2} (§4.1).
+func (s *Sketch) Partition(mask lattice.Mask, packed []relation.Value) int {
+	elems := s.parts[mask]
+	return sort.Search(len(elems), func(i int) bool {
+		return relation.ComparePacked(packed, elems[i]) <= 0
+	})
+}
+
+// PartitionDims is Partition for a full-width dims slice.
+func (s *Sketch) PartitionDims(mask lattice.Mask, dims []relation.Value) int {
+	return s.Partition(mask, relation.Project(dims, uint32(mask)))
+}
+
+// NumSkews returns the total number of skewed c-groups recorded.
+func (s *Sketch) NumSkews() int {
+	n := 0
+	for _, m := range s.skews {
+		n += len(m)
+	}
+	return n
+}
+
+// SkewedGroups returns the skewed groups of cuboid mask (packed values),
+// sorted, for inspection and tests.
+func (s *Sketch) SkewedGroups(mask lattice.Mask) [][]relation.Value {
+	var out [][]relation.Value
+	for key := range s.skews[mask] {
+		out = append(out, decodeValsKey(key))
+	}
+	sort.Slice(out, func(i, j int) bool { return relation.ComparePacked(out[i], out[j]) < 0 })
+	return out
+}
+
+func decodeValsKey(key string) []relation.Value {
+	b := []byte(key)
+	var out []relation.Value
+	for len(b) > 0 {
+		var v uint64
+		var shift uint
+		for {
+			c := b[0]
+			b = b[1:]
+			v |= uint64(c&0x7f) << shift
+			if c < 0x80 {
+				break
+			}
+			shift += 7
+		}
+		x := uint32(v)
+		out = append(out, relation.Value(x>>1)^-relation.Value(x&1))
+	}
+	return out
+}
+
+// wire is the gob-serializable form of the sketch.
+type wire struct {
+	D, K, SampleN int
+	Alpha, Beta   float64
+	Skews         [][]string
+	Parts         [][][]relation.Value
+}
+
+// Encode serializes the sketch (the form distributed to all machines
+// through the DFS before round 2).
+func (s *Sketch) Encode() ([]byte, error) {
+	w := wire{D: s.D, K: s.K, SampleN: s.SampleN, Alpha: s.Alpha, Beta: s.Beta,
+		Skews: make([][]string, len(s.skews)), Parts: s.parts}
+	for i, m := range s.skews {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		w.Skews[i] = keys
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("sketch: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses an encoded sketch.
+func Decode(data []byte) (*Sketch, error) {
+	var w wire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("sketch: decode: %w", err)
+	}
+	s := newSketch(w.D, w.K)
+	s.SampleN = w.SampleN
+	s.Alpha = w.Alpha
+	s.Beta = w.Beta
+	if w.Parts != nil {
+		s.parts = w.Parts
+	}
+	for i, keys := range w.Skews {
+		for _, k := range keys {
+			s.skews[i][k] = struct{}{}
+		}
+	}
+	return s, nil
+}
+
+// Bytes returns the serialized size of the sketch — the quantity plotted in
+// Figures 5c and 6c of the paper.
+func (s *Sketch) Bytes() int {
+	b, err := s.Encode()
+	if err != nil {
+		return 0
+	}
+	return len(b)
+}
+
+// Params returns the sampling probability α = ln(n·k)/m and skew threshold
+// β = ln(n·k) for a relation of n tuples on k machines with memory m.
+func Params(n, k, m int) (alpha, beta float64) {
+	if n < 1 {
+		n = 1
+	}
+	beta = math.Log(float64(n) * float64(k))
+	if beta < 1 {
+		beta = 1
+	}
+	alpha = beta / float64(m)
+	if alpha > 1 {
+		alpha = 1
+	}
+	return alpha, beta
+}
+
+// BuildResult carries the sketch together with the metrics of the
+// MapReduce round that built it.
+type BuildResult struct {
+	Sketch  *Sketch
+	Metrics mr.RoundMetrics
+	// EncodedBytes is the serialized sketch size written to the DFS.
+	EncodedBytes int
+}
+
+// Build runs the paper's Algorithm 2 as round 1 of SP-Cube: k mappers
+// sample their input splits, one reducer assembles the sample, builds the
+// sketch in memory, and writes it to the DFS for distribution.
+func Build(eng *mr.Engine, rel *relation.Relation, seed int64) (*BuildResult, error) {
+	n := rel.N()
+	d := rel.D()
+	k := eng.Cfg.Workers
+	m := eng.MemTuples(n)
+	alpha, beta := Params(n, k, m)
+
+	var built *Sketch
+	job := &mr.Job{
+		Name:      "sp-sketch",
+		Reducers:  1,
+		MapTuple:  nil, // set below (needs per-task RNG)
+		Partition: func(string, int) int { return 0 },
+		Reduce: func(ctx *mr.RedCtx, key string, vals [][]byte) {
+			sample := make([]relation.Tuple, 0, len(vals))
+			for _, v := range vals {
+				t, err := relation.DecodeTuple(v, d)
+				if err != nil {
+					continue
+				}
+				sample = append(sample, t)
+			}
+			built = buildFromSample(sample, d, k, alpha, beta, ctx.ChargeOps)
+			enc, err := built.Encode()
+			if err == nil {
+				ctx.EmitKV("sketch", enc)
+			}
+		},
+	}
+
+	// Per-mapper deterministic sampling: the RNG stream is a function of
+	// the experiment seed and the map task id.
+	rngs := make([]*rand.Rand, k)
+	for i := range rngs {
+		rngs[i] = rand.New(rand.NewSource(seed*1_000_003 + int64(i)))
+	}
+	var buf []byte
+	job.MapTuple = func(ctx *mr.MapCtx, t relation.Tuple) {
+		if rngs[ctx.Task].Float64() <= alpha {
+			buf = relation.EncodeTuple(buf, t)
+			ctx.Emit("s", append([]byte(nil), buf...))
+		}
+	}
+
+	res, err := eng.RunTuples(job, rel.Tuples)
+	if err != nil {
+		return nil, err
+	}
+	if built == nil {
+		// Degenerate case: the sample was empty (tiny inputs). Build an
+		// empty sketch so downstream code still works.
+		built = newSketch(d, k)
+		built.Alpha = alpha
+		built.Beta = beta
+	}
+	enc, err := built.Encode()
+	if err != nil {
+		return nil, err
+	}
+	eng.FS.Write("sketch/current", enc)
+	return &BuildResult{Sketch: built, Metrics: res.Metrics, EncodedBytes: len(enc)}, nil
+}
+
+// buildFromSample implements the reducer's build-sketch procedure: BUC over
+// the sample with an iceberg threshold of β detects the skewed groups, and
+// per-cuboid sorts of the sample yield the partition elements.
+func buildFromSample(sample []relation.Tuple, d, k int, alpha, beta float64, charge func(int64)) *Sketch {
+	s := newSketch(d, k)
+	s.SampleN = len(sample)
+	s.Alpha = alpha
+	s.Beta = beta
+	if len(sample) == 0 {
+		return s
+	}
+
+	// Skews: groups whose sample count exceeds β (count > β ⇔ count ≥
+	// ⌊β⌋+1, which is exactly an iceberg threshold for BUC).
+	minSup := int(math.Floor(beta)) + 1
+	work := make([]relation.Tuple, len(sample))
+	copy(work, sample)
+	buc.Compute(work, d, agg.Count, minSup, func(mask lattice.Mask, packed []relation.Value, _ agg.State) {
+		s.AddSkew(mask, packed)
+	})
+	charge(int64(len(sample)) * int64(uint(1)<<uint(d)))
+
+	// Partition elements: for every cuboid, sort the sample w.r.t. <_C
+	// and take the k−1 evenly spaced elements (§4.2 "Partitions").
+	idx := make([]int, len(sample))
+	for mask := lattice.Mask(0); mask <= lattice.Full(d); mask++ {
+		if mask == 0 {
+			// The apex cuboid has a single (empty) projection; range
+			// partitioning is vacuous.
+			continue
+		}
+		for i := range idx {
+			idx[i] = i
+		}
+		mm := uint32(mask)
+		sort.Slice(idx, func(a, b int) bool {
+			return relation.CompareProjected(sample[idx[a]].Dims, sample[idx[b]].Dims, mm) < 0
+		})
+		elems := make([][]relation.Value, 0, k-1)
+		for i := 1; i < k; i++ {
+			pos := i * len(sample) / k
+			if pos >= len(sample) {
+				pos = len(sample) - 1
+			}
+			elems = append(elems, relation.Project(sample[idx[pos]].Dims, mm))
+		}
+		s.SetPartitionElements(mask, dedupSorted(elems))
+		charge(int64(len(sample)))
+	}
+	return s
+}
+
+// dedupSorted removes duplicate consecutive partition elements; duplicates
+// arise when the sample has heavy value repetition and would create empty
+// ranges.
+func dedupSorted(elems [][]relation.Value) [][]relation.Value {
+	out := elems[:0]
+	for i, e := range elems {
+		if i == 0 || relation.ComparePacked(e, out[len(out)-1]) != 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// BuildExact computes the utopian SP-Sketch (§4.2) directly from the full
+// relation: exact group counts decide skews and exact sorts give partition
+// elements. It is quadratic-ish in n·2^d and exists for tests and small
+// inputs.
+func BuildExact(rel *relation.Relation, k, m int) *Sketch {
+	d := rel.D()
+	s := newSketch(d, k)
+	counts := make([]map[string]int, 1<<uint(d))
+	for i := range counts {
+		counts[i] = make(map[string]int)
+	}
+	for _, t := range rel.Tuples {
+		for mask := lattice.Mask(0); mask <= lattice.Full(d); mask++ {
+			counts[mask][valsKey(relation.Project(t.Dims, uint32(mask)))]++
+		}
+	}
+	for mask := lattice.Mask(0); mask <= lattice.Full(d); mask++ {
+		for key, c := range counts[mask] {
+			if c > m {
+				s.skews[mask][key] = struct{}{}
+			}
+		}
+	}
+	n := rel.N()
+	idx := make([]int, n)
+	for mask := lattice.Mask(1); mask <= lattice.Full(d); mask++ {
+		for i := range idx {
+			idx[i] = i
+		}
+		mm := uint32(mask)
+		sort.SliceStable(idx, func(a, b int) bool {
+			return relation.CompareProjected(rel.Tuples[idx[a]].Dims, rel.Tuples[idx[b]].Dims, mm) < 0
+		})
+		elems := make([][]relation.Value, 0, k-1)
+		for i := 1; i < k; i++ {
+			pos := i * n / k
+			if pos >= n {
+				pos = n - 1
+			}
+			elems = append(elems, relation.Project(rel.Tuples[idx[pos]].Dims, mm))
+		}
+		s.SetPartitionElements(mask, dedupSorted(elems))
+	}
+	return s
+}

@@ -1,0 +1,483 @@
+// Package spcube computes data cubes over relations using the SP-Cube
+// algorithm of Milo & Altshuler, "An Efficient MapReduce Cube Algorithm for
+// Varied Data Distributions" (SIGMOD 2016), on an embedded simulated
+// MapReduce cluster.
+//
+// A data cube aggregates a measure over every subset of a relation's
+// dimension attributes. SP-Cube first builds the SP-Sketch — a compact
+// summary recording each cuboid's skewed groups and range-partition
+// boundaries — and then computes the full cube in a single additional
+// MapReduce round, pre-aggregating skewed groups in the mappers and
+// factorizing the remaining work across reducers so that intermediate
+// traffic stays near-linear in the input for common data distributions.
+//
+// Quick start:
+//
+//	rel := spcube.NewRelation([]string{"name", "city", "year"}, "sales")
+//	rel.AddRow([]string{"laptop", "Rome", "2012"}, 2000)
+//	rel.AddRow([]string{"laptop", "Paris", "2012"}, 1500)
+//	// ... more rows ...
+//	c, err := spcube.Compute(rel, spcube.Aggregate(spcube.Sum))
+//	if err != nil { ... }
+//	total, _ := c.Value("laptop", "*", "2012") // sales of laptops in 2012
+//
+// The package also exposes the baselines the paper evaluates against
+// (the naive cube, Pig's MR-Cube, and a Hive-style cube) through the
+// Algorithm option, together with per-run cluster statistics, so the
+// trade-offs measured in the paper can be reproduced programmatically; the
+// full benchmark suite lives in cmd/spbench.
+package spcube
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/spcube/spcube/internal/agg"
+	"github.com/spcube/spcube/internal/algo/hivecube"
+	"github.com/spcube/spcube/internal/algo/mrcube"
+	"github.com/spcube/spcube/internal/algo/naive"
+	"github.com/spcube/spcube/internal/algo/pipesort"
+	spalgo "github.com/spcube/spcube/internal/algo/spcube"
+	"github.com/spcube/spcube/internal/cube"
+	"github.com/spcube/spcube/internal/dfs"
+	"github.com/spcube/spcube/internal/lattice"
+	"github.com/spcube/spcube/internal/mr"
+	"github.com/spcube/spcube/internal/relation"
+)
+
+// MaxDims is the largest supported number of cube dimensions.
+const MaxDims = lattice.MaxDims
+
+// Relation is an in-memory relation: named dimension columns plus one
+// numeric measure column.
+type Relation struct {
+	inner *relation.Relation
+}
+
+// NewRelation creates an empty relation with the given dimension column
+// names and measure column name.
+func NewRelation(dimNames []string, measureName string) *Relation {
+	return &Relation{inner: relation.New(dimNames, measureName)}
+}
+
+// AddRow appends a row of string dimension values and a measure.
+func (r *Relation) AddRow(dims []string, measure int64) {
+	r.inner.AppendStrings(dims, measure)
+}
+
+// AddRowInts appends a row of already-encoded integer dimension values. A
+// relation should stick to one of AddRow and AddRowInts; mixing them maps
+// integer codes onto dictionary codes of the string rows.
+func (r *Relation) AddRowInts(dims []int32, measure int64) {
+	r.inner.Append(dims, measure)
+}
+
+// NumRows returns the number of rows.
+func (r *Relation) NumRows() int { return r.inner.N() }
+
+// NumDims returns the number of dimension columns.
+func (r *Relation) NumDims() int { return r.inner.D() }
+
+// DimNames returns the dimension column names.
+func (r *Relation) DimNames() []string {
+	return append([]string(nil), r.inner.Schema.DimNames...)
+}
+
+// Agg selects an aggregate function.
+type Agg struct {
+	f agg.Func
+}
+
+// Built-in aggregate functions. Count, Sum, Min and Max are distributive
+// and Avg is algebraic — the classes SP-Cube supports with constant-size
+// partial states. Distinct (count of distinct measure values) is holistic:
+// it is computed exactly, but its partial states grow with the data, so the
+// paper's traffic guarantees do not apply to it.
+var (
+	Count    = Agg{agg.Count}
+	Sum      = Agg{agg.Sum}
+	Min      = Agg{agg.Min}
+	Max      = Agg{agg.Max}
+	Avg      = Agg{agg.Avg}
+	Var      = Agg{agg.Var}
+	Stddev   = Agg{agg.Stddev}
+	Distinct = Agg{agg.Distinct}
+)
+
+// AggByName resolves an aggregate function by name
+// ("count", "sum", "min", "max", "avg", "var", "stddev", "distinct").
+func AggByName(name string) (Agg, error) {
+	f, err := agg.ByName(name)
+	if err != nil {
+		return Agg{}, err
+	}
+	return Agg{f}, nil
+}
+
+// Name returns the function's name.
+func (a Agg) Name() string {
+	if a.f == nil {
+		return "count"
+	}
+	return a.f.Name()
+}
+
+// Alg selects the cube algorithm.
+type Alg int
+
+const (
+	// AlgSPCube is the paper's contribution: sketch-driven, two rounds.
+	AlgSPCube Alg = iota
+	// AlgNaive is Algorithm 1: project-everything with hash partitioning.
+	AlgNaive
+	// AlgMRCube is MR-Cube (Nandi et al.), Pig's CUBE operator.
+	AlgMRCube
+	// AlgHive models Hive's CUBE compilation.
+	AlgHive
+	// AlgPipesort is the top-down, one-round-per-lattice-level cube of
+	// Lee et al. (§7 of the paper).
+	AlgPipesort
+)
+
+// String returns the algorithm's name.
+func (a Alg) String() string {
+	switch a {
+	case AlgSPCube:
+		return "sp-cube"
+	case AlgNaive:
+		return "naive"
+	case AlgMRCube:
+		return "mr-cube"
+	case AlgHive:
+		return "hive"
+	case AlgPipesort:
+		return "pipesort"
+	}
+	return fmt.Sprintf("Alg(%d)", int(a))
+}
+
+// AlgByName resolves an algorithm by name.
+func AlgByName(name string) (Alg, error) {
+	switch name {
+	case "sp-cube", "spcube", "sp":
+		return AlgSPCube, nil
+	case "naive":
+		return AlgNaive, nil
+	case "mr-cube", "mrcube", "pig":
+		return AlgMRCube, nil
+	case "hive":
+		return AlgHive, nil
+	case "pipesort":
+		return AlgPipesort, nil
+	}
+	return 0, fmt.Errorf("spcube: unknown algorithm %q (want sp-cube, naive, mr-cube, hive, pipesort)", name)
+}
+
+type config struct {
+	workers int
+	memory  int
+	aggFn   agg.Func
+	alg     Alg
+	seed    int64
+	minSup  int
+}
+
+// Option configures Compute.
+type Option func(*config)
+
+// Workers sets the simulated cluster size k (default 8).
+func Workers(k int) Option { return func(c *config) { c.workers = k } }
+
+// Memory sets a machine's memory in tuples (default n/k), which is also the
+// skew threshold of Definition 2.7.
+func Memory(tuples int) Option { return func(c *config) { c.memory = tuples } }
+
+// Aggregate sets the aggregate function (default Count).
+func Aggregate(a Agg) Option { return func(c *config) { c.aggFn = a.f } }
+
+// Algorithm selects the cube algorithm (default AlgSPCube).
+func Algorithm(a Alg) Option { return func(c *config) { c.alg = a } }
+
+// Seed fixes the sampling seed for reproducible runs (default 1).
+func Seed(s int64) Option { return func(c *config) { c.seed = s } }
+
+// MinSupport computes an iceberg cube: only c-groups with at least n
+// contributing rows are materialized. The default (and any value below 2)
+// materializes the full cube.
+func MinSupport(n int) Option { return func(c *config) { c.minSup = n } }
+
+// Stats summarizes a computation's execution on the simulated cluster.
+type Stats struct {
+	// Algorithm that produced the cube.
+	Algorithm string
+	// Rounds is the number of MapReduce rounds executed.
+	Rounds int
+	// SimSeconds is the simulated cluster running time (see internal/mr's
+	// cost model); WallSeconds is the real in-process time.
+	SimSeconds  float64
+	WallSeconds float64
+	// ShuffleRecords/Bytes is the total intermediate data transferred.
+	ShuffleRecords int64
+	ShuffleBytes   int64
+	// SketchBytes is the serialized SP-Sketch size (SP-Cube only).
+	SketchBytes int
+	// SampleTuples is the SP-Sketch sample size (SP-Cube only).
+	SampleTuples int
+	// SkewedGroups is the number of skewed c-groups detected (SP-Cube
+	// only).
+	SkewedGroups int
+}
+
+// Group is one cube group: per-dimension values ("*" where the dimension is
+// aggregated away) and the aggregate value.
+type Group struct {
+	Dims  []string
+	Value float64
+}
+
+// Cube is a computed data cube.
+type Cube struct {
+	rel   *Relation
+	res   *cube.Result
+	stats Stats
+}
+
+// Compute runs a cube computation over the relation.
+func Compute(rel *Relation, opts ...Option) (*Cube, error) {
+	cfg := config{workers: 8, aggFn: agg.Count, alg: AlgSPCube, seed: 1}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if rel == nil || rel.NumRows() == 0 {
+		return nil, errors.New("spcube: empty relation")
+	}
+	if rel.NumDims() == 0 || rel.NumDims() > MaxDims {
+		return nil, fmt.Errorf("spcube: dimension count %d out of range [1,%d]", rel.NumDims(), MaxDims)
+	}
+	if cfg.workers < 1 {
+		return nil, errors.New("spcube: need at least 1 worker")
+	}
+
+	eng := mr.New(mr.Config{
+		Workers:   cfg.workers,
+		MemTuples: cfg.memory,
+		Seed:      uint64(cfg.seed),
+	}, dfs.New(false))
+	spec := cube.Spec{Agg: cfg.aggFn, MinSup: cfg.minSup}
+
+	var run *cube.Run
+	var err error
+	switch cfg.alg {
+	case AlgSPCube:
+		run, err = spalgo.ComputeOpts(eng, rel.inner, spec, spalgo.Options{Seed: cfg.seed})
+	case AlgNaive:
+		run, err = naive.Compute(eng, rel.inner, spec)
+	case AlgMRCube:
+		run, err = mrcube.ComputeOpts(eng, rel.inner, spec, mrcube.Options{Seed: cfg.seed})
+	case AlgHive:
+		run, err = hivecube.Compute(eng, rel.inner, spec)
+	case AlgPipesort:
+		run, err = pipesort.Compute(eng, rel.inner, spec)
+	default:
+		return nil, fmt.Errorf("spcube: unknown algorithm %v", cfg.alg)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("spcube: %s failed: %w", cfg.alg, err)
+	}
+
+	res, err := cube.CollectDFS(eng, run.OutputPrefix, rel.NumDims())
+	if err != nil {
+		return nil, fmt.Errorf("spcube: collecting output: %w", err)
+	}
+
+	stats := Stats{
+		Algorithm:      run.Algorithm,
+		Rounds:         len(run.Metrics.Rounds),
+		SimSeconds:     run.Metrics.SimSeconds(),
+		WallSeconds:    run.Metrics.WallSeconds(),
+		ShuffleRecords: run.Metrics.ShuffleRecords(),
+		ShuffleBytes:   run.Metrics.ShuffleBytes(),
+		SketchBytes:    run.SketchBytes,
+		SampleTuples:   run.SampleTuples,
+		SkewedGroups:   run.SkewedGroups,
+	}
+	return &Cube{rel: rel, res: res, stats: stats}, nil
+}
+
+// ComputeSet computes one cube per aggregate function over the same
+// relation with SP-Cube, building the SP-Sketch only once (the sketch is a
+// property of the relation, not of the aggregate — §4 of the paper). It is
+// cheaper than calling Compute repeatedly and guarantees all cubes saw the
+// same partitioning decisions. The Algorithm option is ignored; other
+// options apply to every computation.
+func ComputeSet(rel *Relation, aggs []Agg, opts ...Option) ([]*Cube, error) {
+	cfg := config{workers: 8, aggFn: agg.Count, alg: AlgSPCube, seed: 1}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if rel == nil || rel.NumRows() == 0 {
+		return nil, errors.New("spcube: empty relation")
+	}
+	if len(aggs) == 0 {
+		return nil, errors.New("spcube: ComputeSet needs at least one aggregate")
+	}
+	eng := mr.New(mr.Config{
+		Workers:   cfg.workers,
+		MemTuples: cfg.memory,
+		Seed:      uint64(cfg.seed),
+	}, dfs.New(false))
+	specs := make([]cube.Spec, len(aggs))
+	for i, a := range aggs {
+		specs[i] = cube.Spec{Agg: a.f, MinSup: cfg.minSup}
+	}
+	runs, err := spalgo.ComputeMulti(eng, rel.inner, specs, spalgo.Options{Seed: cfg.seed})
+	if err != nil {
+		return nil, fmt.Errorf("spcube: %w", err)
+	}
+	cubes := make([]*Cube, len(runs))
+	for i, run := range runs {
+		res, err := cube.CollectDFS(eng, run.OutputPrefix, rel.NumDims())
+		if err != nil {
+			return nil, fmt.Errorf("spcube: collecting output %d: %w", i, err)
+		}
+		cubes[i] = &Cube{rel: rel, res: res, stats: Stats{
+			Algorithm:      run.Algorithm,
+			Rounds:         len(run.Metrics.Rounds),
+			SimSeconds:     run.Metrics.SimSeconds(),
+			WallSeconds:    run.Metrics.WallSeconds(),
+			ShuffleRecords: run.Metrics.ShuffleRecords(),
+			ShuffleBytes:   run.Metrics.ShuffleBytes(),
+			SketchBytes:    run.SketchBytes,
+			SampleTuples:   run.SampleTuples,
+			SkewedGroups:   run.SkewedGroups,
+		}}
+	}
+	return cubes, nil
+}
+
+// Stats returns the run's execution statistics.
+func (c *Cube) Stats() Stats { return c.stats }
+
+// NumGroups returns the number of c-groups in the cube.
+func (c *Cube) NumGroups() int { return c.res.Len() }
+
+// Value looks up the aggregate of one c-group. Pass one value per
+// dimension, with "*" for dimensions aggregated away; for example, with
+// dimensions (name, city, year), Value("laptop", "*", "2012") returns the
+// aggregate over all laptop rows of 2012.
+func (c *Cube) Value(vals ...string) (float64, bool) {
+	d := c.rel.NumDims()
+	if len(vals) != d {
+		return 0, false
+	}
+	var mask uint32
+	dims := make([]relation.Value, d)
+	for i, v := range vals {
+		if v == "*" {
+			continue
+		}
+		code, ok := c.code(i, v)
+		if !ok {
+			return 0, false
+		}
+		mask |= 1 << uint(i)
+		dims[i] = code
+	}
+	return c.res.Lookup(lattice.Mask(mask), dims)
+}
+
+// ValueInts is Value for relations populated with AddRowInts; use
+// StarInt for dimensions aggregated away.
+func (c *Cube) ValueInts(vals ...int64) (float64, bool) {
+	d := c.rel.NumDims()
+	if len(vals) != d {
+		return 0, false
+	}
+	var mask uint32
+	dims := make([]relation.Value, d)
+	for i, v := range vals {
+		if v == StarInt {
+			continue
+		}
+		mask |= 1 << uint(i)
+		dims[i] = relation.Value(v)
+	}
+	return c.res.Lookup(lattice.Mask(mask), dims)
+}
+
+// StarInt marks an aggregated-away dimension in ValueInts.
+const StarInt = int64(math.MinInt64)
+
+func (c *Cube) code(col int, v string) (relation.Value, bool) {
+	if c.rel.inner.Dict == nil {
+		return 0, false
+	}
+	return c.rel.inner.Dict.Code(col, v)
+}
+
+// Cuboid returns the groups of the cuboid defined by the given dimension
+// names (in schema order), sorted by their values. Unknown names are an
+// error.
+func (c *Cube) Cuboid(dimNames ...string) ([]Group, error) {
+	d := c.rel.NumDims()
+	names := c.rel.inner.Schema.DimNames
+	var mask lattice.Mask
+	for _, want := range dimNames {
+		found := false
+		for i, have := range names {
+			if have == want {
+				mask |= 1 << uint(i)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("spcube: unknown dimension %q (have %v)", want, names)
+		}
+	}
+	groups := c.res.Cuboid(mask)
+	out := make([]Group, 0, len(groups))
+	for _, g := range groups {
+		dims := make([]string, d)
+		j := 0
+		for i := 0; i < d; i++ {
+			if mask.Has(i) {
+				dims[i] = c.rel.inner.DimString(i, g.Packed[j])
+				j++
+			} else {
+				dims[i] = "*"
+			}
+		}
+		out = append(out, Group{Dims: dims, Value: g.Value})
+	}
+	return out, nil
+}
+
+// Groups calls fn for every c-group in the cube, in an unspecified order.
+func (c *Cube) Groups(fn func(g Group)) {
+	d := c.rel.NumDims()
+	keys := make([]string, 0, c.res.Len())
+	for key := range c.res.Groups {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		mask, packed, err := relation.DecodeGroupKey(key)
+		if err != nil {
+			continue
+		}
+		dims := make([]string, d)
+		j := 0
+		for i := 0; i < d; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				dims[i] = c.rel.inner.DimString(i, packed[j])
+				j++
+			} else {
+				dims[i] = "*"
+			}
+		}
+		fn(Group{Dims: dims, Value: c.res.Groups[key]})
+	}
+}
