@@ -1,0 +1,28 @@
+# Development targets. `make check` mirrors the CI gate.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet race
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -count=1 ./...
+
+race:
+	$(GO) test -race -count=1 ./...
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

@@ -7,6 +7,11 @@
 //	spbench -exp fig6                 # one experiment
 //	spbench -exp all -format csv      # everything, machine readable
 //	spbench -exp fig4 -scale 0.1      # a 10x smaller, faster sweep
+//	spbench -exp fig4 -p 1            # sequential task execution, same numbers
+//
+// The -p flag controls how many goroutines execute the simulated tasks
+// (0 = all cores). Every figure is identical at any parallelism; only the
+// real time to produce it changes.
 package main
 
 import (
@@ -21,13 +26,14 @@ func main() {
 	var (
 		exp     = flag.String("exp", "all", "experiment id: fig4 fig5 fig6 fig7 fig8 balance traffic ablation rounds sketch, or all")
 		workers = flag.Int("k", 20, "simulated cluster size (machines)")
+		par     = flag.Int("p", 0, "goroutines executing simulated tasks: 0 = all cores, 1 = sequential (results are identical at any setting)")
 		seed    = flag.Int64("seed", 2016, "deterministic seed for data generation and sampling")
 		scale   = flag.Float64("scale", 1, "sweep size multiplier (1 = paper scale / 1000)")
 		format  = flag.String("format", "table", "output format: table, csv, or chart")
 	)
 	flag.Parse()
 
-	cfg := bench.Config{Workers: *workers, Seed: *seed, Scale: *scale}
+	cfg := bench.Config{Workers: *workers, Seed: *seed, Scale: *scale, Parallelism: *par}
 	var figs []bench.Figure
 	if *exp == "all" {
 		figs = bench.All(cfg)

@@ -9,6 +9,11 @@
 //
 //	spcube -in sales.csv -agg sum -algo sp-cube -k 8 -o cube.csv
 //	gendata -dataset retail -n 100000 | spcube -agg count
+//	spcube -in sales.csv -p 1         # sequential task execution, same cube
+//
+// The -p flag controls how many goroutines execute the simulated map and
+// reduce tasks (0 = all cores). It changes only real wall-clock time: the
+// cube and all simulated statistics are identical at any parallelism.
 package main
 
 import (
@@ -29,19 +34,20 @@ func main() {
 		aggName = flag.String("agg", "count", "aggregate function: count, sum, min, max, avg, var, stddev, distinct")
 		algName = flag.String("algo", "sp-cube", "algorithm: sp-cube, naive, mr-cube, hive, pipesort")
 		workers = flag.Int("k", 8, "simulated cluster size")
+		par     = flag.Int("p", 0, "goroutines executing simulated tasks: 0 = all cores, 1 = sequential (results are identical at any setting)")
 		seed    = flag.Int64("seed", 1, "sampling seed")
 		minSup  = flag.Int("minsup", 0, "iceberg threshold: only materialize groups with at least this many rows")
 		stats   = flag.Bool("stats", true, "print execution statistics to stderr")
 	)
 	flag.Parse()
 
-	if err := run(*in, *out, *aggName, *algName, *workers, *seed, *minSup, *stats); err != nil {
+	if err := run(*in, *out, *aggName, *algName, *workers, *par, *seed, *minSup, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "spcube:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, aggName, algName string, workers int, seed int64, minSup int, stats bool) error {
+func run(in, out, aggName, algName string, workers, par int, seed int64, minSup int, stats bool) error {
 	aggFn, err := spcube.AggByName(aggName)
 	if err != nil {
 		return err
@@ -69,6 +75,7 @@ func run(in, out, aggName, algName string, workers int, seed int64, minSup int, 
 		spcube.Aggregate(aggFn),
 		spcube.Algorithm(alg),
 		spcube.Workers(workers),
+		spcube.Parallelism(par),
 		spcube.Seed(seed),
 		spcube.MinSupport(minSup),
 	)

@@ -76,51 +76,58 @@ func ComputeOpts(eng *mr.Engine, rel *relation.Relation, spec cube.Spec, opts Op
 		capacity = 16
 	}
 
-	// Map-side aggregation hash. Mappers run sequentially and MapFlush
-	// fires between tasks, so sharing the table is safe.
-	hash := make(map[string]agg.State, capacity)
-	flush := func(ctx *mr.MapCtx) {
+	// Map-side aggregation hash. Map tasks may run in parallel, so each
+	// task owns its table and key buffer through the engine's task state;
+	// MapFlush drains the flushing task's own table.
+	type taskState struct {
+		hash map[string]agg.State
+		kb   []byte
+	}
+	flush := func(ctx *mr.MapCtx, ts *taskState) {
 		// Hive flushes the whole table under memory pressure; emission
 		// order must be deterministic for reproducible runs.
-		keys := make([]string, 0, len(hash))
-		for key := range hash {
+		keys := make([]string, 0, len(ts.hash))
+		for key := range ts.hash {
 			keys = append(keys, key)
 		}
 		sort.Strings(keys)
 		for _, key := range keys {
-			ctx.Emit(key, hash[key].AppendEncode(nil))
+			ctx.Emit(key, ts.hash[key].AppendEncode(nil))
 		}
-		clear(hash)
+		clear(ts.hash)
 	}
 
-	var kb []byte
 	job := &mr.Job{
 		Name: "hive-cube",
+		TaskState: func() any {
+			return &taskState{hash: make(map[string]agg.State, capacity)}
+		},
 		MapTuple: func(ctx *mr.MapCtx, t relation.Tuple) {
+			ts := ctx.State().(*taskState)
 			for mask := lattice.Mask(0); mask <= full; mask++ {
 				// Interpreted operator pipeline: SerDe + object
 				// inspection per grouping-set row, then the hash probe.
 				ctx.ChargeOps(2)
-				kb = relation.EncodeGroupKey(kb, uint32(mask), t.Dims)
-				key := string(kb)
+				ts.kb = relation.EncodeGroupKey(ts.kb, uint32(mask), t.Dims)
+				key := string(ts.kb)
 				if opts.DisableMapAggregation {
 					st := f.NewState()
 					st.Add(t.Measure)
 					ctx.Emit(key, st.AppendEncode(nil))
 					continue
 				}
-				st, ok := hash[key]
+				st, ok := ts.hash[key]
 				if !ok {
-					if len(hash) >= capacity {
-						flush(ctx)
+					if len(ts.hash) >= capacity {
+						flush(ctx, ts)
 					}
 					st = f.NewState()
-					hash[key] = st
+					ts.hash[key] = st
 				}
 				st.Add(t.Measure)
 			}
 		},
-		MapFlush: flush,
+		MapFlush: func(ctx *mr.MapCtx) { flush(ctx, ctx.State().(*taskState)) },
 		Reduce: func(ctx *mr.RedCtx, key string, vals [][]byte) {
 			st := f.NewState()
 			for _, v := range vals {

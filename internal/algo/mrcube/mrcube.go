@@ -25,6 +25,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"github.com/spcube/spcube/internal/agg"
 	"github.com/spcube/spcube/internal/cube"
@@ -162,15 +163,22 @@ func sampleCuboidMax(eng *mr.Engine, rel *relation.Relation, alpha float64, seed
 	for i := range rngs {
 		rngs[i] = rand.New(rand.NewSource(seed*999_983 + int64(i)))
 	}
-	var buf []byte
+	// The RNG streams are already per-task (indexed by ctx.Task); only the
+	// reusable encode buffer needs engine-issued task state. The single
+	// reducer writes maxPerCuboid without contention.
+	type sampleState struct {
+		buf []byte
+	}
 	job := &mr.Job{
 		Name:      "mr-cube-sample",
 		Reducers:  1,
 		Partition: func(string, int) int { return 0 },
+		TaskState: func() any { return new(sampleState) },
 		MapTuple: func(ctx *mr.MapCtx, t relation.Tuple) {
 			if rngs[ctx.Task].Float64() <= alpha {
-				buf = relation.EncodeTuple(buf, t)
-				ctx.Emit("s", append([]byte(nil), buf...))
+				ts := ctx.State().(*sampleState)
+				ts.buf = relation.EncodeTuple(ts.buf, t)
+				ctx.Emit("s", append([]byte(nil), ts.buf...))
 			}
 		},
 		Reduce: func(ctx *mr.RedCtx, key string, vals [][]byte) {
@@ -244,8 +252,15 @@ func materializeRound(
 		computeSet[mask] = true
 	}
 
-	var rr int // round-robin chunk assignment counter (per mapper stream)
-	var kb []byte
+	// Each map task keeps its own round-robin chunk counter and key
+	// buffer (tasks may run in parallel); reducers from different tasks
+	// record sampling failures in oversizedSet under a mutex — set
+	// membership is order-independent, so results stay deterministic.
+	type matState struct {
+		rr int // round-robin chunk assignment counter (per mapper stream)
+		kb []byte
+	}
+	var overMu sync.Mutex
 	oversizedSet := make(map[lattice.Mask]bool)
 
 	job := &mr.Job{
@@ -256,25 +271,27 @@ func materializeRound(
 		// heavyweight stage (calibrated against Figure 4b).
 		MapCPUFactor:    1.15,
 		ReduceCPUFactor: 1.6,
+		TaskState:       func() any { return new(matState) },
 		MapTuple: func(ctx *mr.MapCtx, t relation.Tuple) {
-			rr++
+			ts := ctx.State().(*matState)
+			ts.rr++
 			for _, mask := range compute {
 				ctx.ChargeOps(1)
-				kb = kb[:0]
+				ts.kb = ts.kb[:0]
 				fac := factors[mask]
 				if fac > 1 {
-					kb = append(kb, prefixChunked)
+					ts.kb = append(ts.kb, prefixChunked)
 				} else {
-					kb = append(kb, prefixPlain)
+					ts.kb = append(ts.kb, prefixPlain)
 				}
 				gk := relation.EncodeGroupKey(nil, uint32(mask), t.Dims)
-				kb = append(kb, gk...)
+				ts.kb = append(ts.kb, gk...)
 				if fac > 1 {
-					kb = binary.AppendUvarint(kb, uint64(rr%fac))
+					ts.kb = binary.AppendUvarint(ts.kb, uint64(ts.rr%fac))
 				}
 				st := f.NewState()
 				st.Add(t.Measure)
-				ctx.Emit(string(kb), st.AppendEncode(nil))
+				ctx.Emit(string(ts.kb), st.AppendEncode(nil))
 			}
 		},
 		Combine: func(key string, vals [][]byte) [][]byte {
@@ -317,7 +334,9 @@ func materializeRound(
 				if float64(rawCount) > capacity {
 					mask, _, _, err := relation.ScanGroupKey([]byte(gk))
 					if err == nil {
+						overMu.Lock()
 						oversizedSet[lattice.Mask(mask)] = true
+						overMu.Unlock()
 						return // aborted: recomputed next round
 					}
 				}

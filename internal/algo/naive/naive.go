@@ -26,15 +26,21 @@ func Compute(eng *mr.Engine, rel *relation.Relation, spec cube.Spec) (*cube.Run,
 	f, minSup := spec.Effective()
 	full := lattice.Full(d)
 
-	var valBuf []byte
+	// Per-task scratch: map tasks may run in parallel, so the reusable
+	// encode buffer lives in engine-issued task state.
+	type taskState struct {
+		valBuf []byte
+	}
 	job := &mr.Job{
-		Name: "naive-cube",
+		Name:      "naive-cube",
+		TaskState: func() any { return new(taskState) },
 		MapTuple: func(ctx *mr.MapCtx, t relation.Tuple) {
+			st := ctx.State().(*taskState)
 			for mask := lattice.Mask(0); mask <= full; mask++ {
 				ctx.ChargeOps(1)
 				key := relation.GroupKey(uint32(mask), t.Dims)
-				valBuf = encodeMeasure(valBuf, t.Measure)
-				ctx.Emit(key, append([]byte(nil), valBuf...))
+				st.valBuf = encodeMeasure(st.valBuf, t.Measure)
+				ctx.Emit(key, append([]byte(nil), st.valBuf...))
 			}
 		},
 		Reduce: func(ctx *mr.RedCtx, key string, vals [][]byte) {

@@ -40,17 +40,23 @@ func Compute(eng *mr.Engine, rel *relation.Relation, spec cube.Spec) (*cube.Run,
 	full := lattice.Full(d)
 
 	// Round 0: the top cuboid (all attributes) from the raw relation.
-	var kb []byte
+	// The reusable key buffer is per-task state: map tasks may run in
+	// parallel.
+	type taskState struct {
+		kb []byte
+	}
 	top := &mr.Job{
 		Name:          "pipesort-l" + itoa(d),
 		CollectOutput: true,
 		OutputPrefix:  run.OutputPrefix,
+		TaskState:     func() any { return new(taskState) },
 		MapTuple: func(ctx *mr.MapCtx, t relation.Tuple) {
+			ts := ctx.State().(*taskState)
 			ctx.ChargeOps(1)
-			kb = relation.EncodeGroupKey(kb, uint32(full), t.Dims)
+			ts.kb = relation.EncodeGroupKey(ts.kb, uint32(full), t.Dims)
 			st := f.NewState()
 			st.Add(t.Measure)
-			ctx.Emit(string(kb), st.AppendEncode(nil))
+			ctx.Emit(string(ts.kb), st.AppendEncode(nil))
 		},
 		Combine: combine(f),
 		Reduce:  reduceLevel(f, minSup, d > 0),

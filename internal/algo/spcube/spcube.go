@@ -139,32 +139,45 @@ func runCubeRound(eng *mr.Engine, rel *relation.Relation, spec cube.Spec, sk *sk
 		return sk.IsSkewed(mask, packed)
 	}
 
-	// Mapper state. Map tasks run sequentially, and MapFlush fires at the
-	// end of each task, so the shared state is reset between tasks.
-	marks := lattice.NewMarks(d)
-	skewAgg := make(map[string]agg.State)
-	var valBuf []byte
-	var packBuf []relation.Value
+	// Per-task state: tasks of a round may run in parallel, so each map
+	// task owns its marks/partial-aggregate table/buffers and each reduce
+	// task its subset-BFS cache.
+	type taskState struct {
+		marks   *lattice.Marks
+		skewAgg map[string]agg.State
+		valBuf  []byte
+		packBuf []relation.Value
+		// subsetsBFS caches subset BFS orders per mask (reduce side).
+		subsetsBFS [][]lattice.Mask
+	}
+	taskStateFn := func() any {
+		return &taskState{
+			marks:      lattice.NewMarks(d),
+			skewAgg:    make(map[string]agg.State),
+			subsetsBFS: make([][]lattice.Mask, 1<<uint(d)),
+		}
+	}
 
 	mapTuple := func(ctx *mr.MapCtx, t relation.Tuple) {
-		marks.Reset()
+		ts := ctx.State().(*taskState)
+		ts.marks.Reset()
 		for _, mask := range bfs {
-			if marks.Marked(mask) {
+			if ts.marks.Marked(mask) {
 				continue
 			}
 			ctx.ChargeOps(1)
-			packBuf = relation.ProjectInto(packBuf, t.Dims, uint32(mask))
-			if isSkewed(mask, packBuf) {
+			ts.packBuf = relation.ProjectInto(ts.packBuf, t.Dims, uint32(mask))
+			if isSkewed(mask, ts.packBuf) {
 				// Partial aggregation of a skewed c-group in the mapper
 				// (Algorithm 3, lines 6-8).
 				key := string(append([]byte{prefixSkew}, relation.EncodeGroupKey(nil, uint32(mask), t.Dims)...))
-				st, ok := skewAgg[key]
+				st, ok := ts.skewAgg[key]
 				if !ok {
 					st = f.NewState()
-					skewAgg[key] = st
+					ts.skewAgg[key] = st
 				}
 				st.Add(t.Measure)
-				marks.Mark(mask)
+				ts.marks.Mark(mask)
 				continue
 			}
 			// Non-skewed: send the tuple to the range partition of this
@@ -172,13 +185,13 @@ func runCubeRound(eng *mr.Engine, rel *relation.Relation, spec cube.Spec, sk *sk
 			// (Algorithm 3, lines 9-12).
 			key := string(append([]byte{prefixGroup}, relation.EncodeGroupKey(nil, uint32(mask), t.Dims)...))
 			if opts.DisableFactorization {
-				valBuf = encodeMeasure(valBuf, t.Measure)
-				ctx.Emit(key, append([]byte(nil), valBuf...))
-				marks.Mark(mask)
+				ts.valBuf = encodeMeasure(ts.valBuf, t.Measure)
+				ctx.Emit(key, append([]byte(nil), ts.valBuf...))
+				ts.marks.Mark(mask)
 			} else {
-				valBuf = relation.EncodeTuple(valBuf, t)
-				ctx.Emit(key, append([]byte(nil), valBuf...))
-				marks.MarkSupersetsIncl(mask)
+				ts.valBuf = relation.EncodeTuple(ts.valBuf, t)
+				ctx.Emit(key, append([]byte(nil), ts.valBuf...))
+				ts.marks.MarkSupersetsIncl(mask)
 			}
 		}
 	}
@@ -186,15 +199,16 @@ func runCubeRound(eng *mr.Engine, rel *relation.Relation, spec cube.Spec, sk *sk
 	mapFlush := func(ctx *mr.MapCtx) {
 		// Ship the mapper's partial aggregates of skewed c-groups to the
 		// skew reducer (Algorithm 3, lines 16-20). Sorted for determinism.
-		keys := make([]string, 0, len(skewAgg))
-		for key := range skewAgg {
+		ts := ctx.State().(*taskState)
+		keys := make([]string, 0, len(ts.skewAgg))
+		for key := range ts.skewAgg {
 			keys = append(keys, key)
 		}
 		sort.Strings(keys)
 		for _, key := range keys {
-			ctx.Emit(key, skewAgg[key].AppendEncode(nil))
+			ctx.Emit(key, ts.skewAgg[key].AppendEncode(nil))
 		}
-		clear(skewAgg)
+		clear(ts.skewAgg)
 	}
 
 	partition := func(key string, reducers int) int {
@@ -213,13 +227,13 @@ func runCubeRound(eng *mr.Engine, rel *relation.Relation, spec cube.Spec, sk *sk
 
 	// Ownership rule for reducers: node A (with representative dims)
 	// belongs to base group M iff M is the BFS-minimal non-skewed subset
-	// of A. Subset BFS orders are cached per mask.
-	subsetsBFS := make([][]lattice.Mask, 1<<uint(d))
-	ownerIs := func(base, a lattice.Mask, dims []relation.Value, scratch *[]relation.Value) bool {
-		subs := subsetsBFS[a]
+	// of A. Subset BFS orders are cached per mask in the reduce task's
+	// private state.
+	ownerIs := func(cache [][]lattice.Mask, base, a lattice.Mask, dims []relation.Value, scratch *[]relation.Value) bool {
+		subs := cache[a]
 		if subs == nil {
 			subs = lattice.SubsetsBFS(a)
-			subsetsBFS[a] = subs
+			cache[a] = subs
 		}
 		for _, m := range subs {
 			*scratch = relation.ProjectInto(*scratch, dims, uint32(m))
@@ -275,6 +289,7 @@ func runCubeRound(eng *mr.Engine, rel *relation.Relation, spec cube.Spec, sk *sk
 			// Factorized processing: rebuild set(g) and compute every
 			// ancestor group owned by g with local BUC (Algorithm 3,
 			// line 30).
+			cache := ctx.State().(*taskState).subsetsBFS
 			tuples := make([]relation.Tuple, 0, len(vals))
 			for _, v := range vals {
 				t, err := relation.DecodeTuple(v, d)
@@ -291,7 +306,7 @@ func runCubeRound(eng *mr.Engine, rel *relation.Relation, spec cube.Spec, sk *sk
 			var out []byte
 			touches := buc.ComputeFrom(tuples, d, base, f, minSup,
 				func(mask lattice.Mask, dims []relation.Value) buc.Decision {
-					if ownerIs(base, mask, dims, &scratch) {
+					if ownerIs(cache, base, mask, dims, &scratch) {
 						return buc.Emit
 					}
 					return buc.Prune
@@ -307,6 +322,7 @@ func runCubeRound(eng *mr.Engine, rel *relation.Relation, spec cube.Spec, sk *sk
 	job := &mr.Job{
 		Name:         "sp-cube",
 		Reducers:     k + 1,
+		TaskState:    taskStateFn,
 		MapTuple:     mapTuple,
 		MapFlush:     mapFlush,
 		Partition:    partition,

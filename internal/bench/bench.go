@@ -38,6 +38,10 @@ type Config struct {
 	// Scale multiplies every sweep's tuple counts (1 = defaults; tests
 	// use small fractions).
 	Scale float64
+	// Parallelism is the number of goroutines executing each round's
+	// tasks (0 = all cores, 1 = sequential). Results are identical at
+	// any setting; only real wall-clock changes.
+	Parallelism int
 }
 
 func (c *Config) defaults() {
@@ -108,7 +112,7 @@ func paperAlgos(seed int64) []algo {
 
 // runOne executes one algorithm on one relation with a fresh engine.
 func runOne(cfg Config, a algo, rel *relation.Relation) measures {
-	eng := mr.New(mr.Config{Workers: cfg.Workers, Seed: uint64(cfg.Seed)}, nil)
+	eng := mr.New(mr.Config{Workers: cfg.Workers, Seed: uint64(cfg.Seed), Parallelism: cfg.Parallelism}, nil)
 	run, err := a.fn(eng, rel, cube.Spec{Agg: agg.Count})
 	var ms measures
 	if run != nil {
@@ -413,7 +417,7 @@ func Rounds(cfg Config) []Figure {
 		sr := Series{Name: a.name}
 		for _, d := range []int{2, 3, 4, 5, 6} {
 			rel := data.Uniform(n, d, 1000, cfg.Seed)
-			eng := mr.New(mr.Config{Workers: cfg.Workers, Seed: uint64(cfg.Seed)}, nil)
+			eng := mr.New(mr.Config{Workers: cfg.Workers, Seed: uint64(cfg.Seed), Parallelism: cfg.Parallelism}, nil)
 			run, err := a.fn(eng, rel, cube.Spec{Agg: agg.Count})
 			if err != nil {
 				st.Points = append(st.Points, Point{X: float64(d), DNF: true})

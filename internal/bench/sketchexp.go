@@ -34,7 +34,7 @@ func SketchQuality(cfg Config) []Figure {
 	for _, x := range sizes {
 		n := int(x)
 		rel := data.WikiTraffic(n, cfg.Seed)
-		eng := mr.New(mr.Config{Workers: cfg.Workers, Seed: uint64(cfg.Seed)}, nil)
+		eng := mr.New(mr.Config{Workers: cfg.Workers, Seed: uint64(cfg.Seed), Parallelism: cfg.Parallelism}, nil)
 		built, err := sketch.Build(eng, rel, cfg.Seed)
 		if err != nil {
 			continue

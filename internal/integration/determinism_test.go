@@ -1,0 +1,97 @@
+package integration
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/spcube/spcube/internal/agg"
+	"github.com/spcube/spcube/internal/cube"
+	"github.com/spcube/spcube/internal/data"
+	"github.com/spcube/spcube/internal/dfs"
+	"github.com/spcube/spcube/internal/mr"
+	"github.com/spcube/spcube/internal/relation"
+)
+
+// zeroWall strips the real wall-clock fields — the only quantities the
+// determinism guarantee excludes — so the rest of the metrics can be
+// compared with DeepEqual.
+func zeroWall(m mr.JobMetrics) mr.JobMetrics {
+	out := mr.JobMetrics{Rounds: append([]mr.RoundMetrics(nil), m.Rounds...)}
+	for i := range out.Rounds {
+		r := &out.Rounds[i]
+		r.WallSeconds = 0
+		r.Mappers = append([]mr.TaskMetrics(nil), r.Mappers...)
+		r.Reducers = append([]mr.TaskMetrics(nil), r.Reducers...)
+		for j := range r.Mappers {
+			r.Mappers[j].WallSeconds = 0
+		}
+		for j := range r.Reducers {
+			r.Reducers[j].WallSeconds = 0
+		}
+	}
+	return out
+}
+
+type detRun struct {
+	res      *cube.Result
+	metrics  mr.JobMetrics
+	sim      float64
+	checksum uint64
+	records  int64
+}
+
+func runDeterminism(t *testing.T, fn cube.ComputeFunc, rel *relation.Relation, parallelism int) detRun {
+	t.Helper()
+	eng := mr.New(mr.Config{Workers: 6, Seed: 42, Parallelism: parallelism}, dfs.New(false))
+	run, err := fn(eng, rel, cube.Spec{Agg: agg.Count})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cube.CollectDFS(eng, run.OutputPrefix, rel.D())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return detRun{
+		res:      res,
+		metrics:  zeroWall(run.Metrics),
+		sim:      run.Metrics.SimSeconds(),
+		checksum: eng.FS.TotalChecksum(run.OutputPrefix),
+		records:  eng.FS.TotalRecords(run.OutputPrefix),
+	}
+}
+
+// TestParallelismDeterminism is the cross-algorithm determinism table: every
+// algorithm, on a skewed and a uniform workload, must produce bit-for-bit
+// identical cube output, identical round metrics, and identical simulated
+// seconds at parallelism 1 and parallelism 8.
+func TestParallelismDeterminism(t *testing.T) {
+	detWorkloads := []struct {
+		name string
+		rel  *relation.Relation
+	}{
+		{"skewed", data.GenBinomial(800, 4, 0.4, 31)},
+		{"uniform", data.Uniform(800, 3, 9, 32)},
+	}
+	for _, w := range detWorkloads {
+		for _, a := range allAlgorithms {
+			t.Run(w.name+"/"+a.name, func(t *testing.T) {
+				seq := runDeterminism(t, a.fn, w.rel, 1)
+				par := runDeterminism(t, a.fn, w.rel, 8)
+				if ok, diff := seq.res.Equal(par.res); !ok {
+					t.Errorf("cube output differs: %s", diff)
+				}
+				if seq.checksum != par.checksum || seq.records != par.records {
+					t.Errorf("DFS output differs: checksum %x/%d records vs %x/%d records",
+						seq.checksum, seq.records, par.checksum, par.records)
+				}
+				if seq.sim != par.sim {
+					t.Errorf("simulated seconds differ: %v vs %v", seq.sim, par.sim)
+				}
+				if !reflect.DeepEqual(seq.metrics, par.metrics) {
+					t.Errorf("round metrics differ:\nsequential: %+v\nparallel:   %+v",
+						seq.metrics, par.metrics)
+				}
+			})
+		}
+	}
+}

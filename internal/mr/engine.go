@@ -5,18 +5,27 @@
 // simulates skew-induced spill I/O and out-of-memory failures, and converts
 // the accounting into simulated wall-clock time through a CostModel.
 //
-// Tasks execute sequentially, by design: the simulated parallel makespan is
-// reconstructed from the per-task accounting (max over tasks plus shuffle),
-// runs are bit-for-bit reproducible, and map/reduce closures may keep
-// cheap per-task scratch state without synchronization — the property the
-// algorithm implementations rely on for their reusable buffers and
-// mapper-local aggregation tables.
+// Tasks within a round are independent — the cluster model's map and reduce
+// tasks share nothing until the shuffle barrier — and the engine exploits
+// that: Config.Parallelism runs a round's map tasks, and then its reduce
+// tasks, on a goroutine worker pool. Every task accumulates its own
+// TaskMetrics, shuffle buckets and collected output, and the engine merges
+// them in task-index order after each barrier, so runs are bit-for-bit
+// identical at any parallelism level (Parallelism 1 degenerates to a plain
+// sequential loop). The one obligation this puts on jobs is task isolation:
+// map/reduce closures must not mutate shared captured state; per-task
+// scratch (reusable buffers, mapper-local aggregation tables) belongs in
+// Job.TaskState, which hands each task a private value reachable through
+// MapCtx.State/RedCtx.State.
 package mr
 
 import (
 	"fmt"
 	"hash/fnv"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/spcube/spcube/internal/dfs"
@@ -61,6 +70,11 @@ type Config struct {
 	OOMFactor float64
 	// Seed namespaces hash partitioning so runs are reproducible.
 	Seed uint64
+	// Parallelism is the number of goroutines executing a round's tasks:
+	// 0 defaults to runtime.GOMAXPROCS(0), 1 runs tasks sequentially.
+	// Results — output, metrics, simulated time — are bit-for-bit
+	// identical at every setting; only real wall-clock changes.
+	Parallelism int
 }
 
 // Job describes one MapReduce round. Exactly one of MapTuple and MapPair
@@ -88,6 +102,14 @@ type Job struct {
 	Partition func(key string, reducers int) int
 
 	Reduce func(ctx *RedCtx, key string, vals [][]byte)
+
+	// TaskState, when set, is called once per map task and once per reduce
+	// task to create that task's private scratch state, reachable through
+	// MapCtx.State/RedCtx.State. Tasks of a round may run concurrently
+	// (Config.Parallelism), so reusable buffers and task-local aggregation
+	// tables must live here rather than in variables captured by the
+	// map/reduce closures.
+	TaskState func() any
 
 	// MapCPUFactor and ReduceCPUFactor scale the tasks' CPU charges,
 	// modelling per-framework operator efficiency (e.g. Pig's reduce-side
@@ -132,6 +154,9 @@ func New(cfg Config, fs *dfs.FS) *Engine {
 	if cfg.OOMFactor <= 0 {
 		cfg.OOMFactor = 48
 	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	if cfg.Cost == (CostModel{}) {
 		cfg.Cost = DefaultCost()
 	}
@@ -159,8 +184,13 @@ type MapCtx struct {
 	job     *Job
 	eng     *Engine
 	out     []Pair
+	state   any
 	metrics TaskMetrics
 }
+
+// State returns the task-private state created by Job.TaskState, or nil
+// when the job has no TaskState hook.
+func (c *MapCtx) State() any { return c.state }
 
 // Emit sends a key/value record to the shuffle.
 func (c *MapCtx) Emit(key string, val []byte) {
@@ -187,10 +217,15 @@ type RedCtx struct {
 	eng      *Engine
 	file     string
 	sideFile string
-	collect  *[]Pair
+	collect  []Pair
+	state    any
 	metrics  *TaskMetrics
 	scratch  []byte
 }
+
+// State returns the task-private state created by Job.TaskState, or nil
+// when the job has no TaskState hook.
+func (c *RedCtx) State() any { return c.state }
 
 // EmitKV writes one output record (an encoded key/value) to the reducer's
 // DFS output file.
@@ -219,7 +254,7 @@ func (c *RedCtx) EmitSide(key string, val []byte) {
 	c.scratch = append(c.scratch, val...)
 	c.eng.FS.Append(c.sideFile, c.scratch)
 	if c.job.CollectOutput {
-		*c.collect = append(*c.collect, Pair{Key: key, Val: append([]byte(nil), val...)})
+		c.collect = append(c.collect, Pair{Key: key, Val: append([]byte(nil), val...)})
 	}
 }
 
@@ -303,11 +338,18 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 
 	start := time.Now()
 
-	// Map phase.
-	buckets := make([][]Pair, reducers)
-	for task := 0; task < e.Cfg.Workers; task++ {
+	// Map phase. Tasks run on the worker pool; each partitions its own
+	// output into private per-reducer buckets, and the shuffle merges them
+	// in task-index order below, so bucket contents are independent of
+	// task scheduling.
+	taskBuckets := make([][][]Pair, e.Cfg.Workers)
+	mapErrs := make([]error, e.Cfg.Workers)
+	e.forEachTask(e.Cfg.Workers, func(task int) {
 		tstart := time.Now()
 		ctx := &MapCtx{Task: task, job: job, eng: e}
+		if job.TaskState != nil {
+			ctx.state = job.TaskState()
+		}
 		feed(task, ctx)
 		if job.MapFlush != nil {
 			job.MapFlush(ctx)
@@ -317,12 +359,14 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 			out = e.combine(job, ctx, out)
 		}
 		ctx.metrics.OutRecords = int64(len(out))
+		buckets := make([][]Pair, reducers)
 		for i := range out {
 			b := pairBytes(out[i].Key, out[i].Val)
 			ctx.metrics.OutBytes += b
 			r := partition(out[i].Key, reducers)
 			if r < 0 || r >= reducers {
-				return nil, fmt.Errorf("mr: job %s: partition(%q) = %d out of range [0,%d)", job.Name, out[i].Key, r, reducers)
+				mapErrs[task] = fmt.Errorf("mr: job %s: partition(%q) = %d out of range [0,%d)", job.Name, out[i].Key, r, reducers)
+				return
 			}
 			buckets[r] = append(buckets[r], out[i])
 		}
@@ -331,13 +375,44 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 		}
 		ctx.metrics.WallSeconds = time.Since(tstart).Seconds()
 		rm.Mappers[task] = ctx.metrics
-		rm.ShuffleRecords += ctx.metrics.OutRecords
-		rm.ShuffleBytes += ctx.metrics.OutBytes
+		taskBuckets[task] = buckets
+	})
+	for task := 0; task < e.Cfg.Workers; task++ {
+		if mapErrs[task] != nil {
+			return nil, mapErrs[task]
+		}
+		rm.ShuffleRecords += rm.Mappers[task].OutRecords
+		rm.ShuffleBytes += rm.Mappers[task].OutBytes
 	}
 
-	// Reduce phase.
+	// Shuffle barrier: reducer r receives task 0's pairs, then task 1's,
+	// ... — the same order the sequential engine produced.
+	buckets := make([][]Pair, reducers)
+	for r := 0; r < reducers; r++ {
+		for task := 0; task < e.Cfg.Workers; task++ {
+			buckets[r] = append(buckets[r], taskBuckets[task][r]...)
+		}
+	}
+
+	inflation := job.MemInflation
+	if inflation <= 0 {
+		inflation = 1
+	}
+
+	// Reduce input accounting and memory-pressure checks run up front, in
+	// task order: they depend only on the shuffled buckets, and doing them
+	// before the pool starts reproduces the sequential engine's
+	// first-failure semantics exactly (reducers past the first OOM never
+	// run and keep zero metrics).
+	//
+	// Memory pressure is checked in records (one record ≈ one tuple or
+	// partial state), making the model independent of encoding sizes. A
+	// reducer whose inflation-adjusted input exceeds OOMFactor memory-fuls
+	// dies when the job opts into hard failure (the Hive model); others
+	// absorb oversized *groups* as external aggregation I/O below.
+	runTasks := reducers
+	var failErr error
 	for task := 0; task < reducers; task++ {
-		tstart := time.Now()
 		tm := &rm.Reducers[task]
 		in := buckets[task]
 		for i := range in {
@@ -345,26 +420,24 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 			tm.InBytes += pairBytes(in[i].Key, in[i].Val)
 		}
 		tm.CPUSeconds += float64(tm.InRecords) * e.Cfg.Cost.ReduceCPUPerRecord
-
-		inflation := job.MemInflation
-		if inflation <= 0 {
-			inflation = 1
-		}
-		// Memory pressure is checked in records (one record ≈ one tuple
-		// or partial state), making the model independent of encoding
-		// sizes. A reducer whose inflation-adjusted input exceeds
-		// OOMFactor memory-fuls dies when the job opts into hard failure
-		// (the Hive model); others absorb oversized *groups* as external
-		// aggregation I/O below.
 		if float64(tm.InRecords)*inflation > e.Cfg.OOMFactor*oomMem && job.FailOnReducerOOM {
 			rm.Failed = true
 			rm.FailReason = fmt.Sprintf("reducer %d out of memory: %d input records (×%.0f inflation) exceed %.0f×m (m=%d tuples)",
 				task, tm.InRecords, inflation, e.Cfg.OOMFactor, memTuples)
-			rm.finalize(e.Cfg.Cost)
-			rm.WallSeconds = time.Since(start).Seconds()
-			return res, fmt.Errorf("mr: job %s: %s", job.Name, rm.FailReason)
+			failErr = fmt.Errorf("mr: job %s: %s", job.Name, rm.FailReason)
+			runTasks = task
+			break
 		}
+	}
 
+	// Reduce phase: tasks before the first failure (all of them on the
+	// usual error-free path) run on the worker pool, each collecting side
+	// output privately; the merge below restores task order.
+	taskCollect := make([][]Pair, runTasks)
+	e.forEachTask(runTasks, func(task int) {
+		tstart := time.Now()
+		tm := &rm.Reducers[task]
+		in := buckets[task]
 		// Group by key (Hadoop sorts each reducer's input).
 		sort.SliceStable(in, func(a, b int) bool { return in[a].Key < in[b].Key })
 		ctx := &RedCtx{
@@ -373,8 +446,10 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 			eng:      e,
 			file:     fmt.Sprintf("%spart-r-%05d", outPrefix, task),
 			sideFile: fmt.Sprintf("side/%s/part-r-%05d", job.Name, task),
-			collect:  &res.Output,
 			metrics:  tm,
+		}
+		if job.TaskState != nil {
+			ctx.state = job.TaskState()
 		}
 		vals := make([][]byte, 0, 16)
 		var spillRecords float64
@@ -413,13 +488,52 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 			tm.CPUSeconds += float64(tm.SpillBytes) * e.Cfg.Cost.SpillPasses / e.Cfg.Cost.DiskBytesPerSec
 		}
 		tm.WallSeconds = time.Since(tstart).Seconds()
-		rm.OutputRecords += tm.OutRecords
-		rm.OutputBytes += tm.OutBytes
+		taskCollect[task] = ctx.collect
+	})
+	for task := 0; task < runTasks; task++ {
+		rm.OutputRecords += rm.Reducers[task].OutRecords
+		rm.OutputBytes += rm.Reducers[task].OutBytes
+		res.Output = append(res.Output, taskCollect[task]...)
 	}
 
 	rm.finalize(e.Cfg.Cost)
 	rm.WallSeconds = time.Since(start).Seconds()
+	if failErr != nil {
+		return res, failErr
+	}
 	return res, nil
+}
+
+// forEachTask runs fn(task) for every task in [0, n), on min(Parallelism,
+// n) pool goroutines; Parallelism 1 degenerates to a plain in-order loop.
+// It returns after all tasks complete (the phase barrier).
+func (e *Engine) forEachTask(n int, fn func(task int)) {
+	par := e.Cfg.Parallelism
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for task := 0; task < n; task++ {
+			fn(task)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				task := int(next.Add(1)) - 1
+				if task >= n {
+					return
+				}
+				fn(task)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // combine groups one mapper's buffered output by key and applies the

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"github.com/spcube/spcube/internal/dfs"
@@ -24,8 +25,10 @@ func tuplesFromWords(words []string) ([]relation.Tuple, map[string]int32) {
 	return tuples, dict
 }
 
-// wordCountJob counts occurrences of each word code.
+// wordCountJob counts occurrences of each word code. The shared counts map
+// is guarded: reduce tasks may run concurrently.
 func wordCountJob(counts map[string]int64) *Job {
+	var mu sync.Mutex
 	return &Job{
 		Name: "wordcount",
 		MapTuple: func(ctx *MapCtx, t relation.Tuple) {
@@ -33,7 +36,9 @@ func wordCountJob(counts map[string]int64) *Job {
 			ctx.Emit(key, []byte{1})
 		},
 		Reduce: func(ctx *RedCtx, key string, vals [][]byte) {
+			mu.Lock()
 			counts[key] += int64(len(vals))
+			mu.Unlock()
 			ctx.EmitKV(key, binary.AppendVarint(nil, int64(len(vals))))
 		},
 	}
@@ -67,13 +72,16 @@ func TestCombinerReducesShuffle(t *testing.T) {
 	tuples, _ := tuplesFromWords(words)
 	run := func(withCombiner bool) int64 {
 		counts := make(map[string]int64)
+		var mu sync.Mutex
 		job := wordCountJob(counts)
 		job.Reduce = func(ctx *RedCtx, key string, vals [][]byte) {
 			var total int64
 			for _, v := range vals {
 				total += int64(v[0])
 			}
+			mu.Lock()
 			counts[key] += total
+			mu.Unlock()
 			ctx.EmitKV(key, binary.AppendVarint(nil, total))
 		}
 		if withCombiner {
@@ -215,6 +223,7 @@ func TestRunPairsChaining(t *testing.T) {
 		t.Fatal("no side output collected")
 	}
 	got := make(map[string]int)
+	var mu sync.Mutex
 	second := &Job{
 		Name:    "r2",
 		MapPair: func(ctx *MapCtx, key string, val []byte) { ctx.Emit(key, val) },
@@ -223,7 +232,9 @@ func TestRunPairsChaining(t *testing.T) {
 			for _, v := range vals {
 				total += int(v[0])
 			}
+			mu.Lock()
 			got[key] = total
+			mu.Unlock()
 		},
 	}
 	if _, err := eng.RunPairs(second, res1.Output); err != nil {

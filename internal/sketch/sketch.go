@@ -284,16 +284,21 @@ func Build(eng *mr.Engine, rel *relation.Relation, seed int64) (*BuildResult, er
 	}
 
 	// Per-mapper deterministic sampling: the RNG stream is a function of
-	// the experiment seed and the map task id.
+	// the experiment seed and the map task id. The encode buffer is
+	// engine-issued task state, since map tasks may run in parallel.
 	rngs := make([]*rand.Rand, k)
 	for i := range rngs {
 		rngs[i] = rand.New(rand.NewSource(seed*1_000_003 + int64(i)))
 	}
-	var buf []byte
+	type taskState struct {
+		buf []byte
+	}
+	job.TaskState = func() any { return new(taskState) }
 	job.MapTuple = func(ctx *mr.MapCtx, t relation.Tuple) {
 		if rngs[ctx.Task].Float64() <= alpha {
-			buf = relation.EncodeTuple(buf, t)
-			ctx.Emit("s", append([]byte(nil), buf...))
+			ts := ctx.State().(*taskState)
+			ts.buf = relation.EncodeTuple(ts.buf, t)
+			ctx.Emit("s", append([]byte(nil), ts.buf...))
 		}
 	}
 

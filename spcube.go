@@ -176,12 +176,13 @@ func AlgByName(name string) (Alg, error) {
 }
 
 type config struct {
-	workers int
-	memory  int
-	aggFn   agg.Func
-	alg     Alg
-	seed    int64
-	minSup  int
+	workers     int
+	memory      int
+	aggFn       agg.Func
+	alg         Alg
+	seed        int64
+	minSup      int
+	parallelism int
 }
 
 // Option configures Compute.
@@ -207,6 +208,12 @@ func Seed(s int64) Option { return func(c *config) { c.seed = s } }
 // contributing rows are materialized. The default (and any value below 2)
 // materializes the full cube.
 func MinSupport(n int) Option { return func(c *config) { c.minSup = n } }
+
+// Parallelism sets the number of goroutines executing each round's simulated
+// tasks: 0 (the default) uses all cores, 1 runs them sequentially. The
+// computed cube and all simulated statistics are identical at any setting;
+// only real wall-clock time changes.
+func Parallelism(n int) Option { return func(c *config) { c.parallelism = n } }
 
 // Stats summarizes a computation's execution on the simulated cluster.
 type Stats struct {
@@ -261,9 +268,10 @@ func Compute(rel *Relation, opts ...Option) (*Cube, error) {
 	}
 
 	eng := mr.New(mr.Config{
-		Workers:   cfg.workers,
-		MemTuples: cfg.memory,
-		Seed:      uint64(cfg.seed),
+		Workers:     cfg.workers,
+		MemTuples:   cfg.memory,
+		Seed:        uint64(cfg.seed),
+		Parallelism: cfg.parallelism,
 	}, dfs.New(false))
 	spec := cube.Spec{Agg: cfg.aggFn, MinSup: cfg.minSup}
 
@@ -324,9 +332,10 @@ func ComputeSet(rel *Relation, aggs []Agg, opts ...Option) ([]*Cube, error) {
 		return nil, errors.New("spcube: ComputeSet needs at least one aggregate")
 	}
 	eng := mr.New(mr.Config{
-		Workers:   cfg.workers,
-		MemTuples: cfg.memory,
-		Seed:      uint64(cfg.seed),
+		Workers:     cfg.workers,
+		MemTuples:   cfg.memory,
+		Seed:        uint64(cfg.seed),
+		Parallelism: cfg.parallelism,
 	}, dfs.New(false))
 	specs := make([]cube.Spec, len(aggs))
 	for i, a := range aggs {
