@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race retry-race fuzz-smoke bench
 
-check: fmt vet race
+check: fmt vet race fuzz-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -23,6 +23,16 @@ test:
 
 race:
 	$(GO) test -race -count=1 ./...
+
+# The fault-injection/retry gate: every fault and differential-oracle
+# test, twice, under the race detector.
+retry-race:
+	$(GO) test -race -count=2 -run 'Fault|Differential' ./...
+
+# Short fuzz of the cube-equivalence oracle (relation shape x fault
+# coordinate vs brute force).
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzCubeEquivalence -fuzztime=10s ./internal/integration
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

@@ -11,7 +11,11 @@
 //
 // The -p flag controls how many goroutines execute the simulated tasks
 // (0 = all cores). Every figure is identical at any parallelism; only the
-// real time to produce it changes.
+// real time to produce it changes. Likewise -faults injects deterministic
+// task failures (see mr.ParseFaultPlan for the spec syntax) that the
+// engine's retry layer must recover from without changing a single figure:
+//
+//	spbench -exp fig6 -faults '*:map:*:crash' # same figures, every map task retried
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"os"
 
 	"github.com/spcube/spcube/internal/bench"
+	"github.com/spcube/spcube/internal/mr"
 )
 
 func main() {
@@ -30,10 +35,18 @@ func main() {
 		seed    = flag.Int64("seed", 2016, "deterministic seed for data generation and sampling")
 		scale   = flag.Float64("scale", 1, "sweep size multiplier (1 = paper scale / 1000)")
 		format  = flag.String("format", "table", "output format: table, csv, or chart")
+		faults  = flag.String("faults", "", "fault-injection spec: round:phase:task:kind[:attempt[:count]], comma-separated (figures are identical to a fault-free run)")
+		maxAtt  = flag.Int("max-attempts", 0, "task attempts before an injected failure becomes permanent (0 = engine default, 4)")
 	)
 	flag.Parse()
 
-	cfg := bench.Config{Workers: *workers, Seed: *seed, Scale: *scale, Parallelism: *par}
+	plan, err := mr.ParseFaultPlan(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := bench.Config{Workers: *workers, Seed: *seed, Scale: *scale, Parallelism: *par,
+		Faults: plan, MaxAttempts: *maxAtt}
 	var figs []bench.Figure
 	if *exp == "all" {
 		figs = bench.All(cfg)
@@ -46,7 +59,6 @@ func main() {
 		}
 	}
 
-	var err error
 	switch *format {
 	case "table":
 		err = bench.Render(os.Stdout, figs)

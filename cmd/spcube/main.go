@@ -14,6 +14,14 @@
 // The -p flag controls how many goroutines execute the simulated map and
 // reduce tasks (0 = all cores). It changes only real wall-clock time: the
 // cube and all simulated statistics are identical at any parallelism.
+//
+// The -faults flag injects deterministic task failures into the simulated
+// cluster (spec: round:phase:task:kind[:attempt[:count]], comma-separated,
+// "*" wildcards; kinds: crash, mid-emit, slow, oom). Failed tasks are
+// re-executed up to -max-attempts times; the cube and every statistic except
+// the retry counters are identical to a fault-free run:
+//
+//	spcube -in sales.csv -faults '*:map:*:crash' # every map task retried once
 package main
 
 import (
@@ -38,16 +46,18 @@ func main() {
 		seed    = flag.Int64("seed", 1, "sampling seed")
 		minSup  = flag.Int("minsup", 0, "iceberg threshold: only materialize groups with at least this many rows")
 		stats   = flag.Bool("stats", true, "print execution statistics to stderr")
+		faults  = flag.String("faults", "", "fault-injection spec: round:phase:task:kind[:attempt[:count]], comma-separated (e.g. '*:map:*:crash'); the cube is identical to a fault-free run")
+		maxAtt  = flag.Int("max-attempts", 0, "task attempts before an injected failure becomes permanent (0 = engine default, 4)")
 	)
 	flag.Parse()
 
-	if err := run(*in, *out, *aggName, *algName, *workers, *par, *seed, *minSup, *stats); err != nil {
+	if err := run(*in, *out, *aggName, *algName, *workers, *par, *seed, *minSup, *stats, *faults, *maxAtt); err != nil {
 		fmt.Fprintln(os.Stderr, "spcube:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, aggName, algName string, workers, par int, seed int64, minSup int, stats bool) error {
+func run(in, out, aggName, algName string, workers, par int, seed int64, minSup int, stats bool, faults string, maxAttempts int) error {
 	aggFn, err := spcube.AggByName(aggName)
 	if err != nil {
 		return err
@@ -78,6 +88,8 @@ func run(in, out, aggName, algName string, workers, par int, seed int64, minSup 
 		spcube.Parallelism(par),
 		spcube.Seed(seed),
 		spcube.MinSupport(minSup),
+		spcube.Faults(faults),
+		spcube.MaxAttempts(maxAttempts),
 	)
 	if err != nil {
 		return err
@@ -104,6 +116,10 @@ func run(in, out, aggName, algName string, workers, par int, seed int64, minSup 
 			st.ShuffleRecords, st.ShuffleBytes)
 		if st.SketchBytes > 0 {
 			fmt.Fprintf(os.Stderr, " | sketch %d B, %d skewed groups", st.SketchBytes, st.SkewedGroups)
+		}
+		if st.Retries > 0 {
+			fmt.Fprintf(os.Stderr, " | %d task retries (%d B wasted, %.2fs retry wall)",
+				st.Retries, st.WastedBytes, st.RetryWallSeconds)
 		}
 		fmt.Fprintln(os.Stderr)
 	}

@@ -21,7 +21,7 @@ func TestRunEndToEnd(t *testing.T) {
 	if err := os.WriteFile(in, []byte(sampleCSV), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, out, "sum", "sp-cube", 3, 0, 1, 0, false); err != nil {
+	if err := run(in, out, "sum", "sp-cube", 3, 0, 1, 0, false, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -56,12 +56,12 @@ func TestRunAllAlgorithmsAndMinSup(t *testing.T) {
 	}
 	for _, algo := range []string{"sp-cube", "naive", "mr-cube", "hive"} {
 		out := filepath.Join(dir, algo+".csv")
-		if err := run(in, out, "count", algo, 2, 0, 1, 0, false); err != nil {
+		if err := run(in, out, "count", algo, 2, 0, 1, 0, false, "", 0); err != nil {
 			t.Errorf("%s: %v", algo, err)
 		}
 	}
 	out := filepath.Join(dir, "iceberg.csv")
-	if err := run(in, out, "count", "sp-cube", 2, 0, 1, 3, false); err != nil {
+	if err := run(in, out, "count", "sp-cube", 2, 0, 1, 3, false, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	data, _ := os.ReadFile(out)
@@ -76,16 +76,16 @@ func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	in := filepath.Join(dir, "in.csv")
 
-	if err := run(in, "", "count", "sp-cube", 2, 0, 1, 0, false); err == nil {
+	if err := run(in, "", "count", "sp-cube", 2, 0, 1, 0, false, "", 0); err == nil {
 		t.Error("missing input must fail")
 	}
 	if err := os.WriteFile(in, []byte(sampleCSV), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, "", "median", "sp-cube", 2, 0, 1, 0, false); err == nil {
+	if err := run(in, "", "median", "sp-cube", 2, 0, 1, 0, false, "", 0); err == nil {
 		t.Error("unknown aggregate must fail")
 	}
-	if err := run(in, "", "count", "spark", 2, 0, 1, 0, false); err == nil {
+	if err := run(in, "", "count", "spark", 2, 0, 1, 0, false, "", 0); err == nil {
 		t.Error("unknown algorithm must fail")
 	}
 
@@ -93,21 +93,21 @@ func TestRunErrors(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("a,b,m\nx,y,notanumber\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(bad, "", "count", "sp-cube", 2, 0, 1, 0, false); err == nil {
+	if err := run(bad, "", "count", "sp-cube", 2, 0, 1, 0, false, "", 0); err == nil {
 		t.Error("non-numeric measure must fail")
 	}
 	empty := filepath.Join(dir, "empty.csv")
 	if err := os.WriteFile(empty, []byte("a,b,m\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(empty, "", "count", "sp-cube", 2, 0, 1, 0, false); err == nil {
+	if err := run(empty, "", "count", "sp-cube", 2, 0, 1, 0, false, "", 0); err == nil {
 		t.Error("headerless/empty data must fail")
 	}
 	oneCol := filepath.Join(dir, "one.csv")
 	if err := os.WriteFile(oneCol, []byte("m\n1\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(oneCol, "", "count", "sp-cube", 2, 0, 1, 0, false); err == nil {
+	if err := run(oneCol, "", "count", "sp-cube", 2, 0, 1, 0, false, "", 0); err == nil {
 		t.Error("single-column input must fail")
 	}
 }

@@ -156,17 +156,17 @@ func chunkFactor(estMax, capacity float64) int {
 // largest sample-group cardinality.
 func sampleCuboidMax(eng *mr.Engine, rel *relation.Relation, alpha float64, seed int64) ([]float64, mr.RoundMetrics, error) {
 	d := rel.D()
-	k := eng.Cfg.Workers
 	maxPerCuboid := make([]float64, 1<<uint(d))
 
-	rngs := make([]*rand.Rand, k)
-	for i := range rngs {
-		rngs[i] = rand.New(rand.NewSource(seed*999_983 + int64(i)))
-	}
-	// The RNG streams are already per-task (indexed by ctx.Task); only the
-	// reusable encode buffer needs engine-issued task state. The single
-	// reducer writes maxPerCuboid without contention.
+	// The sampling RNG and the reusable encode buffer are engine-issued
+	// task state: map tasks may run in parallel, and a retried task must
+	// restart its RNG stream from the beginning or it would sample
+	// different tuples than the fault-free run. TaskState has no task-id
+	// argument, so the RNG is seeded lazily on first use. The single
+	// reducer writes maxPerCuboid without contention (and retries of it
+	// recompute the same monotone maxima, so replay is idempotent).
 	type sampleState struct {
+		rng *rand.Rand
 		buf []byte
 	}
 	job := &mr.Job{
@@ -175,8 +175,11 @@ func sampleCuboidMax(eng *mr.Engine, rel *relation.Relation, alpha float64, seed
 		Partition: func(string, int) int { return 0 },
 		TaskState: func() any { return new(sampleState) },
 		MapTuple: func(ctx *mr.MapCtx, t relation.Tuple) {
-			if rngs[ctx.Task].Float64() <= alpha {
-				ts := ctx.State().(*sampleState)
+			ts := ctx.State().(*sampleState)
+			if ts.rng == nil {
+				ts.rng = rand.New(rand.NewSource(seed*999_983 + int64(ctx.Task)))
+			}
+			if ts.rng.Float64() <= alpha {
 				ts.buf = relation.EncodeTuple(ts.buf, t)
 				ctx.Emit("s", append([]byte(nil), ts.buf...))
 			}

@@ -42,6 +42,13 @@ type Config struct {
 	// tasks (0 = all cores, 1 = sequential). Results are identical at
 	// any setting; only real wall-clock changes.
 	Parallelism int
+	// Faults deterministically injects task failures into every engine
+	// round (see mr.FaultPlan); nil injects nothing. The recovery contract
+	// guarantees every figure is identical to a fault-free run.
+	Faults *mr.FaultPlan
+	// MaxAttempts bounds task re-execution under injected faults
+	// (0 = engine default).
+	MaxAttempts int
 }
 
 func (c *Config) defaults() {
@@ -112,7 +119,8 @@ func paperAlgos(seed int64) []algo {
 
 // runOne executes one algorithm on one relation with a fresh engine.
 func runOne(cfg Config, a algo, rel *relation.Relation) measures {
-	eng := mr.New(mr.Config{Workers: cfg.Workers, Seed: uint64(cfg.Seed), Parallelism: cfg.Parallelism}, nil)
+	eng := mr.New(mr.Config{Workers: cfg.Workers, Seed: uint64(cfg.Seed), Parallelism: cfg.Parallelism,
+		Faults: cfg.Faults, MaxAttempts: cfg.MaxAttempts}, nil)
 	run, err := a.fn(eng, rel, cube.Spec{Agg: agg.Count})
 	var ms measures
 	if run != nil {
@@ -417,7 +425,8 @@ func Rounds(cfg Config) []Figure {
 		sr := Series{Name: a.name}
 		for _, d := range []int{2, 3, 4, 5, 6} {
 			rel := data.Uniform(n, d, 1000, cfg.Seed)
-			eng := mr.New(mr.Config{Workers: cfg.Workers, Seed: uint64(cfg.Seed), Parallelism: cfg.Parallelism}, nil)
+			eng := mr.New(mr.Config{Workers: cfg.Workers, Seed: uint64(cfg.Seed), Parallelism: cfg.Parallelism,
+				Faults: cfg.Faults, MaxAttempts: cfg.MaxAttempts}, nil)
 			run, err := a.fn(eng, rel, cube.Spec{Agg: agg.Count})
 			if err != nil {
 				st.Points = append(st.Points, Point{X: float64(d), DNF: true})

@@ -115,6 +115,55 @@ func (fs *FS) Checksum(name string) uint64 {
 	return 0
 }
 
+// FileMark is a point-in-time snapshot of one file's accounting, taken with
+// Mark and restored with Rollback. It makes a task attempt's appends
+// revertible: the MapReduce engine marks a reduce task's output files before
+// each attempt and rolls them back when the attempt fails, so retried tasks
+// leave no trace of their partial emits.
+type FileMark struct {
+	existed bool
+	size    int64
+	recs    int64
+	sum     uint64
+	dataLen int
+}
+
+// Mark snapshots the named file's current accounting (a missing file yields
+// the zero mark, and rolling back to it removes the file again).
+func (fs *FS) Mark(name string) FileMark {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return FileMark{}
+	}
+	return FileMark{existed: true, size: f.size, recs: f.recs, sum: f.sum, dataLen: len(f.data)}
+}
+
+// Rollback restores the named file to the state captured by Mark, discarding
+// every record appended since. The mark's checksum is restored exactly (the
+// rolling checksum is an XOR fold, so re-appending the same records after a
+// rollback reproduces the original sum). Rolling back to a mark taken before
+// the file existed deletes it.
+func (fs *FS) Rollback(name string, m FileMark) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return
+	}
+	if !m.existed {
+		delete(fs.files, name)
+		return
+	}
+	f.size = m.size
+	f.recs = m.recs
+	f.sum = m.sum
+	if len(f.data) > m.dataLen {
+		f.data = f.data[:m.dataLen]
+	}
+}
+
 // List returns the file names with a given prefix, sorted.
 func (fs *FS) List(prefix string) []string {
 	fs.mu.Lock()

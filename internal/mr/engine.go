@@ -17,9 +17,25 @@
 // scratch (reusable buffers, mapper-local aggregation tables) belongs in
 // Job.TaskState, which hands each task a private value reachable through
 // MapCtx.State/RedCtx.State.
+//
+// The engine also models MapReduce's core robustness contract: failed tasks
+// are transparently re-executed and the job's output is unchanged. Failures
+// are injected deterministically through Config.Faults (crash-before-emit,
+// crash-mid-emit, slow-task, transient OOM, addressed by round, phase, task
+// and attempt); a failed attempt's partial output — buffered map emits,
+// reduce-side DFS appends — is discarded, the task re-runs with fresh
+// TaskState up to Config.MaxAttempts, and the merged result stays
+// bit-for-bit identical to a fault-free run. Attempt counts, retry latency
+// and wasted-work bytes are surfaced in TaskMetrics/RoundMetrics. This
+// second isolation obligation on jobs is re-entrancy: a task body must
+// behave identically when re-run from scratch, so cross-task shared state
+// it mutates must be idempotent under replay (monotone set unions, maxima)
+// and anything consumed incrementally (RNG streams, cursors) must live in
+// TaskState, which is rebuilt per attempt.
 package mr
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -75,6 +91,20 @@ type Config struct {
 	// Results — output, metrics, simulated time — are bit-for-bit
 	// identical at every setting; only real wall-clock changes.
 	Parallelism int
+	// Faults deterministically injects task failures (see FaultPlan);
+	// nil injects nothing. Failed attempts are re-executed with fresh
+	// TaskState and their partial output discarded, so a faulted run's
+	// output and accounting are bit-for-bit identical to a fault-free
+	// run — only the recovery counters (Attempts, RetryWallSeconds,
+	// WastedBytes) and real wall-clock differ.
+	Faults *FaultPlan
+	// MaxAttempts bounds how many times one task is executed before its
+	// failure becomes permanent and fails the round (Hadoop's
+	// mapreduce.map.maxattempts). 0 defaults to 4. Only injected faults
+	// are retried: deterministic failures — reducer OOM under
+	// FailOnReducerOOM, partition range errors — would fail identically
+	// again and abort the round on the first attempt.
+	MaxAttempts int
 }
 
 // Job describes one MapReduce round. Exactly one of MapTuple and MapPair
@@ -144,6 +174,8 @@ type RoundResult struct {
 type Engine struct {
 	Cfg Config
 	FS  *dfs.FS
+	// rounds counts executed jobs; Fault.Round selects against it.
+	rounds int
 }
 
 // New creates an engine. When fs is nil a discard-mode DFS is created.
@@ -156,6 +188,9 @@ func New(cfg Config, fs *dfs.FS) *Engine {
 	}
 	if cfg.Parallelism <= 0 {
 		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
 	}
 	if cfg.Cost == (CostModel{}) {
 		cfg.Cost = DefaultCost()
@@ -186,6 +221,7 @@ type MapCtx struct {
 	out     []Pair
 	state   any
 	metrics TaskMetrics
+	inject  *injector
 }
 
 // State returns the task-private state created by Job.TaskState, or nil
@@ -198,6 +234,7 @@ func (c *MapCtx) Emit(key string, val []byte) {
 	c.metrics.PreCombineRecords++
 	c.metrics.PreCombineBytes += pairBytes(key, val)
 	c.metrics.CPUSeconds += c.eng.Cfg.Cost.MapCPUPerEmit
+	c.inject.onEmit()
 }
 
 // ChargeOps reports n elementary algorithm operations (hash probes, lattice
@@ -221,6 +258,7 @@ type RedCtx struct {
 	state    any
 	metrics  *TaskMetrics
 	scratch  []byte
+	inject   *injector
 }
 
 // State returns the task-private state created by Job.TaskState, or nil
@@ -238,6 +276,7 @@ func (c *RedCtx) EmitKV(key string, val []byte) {
 	c.scratch = append(c.scratch, '\t')
 	c.scratch = append(c.scratch, val...)
 	c.eng.FS.Append(c.file, c.scratch)
+	c.inject.onEmit()
 }
 
 // EmitSide writes one record to the reducer's side-output file (kept apart
@@ -256,6 +295,7 @@ func (c *RedCtx) EmitSide(key string, val []byte) {
 	if c.job.CollectOutput {
 		c.collect = append(c.collect, Pair{Key: key, Val: append([]byte(nil), val...)})
 	}
+	c.inject.onEmit()
 }
 
 // ChargeOps reports n elementary algorithm operations.
@@ -336,50 +376,65 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 	rm.Mappers = make([]TaskMetrics, e.Cfg.Workers)
 	rm.Reducers = make([]TaskMetrics, reducers)
 
+	round := e.rounds
+	e.rounds++
+
 	start := time.Now()
 
 	// Map phase. Tasks run on the worker pool; each partitions its own
 	// output into private per-reducer buckets, and the shuffle merges them
 	// in task-index order below, so bucket contents are independent of
-	// task scheduling.
+	// task scheduling. Every task retries injected-fault failures up to
+	// MaxAttempts with a fresh context and fresh TaskState; a failed
+	// attempt's buffered output dies with its context, so nothing of it
+	// reaches the shuffle.
 	taskBuckets := make([][][]Pair, e.Cfg.Workers)
 	mapErrs := make([]error, e.Cfg.Workers)
 	e.forEachTask(e.Cfg.Workers, func(task int) {
-		tstart := time.Now()
-		ctx := &MapCtx{Task: task, job: job, eng: e}
-		if job.TaskState != nil {
-			ctx.state = job.TaskState()
-		}
-		feed(task, ctx)
-		if job.MapFlush != nil {
-			job.MapFlush(ctx)
-		}
-		out := ctx.out
-		if job.Combine != nil {
-			out = e.combine(job, ctx, out)
-		}
-		ctx.metrics.OutRecords = int64(len(out))
-		buckets := make([][]Pair, reducers)
-		for i := range out {
-			b := pairBytes(out[i].Key, out[i].Val)
-			ctx.metrics.OutBytes += b
-			r := partition(out[i].Key, reducers)
-			if r < 0 || r >= reducers {
-				mapErrs[task] = fmt.Errorf("mr: job %s: partition(%q) = %d out of range [0,%d)", job.Name, out[i].Key, r, reducers)
+		var wasted int64
+		var retryWall float64
+		for attempt := 0; ; attempt++ {
+			tstart := time.Now()
+			ctx := &MapCtx{Task: task, job: job, eng: e,
+				inject: e.injectorFor(round, PhaseMap, task, attempt)}
+			buckets, err := e.mapAttempt(job, ctx, task, feed, reducers, partition)
+			if err == nil {
+				ctx.metrics.WallSeconds = time.Since(tstart).Seconds()
+				ctx.metrics.Attempts = int64(attempt + 1)
+				ctx.metrics.RetryWallSeconds = retryWall
+				ctx.metrics.WastedBytes = wasted
+				rm.Mappers[task] = ctx.metrics
+				taskBuckets[task] = buckets
 				return
 			}
-			buckets[r] = append(buckets[r], out[i])
+			retryable := isFaultError(err)
+			if retryable {
+				wasted += ctx.metrics.PreCombineBytes
+				retryWall += time.Since(tstart).Seconds()
+			}
+			if !retryable || attempt+1 >= e.Cfg.MaxAttempts {
+				rm.Mappers[task] = TaskMetrics{
+					Attempts:         int64(attempt + 1),
+					RetryWallSeconds: retryWall,
+					WastedBytes:      wasted,
+				}
+				mapErrs[task] = err
+				return
+			}
 		}
-		if job.MapCPUFactor > 0 {
-			ctx.metrics.CPUSeconds *= job.MapCPUFactor
-		}
-		ctx.metrics.WallSeconds = time.Since(tstart).Seconds()
-		rm.Mappers[task] = ctx.metrics
-		taskBuckets[task] = buckets
 	})
 	for task := 0; task < e.Cfg.Workers; task++ {
-		if mapErrs[task] != nil {
-			return nil, mapErrs[task]
+		if err := mapErrs[task]; err != nil {
+			if isFaultError(err) {
+				rm.Failed = true
+				rm.FailReason = fmt.Sprintf("map task %d failed after %d attempts: %v",
+					task, rm.Mappers[task].Attempts, err)
+				err = fmt.Errorf("mr: job %s: map task %d failed after %d attempts: %w",
+					job.Name, task, rm.Mappers[task].Attempts, err)
+			}
+			rm.finalize(e.Cfg.Cost)
+			rm.WallSeconds = time.Since(start).Seconds()
+			return res, err
 		}
 		rm.ShuffleRecords += rm.Mappers[task].OutRecords
 		rm.ShuffleBytes += rm.Mappers[task].OutBytes
@@ -432,65 +487,75 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 
 	// Reduce phase: tasks before the first failure (all of them on the
 	// usual error-free path) run on the worker pool, each collecting side
-	// output privately; the merge below restores task order.
+	// output privately; the merge below restores task order. Injected
+	// faults are retried like map tasks; a failed attempt's DFS appends
+	// are rolled back to the pre-attempt marks so the output files hold
+	// exactly one successful attempt's records.
 	taskCollect := make([][]Pair, runTasks)
+	redErrs := make([]error, runTasks)
 	e.forEachTask(runTasks, func(task int) {
-		tstart := time.Now()
-		tm := &rm.Reducers[task]
+		base := rm.Reducers[task] // input accounting from the pre-scan
 		in := buckets[task]
-		// Group by key (Hadoop sorts each reducer's input).
+		// Group by key (Hadoop sorts each reducer's input). Sorting is
+		// idempotent, so doing it once outside the attempt loop is safe.
 		sort.SliceStable(in, func(a, b int) bool { return in[a].Key < in[b].Key })
-		ctx := &RedCtx{
-			Task:     task,
-			job:      job,
-			eng:      e,
-			file:     fmt.Sprintf("%spart-r-%05d", outPrefix, task),
-			sideFile: fmt.Sprintf("side/%s/part-r-%05d", job.Name, task),
-			metrics:  tm,
-		}
-		if job.TaskState != nil {
-			ctx.state = job.TaskState()
-		}
-		vals := make([][]byte, 0, 16)
-		var spillRecords float64
-		for i := 0; i < len(in); {
-			j := i
-			vals = vals[:0]
-			var keyBytes int64
-			for j < len(in) && in[j].Key == in[i].Key {
-				vals = append(vals, in[j].Val)
-				keyBytes += pairBytes(in[j].Key, in[j].Val)
-				j++
+		file := fmt.Sprintf("%spart-r-%05d", outPrefix, task)
+		sideFile := fmt.Sprintf("side/%s/part-r-%05d", job.Name, task)
+		var wasted int64
+		var retryWall float64
+		for attempt := 0; ; attempt++ {
+			tstart := time.Now()
+			attemptMetrics := base
+			ctx := &RedCtx{
+				Task:     task,
+				job:      job,
+				eng:      e,
+				file:     file,
+				sideFile: sideFile,
+				metrics:  &attemptMetrics,
+				inject:   e.injectorFor(round, PhaseReduce, task, attempt),
 			}
-			if int64(len(vals)) > tm.LargestKeyRecords {
-				tm.LargestKeyRecords = int64(len(vals))
-				tm.LargestKeyBytes = keyBytes
+			fileMark := e.FS.Mark(file)
+			sideMark := e.FS.Mark(sideFile)
+			err := e.reduceAttempt(job, ctx, in, oomMem, inflation)
+			if err == nil {
+				attemptMetrics.WallSeconds = time.Since(tstart).Seconds()
+				attemptMetrics.Attempts = int64(attempt + 1)
+				attemptMetrics.RetryWallSeconds = retryWall
+				attemptMetrics.WastedBytes = wasted
+				rm.Reducers[task] = attemptMetrics
+				taskCollect[task] = ctx.collect
+				return
 			}
-			// A single key whose value list does not fit in memory is
-			// aggregated externally — the skewed-group I/O penalty of
-			// §3.2. SP-Cube avoids it by pre-aggregating skews in the
-			// mappers; the naive algorithm pays it in full.
-			if ex := float64(len(vals))*inflation - oomMem; ex > 0 {
-				spillRecords += ex
+			wasted += attemptMetrics.OutBytes + attemptMetrics.SideBytes
+			retryWall += time.Since(tstart).Seconds()
+			e.FS.Rollback(file, fileMark)
+			e.FS.Rollback(sideFile, sideMark)
+			if attempt+1 >= e.Cfg.MaxAttempts {
+				failed := base
+				failed.Attempts = int64(attempt + 1)
+				failed.RetryWallSeconds = retryWall
+				failed.WastedBytes = wasted
+				rm.Reducers[task] = failed
+				redErrs[task] = err
+				return
 			}
-			job.Reduce(ctx, in[i].Key, vals)
-			i = j
 		}
-		if job.ReduceCPUFactor > 0 {
-			tm.CPUSeconds *= job.ReduceCPUFactor
-		}
-		if spillRecords > 0 {
-			avgRec := 24.0
-			if tm.InRecords > 0 {
-				avgRec = float64(tm.InBytes) / float64(tm.InRecords)
-			}
-			tm.SpillBytes = int64(spillRecords * avgRec)
-			tm.CPUSeconds += float64(tm.SpillBytes) * e.Cfg.Cost.SpillPasses / e.Cfg.Cost.DiskBytesPerSec
-		}
-		tm.WallSeconds = time.Since(tstart).Seconds()
-		taskCollect[task] = ctx.collect
 	})
 	for task := 0; task < runTasks; task++ {
+		if err := redErrs[task]; err != nil && failErr == nil {
+			rm.Failed = true
+			rm.FailReason = fmt.Sprintf("reduce task %d failed after %d attempts: %v",
+				task, rm.Reducers[task].Attempts, err)
+			failErr = fmt.Errorf("mr: job %s: reduce task %d failed after %d attempts: %w",
+				job.Name, task, rm.Reducers[task].Attempts, err)
+			break
+		}
+	}
+	for task := 0; task < runTasks; task++ {
+		if redErrs[task] != nil {
+			continue
+		}
 		rm.OutputRecords += rm.Reducers[task].OutRecords
 		rm.OutputBytes += rm.Reducers[task].OutBytes
 		res.Output = append(res.Output, taskCollect[task]...)
@@ -502,6 +567,114 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 		return res, failErr
 	}
 	return res, nil
+}
+
+// mapAttempt executes one attempt of one map task: fresh TaskState, the
+// input feed, MapFlush, the combiner, and partitioning into per-reducer
+// buckets. An injected crash surfaces as a *FaultError; the partial results
+// accumulated in ctx die with it. Partition range violations are returned
+// as plain (non-retryable) errors.
+func (e *Engine) mapAttempt(job *Job, ctx *MapCtx, task int, feed func(task int, ctx *MapCtx), reducers int, partition func(string, int) int) (buckets [][]Pair, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sig, ok := r.(faultSignal)
+			if !ok {
+				panic(r)
+			}
+			err = ctx.inject.err(sig.fault)
+		}
+	}()
+	ctx.inject.start()
+	if job.TaskState != nil {
+		ctx.state = job.TaskState()
+	}
+	feed(task, ctx)
+	if job.MapFlush != nil {
+		job.MapFlush(ctx)
+	}
+	out := ctx.out
+	if job.Combine != nil {
+		out = e.combine(job, ctx, out)
+	}
+	ctx.metrics.OutRecords = int64(len(out))
+	buckets = make([][]Pair, reducers)
+	for i := range out {
+		ctx.metrics.OutBytes += pairBytes(out[i].Key, out[i].Val)
+		r := partition(out[i].Key, reducers)
+		if r < 0 || r >= reducers {
+			return nil, fmt.Errorf("mr: job %s: partition(%q) = %d out of range [0,%d)", job.Name, out[i].Key, r, reducers)
+		}
+		buckets[r] = append(buckets[r], out[i])
+	}
+	if job.MapCPUFactor > 0 {
+		ctx.metrics.CPUSeconds *= job.MapCPUFactor
+	}
+	return buckets, nil
+}
+
+// reduceAttempt executes one attempt of one reduce task over its sorted
+// input: fresh TaskState, per-key grouping, the reduce function, and spill
+// accounting. An injected crash surfaces as a *FaultError; the caller rolls
+// back the attempt's DFS appends.
+func (e *Engine) reduceAttempt(job *Job, ctx *RedCtx, in []Pair, oomMem, inflation float64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sig, ok := r.(faultSignal)
+			if !ok {
+				panic(r)
+			}
+			err = ctx.inject.err(sig.fault)
+		}
+	}()
+	ctx.inject.start()
+	if job.TaskState != nil {
+		ctx.state = job.TaskState()
+	}
+	tm := ctx.metrics
+	vals := make([][]byte, 0, 16)
+	var spillRecords float64
+	for i := 0; i < len(in); {
+		j := i
+		vals = vals[:0]
+		var keyBytes int64
+		for j < len(in) && in[j].Key == in[i].Key {
+			vals = append(vals, in[j].Val)
+			keyBytes += pairBytes(in[j].Key, in[j].Val)
+			j++
+		}
+		if int64(len(vals)) > tm.LargestKeyRecords {
+			tm.LargestKeyRecords = int64(len(vals))
+			tm.LargestKeyBytes = keyBytes
+		}
+		// A single key whose value list does not fit in memory is
+		// aggregated externally — the skewed-group I/O penalty of
+		// §3.2. SP-Cube avoids it by pre-aggregating skews in the
+		// mappers; the naive algorithm pays it in full.
+		if ex := float64(len(vals))*inflation - oomMem; ex > 0 {
+			spillRecords += ex
+		}
+		job.Reduce(ctx, in[i].Key, vals)
+		i = j
+	}
+	if job.ReduceCPUFactor > 0 {
+		tm.CPUSeconds *= job.ReduceCPUFactor
+	}
+	if spillRecords > 0 {
+		avgRec := 24.0
+		if tm.InRecords > 0 {
+			avgRec = float64(tm.InBytes) / float64(tm.InRecords)
+		}
+		tm.SpillBytes = int64(spillRecords * avgRec)
+		tm.CPUSeconds += float64(tm.SpillBytes) * e.Cfg.Cost.SpillPasses / e.Cfg.Cost.DiskBytesPerSec
+	}
+	return nil
+}
+
+// isFaultError reports whether err is an injected-fault failure (retryable)
+// rather than a deterministic job error.
+func isFaultError(err error) bool {
+	var fe *FaultError
+	return errors.As(err, &fe)
 }
 
 // forEachTask runs fn(task) for every task in [0, n), on min(Parallelism,

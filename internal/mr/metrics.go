@@ -32,6 +32,18 @@ type TaskMetrics struct {
 	// model; WallSeconds is the real time the in-process run took.
 	CPUSeconds  float64
 	WallSeconds float64
+
+	// Attempts is how many times the task was executed (1 with no faults
+	// injected; 0 for tasks that never ran, e.g. reducers after an OOM).
+	// RetryWallSeconds is the real time consumed by failed attempts, and
+	// WastedBytes the output those attempts produced before being
+	// discarded (map: pre-combine emit bytes; reduce: output and side
+	// bytes rolled back from the DFS). All three are recovery accounting
+	// only — the determinism contract excludes them along with
+	// WallSeconds, and every other counter equals the fault-free run's.
+	Attempts         int64
+	RetryWallSeconds float64
+	WastedBytes      int64
 }
 
 // RoundMetrics aggregates one MapReduce round.
@@ -60,11 +72,30 @@ type RoundMetrics struct {
 	// WallSeconds is the real in-process duration of the round.
 	WallSeconds float64
 
+	// Retries is the number of task attempts beyond each task's first
+	// (failed attempts that fault injection forced to re-execute);
+	// RetryWallSeconds and WastedBytes aggregate the tasks' recovery
+	// accounting. All zero in fault-free runs.
+	Retries          int64
+	RetryWallSeconds float64
+	WastedBytes      int64
+
 	Failed     bool
 	FailReason string
 }
 
 func (r *RoundMetrics) finalize(cost CostModel) {
+	r.Retries, r.RetryWallSeconds, r.WastedBytes = 0, 0, 0
+	for _, tasks := range [][]TaskMetrics{r.Mappers, r.Reducers} {
+		for i := range tasks {
+			t := &tasks[i]
+			if t.Attempts > 1 {
+				r.Retries += t.Attempts - 1
+			}
+			r.RetryWallSeconds += t.RetryWallSeconds
+			r.WastedBytes += t.WastedBytes
+		}
+	}
 	var mapSum float64
 	for i := range r.Mappers {
 		m := &r.Mappers[i]
@@ -181,6 +212,33 @@ func (j *JobMetrics) ReduceTimeAvg() float64 {
 	return s / float64(n)
 }
 
+// Retries is the total number of re-executed task attempts across rounds.
+func (j *JobMetrics) Retries() int64 {
+	var s int64
+	for i := range j.Rounds {
+		s += j.Rounds[i].Retries
+	}
+	return s
+}
+
+// RetryWallSeconds is the total real time spent in failed task attempts.
+func (j *JobMetrics) RetryWallSeconds() float64 {
+	var s float64
+	for i := range j.Rounds {
+		s += j.Rounds[i].RetryWallSeconds
+	}
+	return s
+}
+
+// WastedBytes is the total output discarded from failed task attempts.
+func (j *JobMetrics) WastedBytes() int64 {
+	var s int64
+	for i := range j.Rounds {
+		s += j.Rounds[i].WastedBytes
+	}
+	return s
+}
+
 // Failed reports whether any round failed, with its reason.
 func (j *JobMetrics) Failed() (bool, string) {
 	for i := range j.Rounds {
@@ -198,6 +256,9 @@ func (j *JobMetrics) String() string {
 		r := &j.Rounds[i]
 		fmt.Fprintf(&b, "round %d (%s): shuffle=%d recs/%d B, out=%d recs, sim=%.2fs",
 			i, r.Job, r.ShuffleRecords, r.ShuffleBytes, r.OutputRecords, r.SimSeconds)
+		if r.Retries > 0 {
+			fmt.Fprintf(&b, ", retries=%d (%d wasted B)", r.Retries, r.WastedBytes)
+		}
 		if r.Failed {
 			fmt.Fprintf(&b, " FAILED: %s", r.FailReason)
 		}

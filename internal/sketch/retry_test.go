@@ -1,0 +1,51 @@
+package sketch
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/spcube/spcube/internal/cubetest"
+	"github.com/spcube/spcube/internal/dfs"
+	"github.com/spcube/spcube/internal/mr"
+
+	"math/rand"
+)
+
+// TestBuildIdenticalUnderRetry is the regression test for the sampling RNG
+// living in engine-issued task state: if a retried map task resumed a prior
+// attempt's RNG stream it would sample different tuples, and the rebuilt
+// sketch would diverge from the fault-free one.
+func TestBuildIdenticalUnderRetry(t *testing.T) {
+	rel := cubetest.RandomRelation(rand.New(rand.NewSource(11)), 2000, 3, 5)
+	build := func(spec string) ([]byte, mr.RoundMetrics) {
+		t.Helper()
+		plan, err := mr.ParseFaultPlan(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := mr.New(mr.Config{Workers: 4, Faults: plan}, dfs.New(true))
+		res, err := Build(eng, rel, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := res.Sketch.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return enc, res.Metrics
+	}
+	clean, cleanMetrics := build("")
+	if cleanMetrics.Retries != 0 {
+		t.Fatalf("fault-free build reports %d retries", cleanMetrics.Retries)
+	}
+	for _, spec := range []string{"0:map:*:crash", "0:map:*:mid-emit@2", "0:reduce:0:mid-emit@1"} {
+		enc, metrics := build(spec)
+		if metrics.Retries == 0 {
+			t.Errorf("fault %q did not fire", spec)
+		}
+		if !bytes.Equal(enc, clean) {
+			t.Errorf("fault %q: retried build produced a different sketch (%d vs %d bytes)",
+				spec, len(enc), len(clean))
+		}
+	}
+}

@@ -284,19 +284,22 @@ func Build(eng *mr.Engine, rel *relation.Relation, seed int64) (*BuildResult, er
 	}
 
 	// Per-mapper deterministic sampling: the RNG stream is a function of
-	// the experiment seed and the map task id. The encode buffer is
-	// engine-issued task state, since map tasks may run in parallel.
-	rngs := make([]*rand.Rand, k)
-	for i := range rngs {
-		rngs[i] = rand.New(rand.NewSource(seed*1_000_003 + int64(i)))
-	}
+	// the experiment seed and the map task id. Both the RNG and the encode
+	// buffer are engine-issued task state — map tasks may run in parallel,
+	// and a retried task must restart its stream from the beginning or it
+	// would sample different tuples than the fault-free run. TaskState has
+	// no task-id argument, so the RNG is seeded lazily on first use.
 	type taskState struct {
+		rng *rand.Rand
 		buf []byte
 	}
 	job.TaskState = func() any { return new(taskState) }
 	job.MapTuple = func(ctx *mr.MapCtx, t relation.Tuple) {
-		if rngs[ctx.Task].Float64() <= alpha {
-			ts := ctx.State().(*taskState)
+		ts := ctx.State().(*taskState)
+		if ts.rng == nil {
+			ts.rng = rand.New(rand.NewSource(seed*1_000_003 + int64(ctx.Task)))
+		}
+		if ts.rng.Float64() <= alpha {
 			ts.buf = relation.EncodeTuple(ts.buf, t)
 			ctx.Emit("s", append([]byte(nil), ts.buf...))
 		}

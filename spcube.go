@@ -183,6 +183,25 @@ type config struct {
 	seed        int64
 	minSup      int
 	parallelism int
+	faultSpec   string
+	maxAttempts int
+}
+
+// engineConfig converts the facade configuration into the engine's,
+// parsing the fault spec (an error surfaces from Compute/ComputeSet).
+func (c *config) engineConfig() (mr.Config, error) {
+	plan, err := mr.ParseFaultPlan(c.faultSpec)
+	if err != nil {
+		return mr.Config{}, err
+	}
+	return mr.Config{
+		Workers:     c.workers,
+		MemTuples:   c.memory,
+		Seed:        uint64(c.seed),
+		Parallelism: c.parallelism,
+		Faults:      plan,
+		MaxAttempts: c.maxAttempts,
+	}, nil
 }
 
 // Option configures Compute.
@@ -215,6 +234,19 @@ func MinSupport(n int) Option { return func(c *config) { c.minSup = n } }
 // only real wall-clock time changes.
 func Parallelism(n int) Option { return func(c *config) { c.parallelism = n } }
 
+// Faults injects deterministic task failures into the simulated cluster.
+// The spec is a comma-separated list of round:phase:task:kind[:attempt[:count]]
+// entries ("*" wildcards round and task; kinds: crash, mid-emit, slow, oom —
+// see mr.ParseFaultPlan). Failed tasks are transparently re-executed: the
+// computed cube and all simulated statistics except the retry counters are
+// identical to a fault-free run. An empty spec (the default) injects nothing.
+func Faults(spec string) Option { return func(c *config) { c.faultSpec = spec } }
+
+// MaxAttempts bounds how many times one simulated task is executed before
+// its injected failure becomes permanent and the computation fails
+// (default 4). Only injected faults are retried.
+func MaxAttempts(n int) Option { return func(c *config) { c.maxAttempts = n } }
+
 // Stats summarizes a computation's execution on the simulated cluster.
 type Stats struct {
 	// Algorithm that produced the cube.
@@ -235,6 +267,31 @@ type Stats struct {
 	// SkewedGroups is the number of skewed c-groups detected (SP-Cube
 	// only).
 	SkewedGroups int
+	// Retries is the number of task re-executions forced by injected
+	// faults (see the Faults option); RetryWallSeconds is the real time
+	// the failed attempts consumed, and WastedBytes the partial output
+	// they produced before it was discarded. All zero in fault-free runs.
+	Retries          int64
+	RetryWallSeconds float64
+	WastedBytes      int64
+}
+
+// statsFromRun extracts the facade statistics from a finished run.
+func statsFromRun(run *cube.Run) Stats {
+	return Stats{
+		Algorithm:        run.Algorithm,
+		Rounds:           len(run.Metrics.Rounds),
+		SimSeconds:       run.Metrics.SimSeconds(),
+		WallSeconds:      run.Metrics.WallSeconds(),
+		ShuffleRecords:   run.Metrics.ShuffleRecords(),
+		ShuffleBytes:     run.Metrics.ShuffleBytes(),
+		SketchBytes:      run.SketchBytes,
+		SampleTuples:     run.SampleTuples,
+		SkewedGroups:     run.SkewedGroups,
+		Retries:          run.Metrics.Retries(),
+		RetryWallSeconds: run.Metrics.RetryWallSeconds(),
+		WastedBytes:      run.Metrics.WastedBytes(),
+	}
 }
 
 // Group is one cube group: per-dimension values ("*" where the dimension is
@@ -267,16 +324,14 @@ func Compute(rel *Relation, opts ...Option) (*Cube, error) {
 		return nil, errors.New("spcube: need at least 1 worker")
 	}
 
-	eng := mr.New(mr.Config{
-		Workers:     cfg.workers,
-		MemTuples:   cfg.memory,
-		Seed:        uint64(cfg.seed),
-		Parallelism: cfg.parallelism,
-	}, dfs.New(false))
+	engCfg, err := cfg.engineConfig()
+	if err != nil {
+		return nil, fmt.Errorf("spcube: %w", err)
+	}
+	eng := mr.New(engCfg, dfs.New(false))
 	spec := cube.Spec{Agg: cfg.aggFn, MinSup: cfg.minSup}
 
 	var run *cube.Run
-	var err error
 	switch cfg.alg {
 	case AlgSPCube:
 		run, err = spalgo.ComputeOpts(eng, rel.inner, spec, spalgo.Options{Seed: cfg.seed})
@@ -300,18 +355,7 @@ func Compute(rel *Relation, opts ...Option) (*Cube, error) {
 		return nil, fmt.Errorf("spcube: collecting output: %w", err)
 	}
 
-	stats := Stats{
-		Algorithm:      run.Algorithm,
-		Rounds:         len(run.Metrics.Rounds),
-		SimSeconds:     run.Metrics.SimSeconds(),
-		WallSeconds:    run.Metrics.WallSeconds(),
-		ShuffleRecords: run.Metrics.ShuffleRecords(),
-		ShuffleBytes:   run.Metrics.ShuffleBytes(),
-		SketchBytes:    run.SketchBytes,
-		SampleTuples:   run.SampleTuples,
-		SkewedGroups:   run.SkewedGroups,
-	}
-	return &Cube{rel: rel, res: res, stats: stats}, nil
+	return &Cube{rel: rel, res: res, stats: statsFromRun(run)}, nil
 }
 
 // ComputeSet computes one cube per aggregate function over the same
@@ -331,12 +375,11 @@ func ComputeSet(rel *Relation, aggs []Agg, opts ...Option) ([]*Cube, error) {
 	if len(aggs) == 0 {
 		return nil, errors.New("spcube: ComputeSet needs at least one aggregate")
 	}
-	eng := mr.New(mr.Config{
-		Workers:     cfg.workers,
-		MemTuples:   cfg.memory,
-		Seed:        uint64(cfg.seed),
-		Parallelism: cfg.parallelism,
-	}, dfs.New(false))
+	engCfg, err := cfg.engineConfig()
+	if err != nil {
+		return nil, fmt.Errorf("spcube: %w", err)
+	}
+	eng := mr.New(engCfg, dfs.New(false))
 	specs := make([]cube.Spec, len(aggs))
 	for i, a := range aggs {
 		specs[i] = cube.Spec{Agg: a.f, MinSup: cfg.minSup}
@@ -351,17 +394,7 @@ func ComputeSet(rel *Relation, aggs []Agg, opts ...Option) ([]*Cube, error) {
 		if err != nil {
 			return nil, fmt.Errorf("spcube: collecting output %d: %w", i, err)
 		}
-		cubes[i] = &Cube{rel: rel, res: res, stats: Stats{
-			Algorithm:      run.Algorithm,
-			Rounds:         len(run.Metrics.Rounds),
-			SimSeconds:     run.Metrics.SimSeconds(),
-			WallSeconds:    run.Metrics.WallSeconds(),
-			ShuffleRecords: run.Metrics.ShuffleRecords(),
-			ShuffleBytes:   run.Metrics.ShuffleBytes(),
-			SketchBytes:    run.SketchBytes,
-			SampleTuples:   run.SampleTuples,
-			SkewedGroups:   run.SkewedGroups,
-		}}
+		cubes[i] = &Cube{rel: rel, res: res, stats: statsFromRun(run)}
 	}
 	return cubes, nil
 }
