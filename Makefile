@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race retry-race fuzz-smoke bench
+.PHONY: check fmt vet build test race retry-race fuzz-smoke bench bench-json
 
 check: fmt vet race fuzz-smoke
 
@@ -36,3 +36,9 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Machine-readable benchmark artifact: the fig6 sweep plus every run's full
+# per-round metrics as a versioned JSON document, then self-validated.
+bench-json:
+	$(GO) run ./cmd/spbench -exp fig6 -scale 0.05 -metrics-out BENCH_fig6.json > /dev/null
+	$(GO) run ./cmd/spbench -validate BENCH_fig6.json

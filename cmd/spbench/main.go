@@ -16,61 +16,163 @@
 // engine's retry layer must recover from without changing a single figure:
 //
 //	spbench -exp fig6 -faults '*:map:*:crash' # same figures, every map task retried
+//
+// Observability: -metrics-out FILE writes the figures plus every run's full
+// per-round metrics as a versioned JSON document (validate one with
+// -validate FILE), -trace FILE streams the engines' structured lifecycle
+// events as JSON lines, and -pprof ADDR serves net/http/pprof and runtime
+// metrics for the benchmarking process itself:
+//
+//	spbench -exp fig6 -metrics-out BENCH_fig6.json
+//	spbench -validate BENCH_fig6.json
+//	spbench -exp all -pprof localhost:6060
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/spcube/spcube/internal/bench"
 	"github.com/spcube/spcube/internal/mr"
+	"github.com/spcube/spcube/internal/obs"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes one spbench invocation; it is main minus the process exit,
+// so tests can drive the full CLI surface.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("spbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp     = flag.String("exp", "all", "experiment id: fig4 fig5 fig6 fig7 fig8 balance traffic ablation rounds sketch, or all")
-		workers = flag.Int("k", 20, "simulated cluster size (machines)")
-		par     = flag.Int("p", 0, "goroutines executing simulated tasks: 0 = all cores, 1 = sequential (results are identical at any setting)")
-		seed    = flag.Int64("seed", 2016, "deterministic seed for data generation and sampling")
-		scale   = flag.Float64("scale", 1, "sweep size multiplier (1 = paper scale / 1000)")
-		format  = flag.String("format", "table", "output format: table, csv, or chart")
-		faults  = flag.String("faults", "", "fault-injection spec: round:phase:task:kind[:attempt[:count]], comma-separated (figures are identical to a fault-free run)")
-		maxAtt  = flag.Int("max-attempts", 0, "task attempts before an injected failure becomes permanent (0 = engine default, 4)")
+		exp        = fs.String("exp", "all", "experiment id: fig4 fig5 fig6 fig7 fig8 balance traffic ablation rounds sketch, or all")
+		workers    = fs.Int("k", 20, "simulated cluster size (machines)")
+		par        = fs.Int("p", 0, "goroutines executing simulated tasks: 0 = all cores, 1 = sequential (results are identical at any setting)")
+		seed       = fs.Int64("seed", 2016, "deterministic seed for data generation and sampling")
+		scale      = fs.Float64("scale", 1, "sweep size multiplier (1 = paper scale / 1000)")
+		format     = fs.String("format", "table", "output format: table, csv, or chart")
+		faults     = fs.String("faults", "", "fault-injection spec: round:phase:task:kind[:attempt[:count]], comma-separated (figures are identical to a fault-free run)")
+		maxAtt     = fs.Int("max-attempts", 0, "task attempts before an injected failure becomes permanent (0 = engine default, 4)")
+		metricsOut = fs.String("metrics-out", "", "write figures and per-run metrics (versioned JSON) to this file")
+		traceFile  = fs.String("trace", "", "write structured engine trace events (JSON lines) to this file")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof and /debug/runtime on this address (e.g. localhost:6060)")
+		validate   = fs.String("validate", "", "validate a metrics JSON document and exit (no experiments are run)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := bench.ValidateMetricsJSON(data); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%s: valid metrics document (schema version %d)\n", *validate, mr.MetricsSchemaVersion)
+		return 0
+	}
+
+	// Reject an unknown experiment id before any work (and before -format
+	// or fault-spec problems can mask it).
+	if _, err := experimentRunner(*exp); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
 
 	plan, err := mr.ParseFaultPlan(*faults)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
+
+	if *pprofAddr != "" {
+		srv, err := obs.Start(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "spbench: profiling endpoint on http://%s/debug/pprof/\n", srv.Addr)
+	}
+
 	cfg := bench.Config{Workers: *workers, Seed: *seed, Scale: *scale, Parallelism: *par,
 		Faults: plan, MaxAttempts: *maxAtt}
-	var figs []bench.Figure
-	if *exp == "all" {
-		figs = bench.All(cfg)
-	} else {
-		var err error
-		figs, err = bench.ByID(*exp, cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
+
+	var col bench.Collector
+	if *metricsOut != "" {
+		cfg.Collect = col.Collect
 	}
+	if *traceFile != "" {
+		tf, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer tf.Close()
+		cfg.Tracer = mr.NewJSONLTracer(tf)
+	}
+
+	runner, _ := experimentRunner(*exp)
+	figs := runner(cfg)
 
 	switch *format {
 	case "table":
-		err = bench.Render(os.Stdout, figs)
+		err = bench.Render(stdout, figs)
 	case "csv":
-		err = bench.RenderCSV(os.Stdout, figs)
+		err = bench.RenderCSV(stdout, figs)
 	case "chart":
-		err = bench.RenderCharts(os.Stdout, figs)
+		err = bench.RenderCharts(stdout, figs)
 	default:
-		err = fmt.Errorf("unknown format %q", *format)
+		err = fmt.Errorf("unknown format %q (want table, csv, or chart)", *format)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
+
+	if *metricsOut != "" {
+		doc := bench.NewMetricsDoc(cfg, *exp, figs, col.Runs)
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		werr := bench.WriteMetricsDoc(f, doc)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, werr)
+			return 1
+		}
+	}
+	return 0
+}
+
+// experimentRunner resolves an experiment id ("all" included) to its
+// runner, or an error naming the valid ids.
+func experimentRunner(id string) (func(bench.Config) []bench.Figure, error) {
+	if id == "all" {
+		return bench.All, nil
+	}
+	if _, ok := bench.Experiments[id]; !ok {
+		// ByID produces the canonical unknown-experiment error.
+		_, err := bench.ByID(id, bench.Config{})
+		return nil, err
+	}
+	return func(cfg bench.Config) []bench.Figure {
+		figs, err := bench.ByID(id, cfg)
+		if err != nil {
+			panic(err) // unreachable: id validated above
+		}
+		return figs
+	}, nil
 }

@@ -22,6 +22,14 @@
 // the retry counters are identical to a fault-free run:
 //
 //	spcube -in sales.csv -faults '*:map:*:crash' # every map task retried once
+//
+// Observability: -trace FILE streams the simulated cluster's structured
+// lifecycle events as JSON lines, -metrics-out FILE writes the run's full
+// per-round metrics as a versioned JSON document, and -pprof ADDR serves
+// net/http/pprof and runtime metrics for the process itself:
+//
+//	spcube -in sales.csv -trace trace.jsonl -metrics-out metrics.json
+//	spcube -in big.csv -pprof localhost:6060 &
 package main
 
 import (
@@ -33,43 +41,69 @@ import (
 	"strconv"
 
 	"github.com/spcube/spcube"
+	"github.com/spcube/spcube/internal/obs"
 )
 
 func main() {
-	var (
-		in      = flag.String("in", "", "input CSV path (default stdin)")
-		out     = flag.String("o", "", "output CSV path (default stdout)")
-		aggName = flag.String("agg", "count", "aggregate function: count, sum, min, max, avg, var, stddev, distinct")
-		algName = flag.String("algo", "sp-cube", "algorithm: sp-cube, naive, mr-cube, hive, pipesort")
-		workers = flag.Int("k", 8, "simulated cluster size")
-		par     = flag.Int("p", 0, "goroutines executing simulated tasks: 0 = all cores, 1 = sequential (results are identical at any setting)")
-		seed    = flag.Int64("seed", 1, "sampling seed")
-		minSup  = flag.Int("minsup", 0, "iceberg threshold: only materialize groups with at least this many rows")
-		stats   = flag.Bool("stats", true, "print execution statistics to stderr")
-		faults  = flag.String("faults", "", "fault-injection spec: round:phase:task:kind[:attempt[:count]], comma-separated (e.g. '*:map:*:crash'); the cube is identical to a fault-free run")
-		maxAtt  = flag.Int("max-attempts", 0, "task attempts before an injected failure becomes permanent (0 = engine default, 4)")
-	)
+	var o options
+	flag.StringVar(&o.in, "in", "", "input CSV path (default stdin)")
+	flag.StringVar(&o.out, "o", "", "output CSV path (default stdout)")
+	flag.StringVar(&o.aggName, "agg", "count", "aggregate function: count, sum, min, max, avg, var, stddev, distinct")
+	flag.StringVar(&o.algName, "algo", "sp-cube", "algorithm: sp-cube, naive, mr-cube, hive, pipesort")
+	flag.IntVar(&o.workers, "k", 8, "simulated cluster size")
+	flag.IntVar(&o.par, "p", 0, "goroutines executing simulated tasks: 0 = all cores, 1 = sequential (results are identical at any setting)")
+	flag.Int64Var(&o.seed, "seed", 1, "sampling seed")
+	flag.IntVar(&o.minSup, "minsup", 0, "iceberg threshold: only materialize groups with at least this many rows")
+	flag.BoolVar(&o.stats, "stats", true, "print execution statistics to stderr")
+	flag.StringVar(&o.faults, "faults", "", "fault-injection spec: round:phase:task:kind[:attempt[:count]], comma-separated (e.g. '*:map:*:crash'); the cube is identical to a fault-free run")
+	flag.IntVar(&o.maxAttempts, "max-attempts", 0, "task attempts before an injected failure becomes permanent (0 = engine default, 4)")
+	flag.StringVar(&o.traceFile, "trace", "", "write structured engine trace events (JSON lines) to this file")
+	flag.StringVar(&o.metricsFile, "metrics-out", "", "write the run's per-round metrics (versioned JSON) to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/runtime on this address (e.g. localhost:6060)")
 	flag.Parse()
 
-	if err := run(*in, *out, *aggName, *algName, *workers, *par, *seed, *minSup, *stats, *faults, *maxAtt); err != nil {
+	if *pprofAddr != "" {
+		srv, err := obs.Start(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spcube:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "spcube: profiling endpoint on http://%s/debug/pprof/\n", srv.Addr)
+	}
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "spcube:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, aggName, algName string, workers, par int, seed int64, minSup int, stats bool, faults string, maxAttempts int) error {
-	aggFn, err := spcube.AggByName(aggName)
+// options carries one invocation's parameters (the parsed flags).
+type options struct {
+	in, out          string
+	aggName, algName string
+	workers, par     int
+	seed             int64
+	minSup           int
+	stats            bool
+	faults           string
+	maxAttempts      int
+	traceFile        string
+	metricsFile      string
+}
+
+func run(o options) error {
+	aggFn, err := spcube.AggByName(o.aggName)
 	if err != nil {
 		return err
 	}
-	alg, err := spcube.AlgByName(algName)
+	alg, err := spcube.AlgByName(o.algName)
 	if err != nil {
 		return err
 	}
 
 	var r io.Reader = os.Stdin
-	if in != "" {
-		f, err := os.Open(in)
+	if o.in != "" {
+		f, err := os.Open(o.in)
 		if err != nil {
 			return err
 		}
@@ -81,34 +115,54 @@ func run(in, out, aggName, algName string, workers, par int, seed int64, minSup 
 		return err
 	}
 
-	c, err := spcube.Compute(rel,
+	opts := []spcube.Option{
 		spcube.Aggregate(aggFn),
 		spcube.Algorithm(alg),
-		spcube.Workers(workers),
-		spcube.Parallelism(par),
-		spcube.Seed(seed),
-		spcube.MinSupport(minSup),
-		spcube.Faults(faults),
-		spcube.MaxAttempts(maxAttempts),
-	)
+		spcube.Workers(o.workers),
+		spcube.Parallelism(o.par),
+		spcube.Seed(o.seed),
+		spcube.MinSupport(o.minSup),
+		spcube.Faults(o.faults),
+		spcube.MaxAttempts(o.maxAttempts),
+	}
+	if o.traceFile != "" {
+		tf, err := os.Create(o.traceFile)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		opts = append(opts, spcube.Trace(tf))
+	}
+
+	c, err := spcube.Compute(rel, opts...)
 	if err != nil {
 		return err
 	}
 
 	var w io.Writer = os.Stdout
-	if out != "" {
-		f, err := os.Create(out)
+	if o.out != "" {
+		f, err := os.Create(o.out)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		w = f
 	}
-	if err := writeCSV(w, rel, c, aggName); err != nil {
+	if err := writeCSV(w, rel, c, o.aggName); err != nil {
 		return err
 	}
 
-	if stats {
+	if o.metricsFile != "" {
+		data, err := c.MetricsJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.metricsFile, data, 0o644); err != nil {
+			return err
+		}
+	}
+
+	if o.stats {
 		st := c.Stats()
 		fmt.Fprintf(os.Stderr,
 			"%s: %d rows -> %d c-groups | %d rounds, %.1f simulated s (%.2fs wall), %d intermediate records (%d B)",

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -21,7 +22,7 @@ func TestRunEndToEnd(t *testing.T) {
 	if err := os.WriteFile(in, []byte(sampleCSV), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, out, "sum", "sp-cube", 3, 0, 1, 0, false, "", 0); err != nil {
+	if err := run(options{in: in, out: out, aggName: "sum", algName: "sp-cube", workers: 3, par: 0, seed: 1, minSup: 0, stats: false, faults: "", maxAttempts: 0}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -56,12 +57,12 @@ func TestRunAllAlgorithmsAndMinSup(t *testing.T) {
 	}
 	for _, algo := range []string{"sp-cube", "naive", "mr-cube", "hive"} {
 		out := filepath.Join(dir, algo+".csv")
-		if err := run(in, out, "count", algo, 2, 0, 1, 0, false, "", 0); err != nil {
+		if err := run(options{in: in, out: out, aggName: "count", algName: algo, workers: 2, par: 0, seed: 1, minSup: 0, stats: false, faults: "", maxAttempts: 0}); err != nil {
 			t.Errorf("%s: %v", algo, err)
 		}
 	}
 	out := filepath.Join(dir, "iceberg.csv")
-	if err := run(in, out, "count", "sp-cube", 2, 0, 1, 3, false, "", 0); err != nil {
+	if err := run(options{in: in, out: out, aggName: "count", algName: "sp-cube", workers: 2, par: 0, seed: 1, minSup: 3, stats: false, faults: "", maxAttempts: 0}); err != nil {
 		t.Fatal(err)
 	}
 	data, _ := os.ReadFile(out)
@@ -76,16 +77,16 @@ func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	in := filepath.Join(dir, "in.csv")
 
-	if err := run(in, "", "count", "sp-cube", 2, 0, 1, 0, false, "", 0); err == nil {
+	if err := run(options{in: in, out: "", aggName: "count", algName: "sp-cube", workers: 2, par: 0, seed: 1, minSup: 0, stats: false, faults: "", maxAttempts: 0}); err == nil {
 		t.Error("missing input must fail")
 	}
 	if err := os.WriteFile(in, []byte(sampleCSV), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, "", "median", "sp-cube", 2, 0, 1, 0, false, "", 0); err == nil {
+	if err := run(options{in: in, out: "", aggName: "median", algName: "sp-cube", workers: 2, par: 0, seed: 1, minSup: 0, stats: false, faults: "", maxAttempts: 0}); err == nil {
 		t.Error("unknown aggregate must fail")
 	}
-	if err := run(in, "", "count", "spark", 2, 0, 1, 0, false, "", 0); err == nil {
+	if err := run(options{in: in, out: "", aggName: "count", algName: "spark", workers: 2, par: 0, seed: 1, minSup: 0, stats: false, faults: "", maxAttempts: 0}); err == nil {
 		t.Error("unknown algorithm must fail")
 	}
 
@@ -93,21 +94,69 @@ func TestRunErrors(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("a,b,m\nx,y,notanumber\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(bad, "", "count", "sp-cube", 2, 0, 1, 0, false, "", 0); err == nil {
+	if err := run(options{in: bad, out: "", aggName: "count", algName: "sp-cube", workers: 2, par: 0, seed: 1, minSup: 0, stats: false, faults: "", maxAttempts: 0}); err == nil {
 		t.Error("non-numeric measure must fail")
 	}
 	empty := filepath.Join(dir, "empty.csv")
 	if err := os.WriteFile(empty, []byte("a,b,m\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(empty, "", "count", "sp-cube", 2, 0, 1, 0, false, "", 0); err == nil {
+	if err := run(options{in: empty, out: "", aggName: "count", algName: "sp-cube", workers: 2, par: 0, seed: 1, minSup: 0, stats: false, faults: "", maxAttempts: 0}); err == nil {
 		t.Error("headerless/empty data must fail")
 	}
 	oneCol := filepath.Join(dir, "one.csv")
 	if err := os.WriteFile(oneCol, []byte("m\n1\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(oneCol, "", "count", "sp-cube", 2, 0, 1, 0, false, "", 0); err == nil {
+	if err := run(options{in: oneCol, out: "", aggName: "count", algName: "sp-cube", workers: 2, par: 0, seed: 1, minSup: 0, stats: false, faults: "", maxAttempts: 0}); err == nil {
 		t.Error("single-column input must fail")
+	}
+}
+
+func TestRunTraceAndMetricsOut(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.csv")
+	if err := os.WriteFile(in, []byte(sampleCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	trace := filepath.Join(dir, "trace.jsonl")
+	metrics := filepath.Join(dir, "metrics.json")
+	err := run(options{in: in, out: filepath.Join(dir, "out.csv"), aggName: "count", algName: "sp-cube",
+		workers: 2, seed: 1, traceFile: trace, metricsFile: metrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	traceData, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(traceData)), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("trace has %d events, want at least round-start/task/round-end per round", len(lines))
+	}
+	for i, line := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace line %d is not JSON: %v", i, err)
+		}
+		if _, ok := ev["type"].(string); !ok {
+			t.Fatalf("trace line %d lacks a type: %s", i, line)
+		}
+	}
+
+	metricsData, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(metricsData, &doc); err != nil {
+		t.Fatalf("metrics file is not JSON: %v", err)
+	}
+	if v, ok := doc["schemaVersion"].(float64); !ok || int(v) != 1 {
+		t.Errorf("metrics schemaVersion = %v", doc["schemaVersion"])
+	}
+	if rounds, ok := doc["rounds"].([]any); !ok || len(rounds) != 2 {
+		t.Errorf("sp-cube metrics should have 2 rounds, got %v", doc["rounds"])
 	}
 }

@@ -49,6 +49,15 @@ type Config struct {
 	// MaxAttempts bounds task re-execution under injected faults
 	// (0 = engine default).
 	MaxAttempts int
+	// Tracer, when set, receives every engine's structured lifecycle
+	// events (see mr.Tracer); it is shared by all runs of the experiment,
+	// so sinks must be safe for sequential reuse (the bundled
+	// mr.JSONLTracer is).
+	Tracer mr.Tracer
+	// Collect, when set, receives one RunRecord per algorithm execution
+	// with the run's full per-round metrics — the raw material of the
+	// machine-readable metrics document (see MetricsDoc).
+	Collect func(RunRecord)
 }
 
 func (c *Config) defaults() {
@@ -63,27 +72,28 @@ func (c *Config) defaults() {
 	}
 }
 
-// Point is one measurement of one series.
+// Point is one measurement of one series. The JSON tags are part of the
+// versioned metrics-document schema (see MetricsDoc).
 type Point struct {
-	X   float64
-	Y   float64
-	DNF bool // the run failed (reducer OOM): plotted as "did not finish"
+	X   float64 `json:"x"`
+	Y   float64 `json:"y"`
+	DNF bool    `json:"dnf,omitempty"` // the run failed (reducer OOM): plotted as "did not finish"
 }
 
 // Series is one curve of a figure.
 type Series struct {
-	Name   string
-	Points []Point
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
 }
 
 // Figure mirrors one sub-figure of the paper.
 type Figure struct {
-	ID     string // e.g. "fig4a"
-	Title  string
-	XLabel string
-	YLabel string
-	LogX   bool
-	Series []Series
+	ID     string   `json:"id"` // e.g. "fig4a"
+	Title  string   `json:"title"`
+	XLabel string   `json:"xLabel"`
+	YLabel string   `json:"yLabel"`
+	LogX   bool     `json:"logX,omitempty"`
+	Series []Series `json:"series"`
 }
 
 // measures are the per-run quantities the figures plot.
@@ -117,12 +127,25 @@ func paperAlgos(seed int64) []algo {
 	}
 }
 
+// engineConfig is the mr.Config every experiment engine is created with.
+func (c Config) engineConfig() mr.Config {
+	return mr.Config{Workers: c.Workers, Seed: uint64(c.Seed), Parallelism: c.Parallelism,
+		Faults: c.Faults, MaxAttempts: c.MaxAttempts, Tracer: c.Tracer}
+}
+
 // runOne executes one algorithm on one relation with a fresh engine.
 func runOne(cfg Config, a algo, rel *relation.Relation) measures {
-	eng := mr.New(mr.Config{Workers: cfg.Workers, Seed: uint64(cfg.Seed), Parallelism: cfg.Parallelism,
-		Faults: cfg.Faults, MaxAttempts: cfg.MaxAttempts}, nil)
+	eng := mr.New(cfg.engineConfig(), nil)
 	run, err := a.fn(eng, rel, cube.Spec{Agg: agg.Count})
 	var ms measures
+	if cfg.Collect != nil {
+		rec := RunRecord{Algo: a.name, InputTuples: rel.N(), DNF: err != nil}
+		if run != nil {
+			jm := run.Metrics
+			rec.Metrics = &jm
+		}
+		cfg.Collect(rec)
+	}
 	if run != nil {
 		ms.totalSim = run.Metrics.SimSeconds()
 		ms.mapAvg = run.Metrics.MapTimeAvg()
@@ -425,9 +448,16 @@ func Rounds(cfg Config) []Figure {
 		sr := Series{Name: a.name}
 		for _, d := range []int{2, 3, 4, 5, 6} {
 			rel := data.Uniform(n, d, 1000, cfg.Seed)
-			eng := mr.New(mr.Config{Workers: cfg.Workers, Seed: uint64(cfg.Seed), Parallelism: cfg.Parallelism,
-				Faults: cfg.Faults, MaxAttempts: cfg.MaxAttempts}, nil)
+			eng := mr.New(cfg.engineConfig(), nil)
 			run, err := a.fn(eng, rel, cube.Spec{Agg: agg.Count})
+			if cfg.Collect != nil {
+				rec := RunRecord{Algo: a.name, InputTuples: rel.N(), DNF: err != nil}
+				if run != nil {
+					jm := run.Metrics
+					rec.Metrics = &jm
+				}
+				cfg.Collect(rec)
+			}
 			if err != nil {
 				st.Points = append(st.Points, Point{X: float64(d), DNF: true})
 				sr.Points = append(sr.Points, Point{X: float64(d), DNF: true})

@@ -34,8 +34,17 @@ func SketchQuality(cfg Config) []Figure {
 	for _, x := range sizes {
 		n := int(x)
 		rel := data.WikiTraffic(n, cfg.Seed)
-		eng := mr.New(mr.Config{Workers: cfg.Workers, Seed: uint64(cfg.Seed), Parallelism: cfg.Parallelism}, nil)
+		eng := mr.New(cfg.engineConfig(), nil)
 		built, err := sketch.Build(eng, rel, cfg.Seed)
+		if cfg.Collect != nil {
+			rec := RunRecord{Algo: "SP-Sketch", InputTuples: rel.N(), DNF: err != nil}
+			if built != nil {
+				var jm mr.JobMetrics
+				jm.Add(built.Metrics)
+				rec.Metrics = &jm
+			}
+			cfg.Collect(rec)
+		}
 		if err != nil {
 			continue
 		}

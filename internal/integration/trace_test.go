@@ -1,0 +1,77 @@
+package integration
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/spcube/spcube/internal/agg"
+	"github.com/spcube/spcube/internal/cube"
+	"github.com/spcube/spcube/internal/data"
+	"github.com/spcube/spcube/internal/dfs"
+	"github.com/spcube/spcube/internal/mr"
+	"github.com/spcube/spcube/internal/relation"
+)
+
+// runTrace executes one algorithm with a SliceTracer attached and returns
+// the event stream with the wall-clock timestamps (the only field outside
+// the determinism contract) zeroed.
+func runTrace(t *testing.T, fn cube.ComputeFunc, rel *relation.Relation, parallelism int, faults string) []mr.TraceEvent {
+	t.Helper()
+	plan, err := mr.ParseFaultPlan(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := &mr.SliceTracer{}
+	eng := mr.New(mr.Config{Workers: 6, Seed: 42, Parallelism: parallelism,
+		Faults: plan, Tracer: tracer}, dfs.New(false))
+	if _, err := fn(eng, rel, cube.Spec{Agg: agg.Count}); err != nil {
+		t.Fatal(err)
+	}
+	events := append([]mr.TraceEvent(nil), tracer.Events...)
+	for i := range events {
+		events[i].Time = time.Time{}
+	}
+	return events
+}
+
+// TestTraceDeterminismTable is the cross-algorithm trace-determinism table:
+// for every algorithm, with and without an injected fault plan, the
+// structured event stream (minus timestamps) must be identical at
+// parallelism 1 and parallelism 8.
+func TestTraceDeterminismTable(t *testing.T) {
+	rel := data.GenBinomial(600, 4, 0.4, 31)
+	faultPlans := []struct {
+		name string
+		spec string
+	}{
+		{"clean", ""},
+		{"crash", "*:map:*:crash"},
+	}
+	for _, fp := range faultPlans {
+		for _, a := range allAlgorithms {
+			t.Run(fp.name+"/"+a.name, func(t *testing.T) {
+				seq := runTrace(t, a.fn, rel, 1, fp.spec)
+				par := runTrace(t, a.fn, rel, 8, fp.spec)
+				if len(seq) == 0 {
+					t.Fatal("no trace events emitted")
+				}
+				if !reflect.DeepEqual(seq, par) {
+					t.Fatalf("trace streams differ: %d events sequential vs %d parallel",
+						len(seq), len(par))
+				}
+				if fp.spec != "" {
+					retries := 0
+					for _, ev := range seq {
+						if ev.Type == mr.EvTaskRetry {
+							retries++
+						}
+					}
+					if retries == 0 {
+						t.Error("fault plan injected but no retry events traced")
+					}
+				}
+			})
+		}
+	}
+}

@@ -105,6 +105,13 @@ type Config struct {
 	// FailOnReducerOOM, partition range errors — would fail identically
 	// again and abort the round on the first attempt.
 	MaxAttempts int
+	// Tracer receives structured lifecycle events (round start/end, task
+	// attempt start/success/failure/retry, shuffle, spill, fault
+	// injection). Nil — the default — disables tracing; the engine then
+	// performs no trace work and no trace allocations. The delivered
+	// stream is deterministic: identical, except for timestamps, at any
+	// Parallelism and under any fault plan (see Tracer).
+	Tracer Tracer
 }
 
 // Job describes one MapReduce round. Exactly one of MapTuple and MapPair
@@ -176,6 +183,9 @@ type Engine struct {
 	FS  *dfs.FS
 	// rounds counts executed jobs; Fault.Round selects against it.
 	rounds int
+	// traceSeq numbers delivered trace events; only touched from the run
+	// goroutine (events are flushed at phase barriers).
+	traceSeq int64
 }
 
 // New creates an engine. When fs is nil a discard-mode DFS is created.
@@ -381,6 +391,14 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 
 	start := time.Now()
 
+	// Tracing: tr is nil when Config.Tracer is unset, and every method on
+	// a nil roundTracer is a no-op, so the fault-free untraced path does no
+	// trace work at all. Task-level events are buffered per task and
+	// flushed in task-index order at each phase barrier, which keeps the
+	// delivered stream identical at any parallelism.
+	tr := e.tracerFor(round, job.Name)
+	tr.roundStart(e.Cfg.Workers, reducers)
+
 	// Map phase. Tasks run on the worker pool; each partitions its own
 	// output into private per-reducer buckets, and the shuffle merges them
 	// in task-index order below, so bucket contents are independent of
@@ -390,13 +408,15 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 	// reaches the shuffle.
 	taskBuckets := make([][][]Pair, e.Cfg.Workers)
 	mapErrs := make([]error, e.Cfg.Workers)
+	tr.startPhase(e.Cfg.Workers)
 	e.forEachTask(e.Cfg.Workers, func(task int) {
 		var wasted int64
 		var retryWall float64
 		for attempt := 0; ; attempt++ {
 			tstart := time.Now()
-			ctx := &MapCtx{Task: task, job: job, eng: e,
-				inject: e.injectorFor(round, PhaseMap, task, attempt)}
+			inj := e.injectorFor(round, PhaseMap, task, attempt)
+			tr.attemptStart(PhaseMap, task, attempt, inj)
+			ctx := &MapCtx{Task: task, job: job, eng: e, inject: inj}
 			buckets, err := e.mapAttempt(job, ctx, task, feed, reducers, partition)
 			if err == nil {
 				ctx.metrics.WallSeconds = time.Since(tstart).Seconds()
@@ -405,6 +425,7 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 				ctx.metrics.WastedBytes = wasted
 				rm.Mappers[task] = ctx.metrics
 				taskBuckets[task] = buckets
+				tr.taskSuccess(PhaseMap, task, attempt, &rm.Mappers[task])
 				return
 			}
 			retryable := isFaultError(err)
@@ -419,10 +440,13 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 					WastedBytes:      wasted,
 				}
 				mapErrs[task] = err
+				tr.attemptFailure(PhaseMap, task, attempt, err)
 				return
 			}
+			tr.attemptRetry(PhaseMap, task, attempt, err)
 		}
 	})
+	tr.flushPhase()
 	for task := 0; task < e.Cfg.Workers; task++ {
 		if err := mapErrs[task]; err != nil {
 			if isFaultError(err) {
@@ -434,11 +458,13 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 			}
 			rm.finalize(e.Cfg.Cost)
 			rm.WallSeconds = time.Since(start).Seconds()
+			tr.roundEnd(rm)
 			return res, err
 		}
 		rm.ShuffleRecords += rm.Mappers[task].OutRecords
 		rm.ShuffleBytes += rm.Mappers[task].OutBytes
 	}
+	tr.shuffle(rm)
 
 	// Shuffle barrier: reducer r receives task 0's pairs, then task 1's,
 	// ... — the same order the sequential engine produced.
@@ -467,6 +493,7 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 	// absorb oversized *groups* as external aggregation I/O below.
 	runTasks := reducers
 	var failErr error
+	tr.startPhase(reducers)
 	for task := 0; task < reducers; task++ {
 		tm := &rm.Reducers[task]
 		in := buckets[task]
@@ -481,6 +508,7 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 				task, tm.InRecords, inflation, e.Cfg.OOMFactor, memTuples)
 			failErr = fmt.Errorf("mr: job %s: %s", job.Name, rm.FailReason)
 			runTasks = task
+			tr.attemptFailure(PhaseReduce, task, 0, failErr)
 			break
 		}
 	}
@@ -506,6 +534,8 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 		for attempt := 0; ; attempt++ {
 			tstart := time.Now()
 			attemptMetrics := base
+			inj := e.injectorFor(round, PhaseReduce, task, attempt)
+			tr.attemptStart(PhaseReduce, task, attempt, inj)
 			ctx := &RedCtx{
 				Task:     task,
 				job:      job,
@@ -513,7 +543,7 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 				file:     file,
 				sideFile: sideFile,
 				metrics:  &attemptMetrics,
-				inject:   e.injectorFor(round, PhaseReduce, task, attempt),
+				inject:   inj,
 			}
 			fileMark := e.FS.Mark(file)
 			sideMark := e.FS.Mark(sideFile)
@@ -525,6 +555,7 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 				attemptMetrics.WastedBytes = wasted
 				rm.Reducers[task] = attemptMetrics
 				taskCollect[task] = ctx.collect
+				tr.taskSuccess(PhaseReduce, task, attempt, &rm.Reducers[task])
 				return
 			}
 			wasted += attemptMetrics.OutBytes + attemptMetrics.SideBytes
@@ -538,10 +569,13 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 				failed.WastedBytes = wasted
 				rm.Reducers[task] = failed
 				redErrs[task] = err
+				tr.attemptFailure(PhaseReduce, task, attempt, err)
 				return
 			}
+			tr.attemptRetry(PhaseReduce, task, attempt, err)
 		}
 	})
+	tr.flushPhase()
 	for task := 0; task < runTasks; task++ {
 		if err := redErrs[task]; err != nil && failErr == nil {
 			rm.Failed = true
@@ -563,6 +597,7 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 
 	rm.finalize(e.Cfg.Cost)
 	rm.WallSeconds = time.Since(start).Seconds()
+	tr.roundEnd(rm)
 	if failErr != nil {
 		return res, failErr
 	}

@@ -263,7 +263,8 @@ func TestMemTuples(t *testing.T) {
 func TestMetricsAggregation(t *testing.T) {
 	var jm JobMetrics
 	jm.Add(RoundMetrics{ShuffleBytes: 100, ShuffleRecords: 10, SimSeconds: 2,
-		Mappers: []TaskMetrics{{CPUSeconds: 1}}, Reducers: []TaskMetrics{{CPUSeconds: 3}},
+		Mappers: []TaskMetrics{{CPUSeconds: 1, Attempts: 1}}, Reducers: []TaskMetrics{{CPUSeconds: 3, Attempts: 1}},
+		MappersExecuted: 1, ReducersExecuted: 1,
 		MapTimeAvg: 1, ReduceTimeAvg: 3})
 	jm.Add(RoundMetrics{ShuffleBytes: 50, ShuffleRecords: 5, SimSeconds: 1, Failed: true, FailReason: "x"})
 	if jm.ShuffleBytes() != 150 || jm.ShuffleRecords() != 15 {

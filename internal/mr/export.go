@@ -1,0 +1,223 @@
+package mr
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// MetricsSchemaVersion identifies the machine-readable metrics document
+// layout produced by JobMetrics.MarshalJSON / ExportMetrics. Consumers must
+// check it before interpreting the document; it is bumped on any
+// backwards-incompatible change.
+//
+// Determinism contract of the document: for a fixed input, configuration
+// and fault plan, every field is bit-for-bit identical at any
+// Config.Parallelism except the wall-clock fields ("wallSeconds",
+// "retryWallSeconds"). Additionally, the recovery-accounting fields
+// ("retries", "wastedBytes", "attempts") are the only deterministic fields
+// that differ between a faulted and a fault-free run of the same job.
+const MetricsSchemaVersion = 1
+
+// LoadBalance summarizes how evenly a byte quantity is spread over a
+// round's reduce tasks — the paper's §6.2 closing claim is that SP-Cube's
+// reducer outputs are near-balanced while hash partitioning under skew is
+// not.
+type LoadBalance struct {
+	Tasks       int     `json:"tasks"`
+	MinBytes    int64   `json:"minBytes"`
+	MedianBytes int64   `json:"medianBytes"`
+	MaxBytes    int64   `json:"maxBytes"`
+	MeanBytes   float64 `json:"meanBytes"`
+	// MaxOverMedian is the imbalance ratio (1 = perfectly balanced); when
+	// the median is zero it degrades to the raw maximum.
+	MaxOverMedian float64 `json:"maxOverMedian"`
+	// Histogram counts tasks per bucket over the linear range [0,
+	// maxBytes], in 8 equal-width buckets (all tasks land in bucket 0 when
+	// maxBytes is 0).
+	Histogram [8]int `json:"histogram"`
+}
+
+// NewLoadBalance builds the balance summary of one byte-size-per-task
+// vector; nil for an empty vector.
+func NewLoadBalance(sizes []int64) *LoadBalance {
+	if len(sizes) == 0 {
+		return nil
+	}
+	sorted := append([]int64(nil), sizes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	lb := &LoadBalance{
+		Tasks:       len(sizes),
+		MinBytes:    sorted[0],
+		MedianBytes: sorted[len(sorted)/2],
+		MaxBytes:    sorted[len(sorted)-1],
+	}
+	var sum int64
+	for _, s := range sorted {
+		sum += s
+	}
+	lb.MeanBytes = float64(sum) / float64(len(sorted))
+	if lb.MedianBytes > 0 {
+		lb.MaxOverMedian = float64(lb.MaxBytes) / float64(lb.MedianBytes)
+	} else {
+		lb.MaxOverMedian = float64(lb.MaxBytes)
+	}
+	for _, s := range sorted {
+		b := 0
+		if lb.MaxBytes > 0 {
+			b = int(int64(len(lb.Histogram)-1) * s / lb.MaxBytes)
+		}
+		lb.Histogram[b]++
+	}
+	return lb
+}
+
+// taskMetricsJSON is the wire form of TaskMetrics. Field names are part of
+// the versioned schema.
+type taskMetricsJSON struct {
+	InRecords         int64   `json:"inRecords"`
+	InBytes           int64   `json:"inBytes"`
+	OutRecords        int64   `json:"outRecords"`
+	OutBytes          int64   `json:"outBytes"`
+	PreCombineRecords int64   `json:"preCombineRecords"`
+	PreCombineBytes   int64   `json:"preCombineBytes"`
+	Ops               int64   `json:"ops"`
+	LargestKeyRecords int64   `json:"largestKeyRecords"`
+	LargestKeyBytes   int64   `json:"largestKeyBytes"`
+	SideRecords       int64   `json:"sideRecords"`
+	SideBytes         int64   `json:"sideBytes"`
+	SpillBytes        int64   `json:"spillBytes"`
+	CPUSeconds        float64 `json:"cpuSeconds"`
+	WallSeconds       float64 `json:"wallSeconds"`
+	Attempts          int64   `json:"attempts"`
+	RetryWallSeconds  float64 `json:"retryWallSeconds"`
+	WastedBytes       int64   `json:"wastedBytes"`
+}
+
+func taskJSON(t *TaskMetrics) taskMetricsJSON {
+	return taskMetricsJSON{
+		InRecords: t.InRecords, InBytes: t.InBytes,
+		OutRecords: t.OutRecords, OutBytes: t.OutBytes,
+		PreCombineRecords: t.PreCombineRecords, PreCombineBytes: t.PreCombineBytes,
+		Ops:               t.Ops,
+		LargestKeyRecords: t.LargestKeyRecords, LargestKeyBytes: t.LargestKeyBytes,
+		SideRecords: t.SideRecords, SideBytes: t.SideBytes,
+		SpillBytes: t.SpillBytes,
+		CPUSeconds: t.CPUSeconds, WallSeconds: t.WallSeconds,
+		Attempts: t.Attempts, RetryWallSeconds: t.RetryWallSeconds, WastedBytes: t.WastedBytes,
+	}
+}
+
+func tasksJSON(ts []TaskMetrics) []taskMetricsJSON {
+	out := make([]taskMetricsJSON, len(ts))
+	for i := range ts {
+		out[i] = taskJSON(&ts[i])
+	}
+	return out
+}
+
+// roundMetricsJSON is the wire form of RoundMetrics.
+type roundMetricsJSON struct {
+	Job              string            `json:"job"`
+	ShuffleRecords   int64             `json:"shuffleRecords"`
+	ShuffleBytes     int64             `json:"shuffleBytes"`
+	OutputRecords    int64             `json:"outputRecords"`
+	OutputBytes      int64             `json:"outputBytes"`
+	MappersExecuted  int               `json:"mappersExecuted"`
+	ReducersExecuted int               `json:"reducersExecuted"`
+	MapTimeAvg       float64           `json:"mapTimeAvg"`
+	MapTimeMax       float64           `json:"mapTimeMax"`
+	ShuffleTime      float64           `json:"shuffleTime"`
+	ReduceTimeAvg    float64           `json:"reduceTimeAvg"`
+	ReduceTimeMax    float64           `json:"reduceTimeMax"`
+	SimSeconds       float64           `json:"simSeconds"`
+	WallSeconds      float64           `json:"wallSeconds"`
+	Retries          int64             `json:"retries"`
+	RetryWallSeconds float64           `json:"retryWallSeconds"`
+	WastedBytes      int64             `json:"wastedBytes"`
+	Failed           bool              `json:"failed,omitempty"`
+	FailReason       string            `json:"failReason,omitempty"`
+	Mappers          []taskMetricsJSON `json:"mappers"`
+	Reducers         []taskMetricsJSON `json:"reducers"`
+	// ReducerInputBalance/ReducerOutputBalance summarize how evenly the
+	// shuffle and the output were spread over the round's reducers.
+	ReducerInputBalance  *LoadBalance `json:"reducerInputBalance,omitempty"`
+	ReducerOutputBalance *LoadBalance `json:"reducerOutputBalance,omitempty"`
+}
+
+func roundJSON(r *RoundMetrics) roundMetricsJSON {
+	in := make([]int64, len(r.Reducers))
+	for i := range r.Reducers {
+		in[i] = r.Reducers[i].InBytes
+	}
+	return roundMetricsJSON{
+		Job:            r.Job,
+		ShuffleRecords: r.ShuffleRecords, ShuffleBytes: r.ShuffleBytes,
+		OutputRecords: r.OutputRecords, OutputBytes: r.OutputBytes,
+		MappersExecuted: r.MappersExecuted, ReducersExecuted: r.ReducersExecuted,
+		MapTimeAvg: r.MapTimeAvg, MapTimeMax: r.MapTimeMax,
+		ShuffleTime:   r.ShuffleTime,
+		ReduceTimeAvg: r.ReduceTimeAvg, ReduceTimeMax: r.ReduceTimeMax,
+		SimSeconds: r.SimSeconds, WallSeconds: r.WallSeconds,
+		Retries: r.Retries, RetryWallSeconds: r.RetryWallSeconds, WastedBytes: r.WastedBytes,
+		Failed: r.Failed, FailReason: r.FailReason,
+		Mappers:              tasksJSON(r.Mappers),
+		Reducers:             tasksJSON(r.Reducers),
+		ReducerInputBalance:  NewLoadBalance(in),
+		ReducerOutputBalance: NewLoadBalance(r.ReducerOutputBytes()),
+	}
+}
+
+// jobMetricsJSON is the top-level versioned metrics document.
+type jobMetricsJSON struct {
+	SchemaVersion    int                `json:"schemaVersion"`
+	Rounds           []roundMetricsJSON `json:"rounds"`
+	SimSeconds       float64            `json:"simSeconds"`
+	WallSeconds      float64            `json:"wallSeconds"`
+	ShuffleRecords   int64              `json:"shuffleRecords"`
+	ShuffleBytes     int64              `json:"shuffleBytes"`
+	MapTimeAvg       float64            `json:"mapTimeAvg"`
+	ReduceTimeAvg    float64            `json:"reduceTimeAvg"`
+	Retries          int64              `json:"retries"`
+	RetryWallSeconds float64            `json:"retryWallSeconds"`
+	WastedBytes      int64              `json:"wastedBytes"`
+	Failed           bool               `json:"failed,omitempty"`
+	FailReason       string             `json:"failReason,omitempty"`
+}
+
+// MarshalJSON renders the job's metrics as the stable, versioned document
+// described by MetricsSchemaVersion: job-level totals, per-round and
+// per-task counters, retry accounting, reducer load-balance summaries, and
+// simulated vs. wall time.
+func (j *JobMetrics) MarshalJSON() ([]byte, error) {
+	doc := jobMetricsJSON{
+		SchemaVersion:    MetricsSchemaVersion,
+		Rounds:           make([]roundMetricsJSON, len(j.Rounds)),
+		SimSeconds:       j.SimSeconds(),
+		WallSeconds:      j.WallSeconds(),
+		ShuffleRecords:   j.ShuffleRecords(),
+		ShuffleBytes:     j.ShuffleBytes(),
+		MapTimeAvg:       j.MapTimeAvg(),
+		ReduceTimeAvg:    j.ReduceTimeAvg(),
+		Retries:          j.Retries(),
+		RetryWallSeconds: j.RetryWallSeconds(),
+		WastedBytes:      j.WastedBytes(),
+	}
+	doc.Failed, doc.FailReason = j.Failed()
+	for i := range j.Rounds {
+		doc.Rounds[i] = roundJSON(&j.Rounds[i])
+	}
+	return json.Marshal(doc)
+}
+
+// ExportMetrics writes the job's metrics document as indented JSON.
+func ExportMetrics(w io.Writer, j *JobMetrics) error {
+	data, err := json.MarshalIndent(j, "", "  ")
+	if err != nil {
+		return fmt.Errorf("mr: export metrics: %w", err)
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

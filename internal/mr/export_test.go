@@ -1,0 +1,155 @@
+package mr
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewLoadBalance(t *testing.T) {
+	if NewLoadBalance(nil) != nil {
+		t.Error("empty vector must yield nil")
+	}
+	lb := NewLoadBalance([]int64{10, 40, 20, 80})
+	if lb.Tasks != 4 || lb.MinBytes != 10 || lb.MaxBytes != 80 {
+		t.Errorf("extrema: %+v", lb)
+	}
+	if lb.MedianBytes != 40 {
+		t.Errorf("median = %d, want 40", lb.MedianBytes)
+	}
+	if lb.MeanBytes != 37.5 {
+		t.Errorf("mean = %v, want 37.5", lb.MeanBytes)
+	}
+	if lb.MaxOverMedian != 2 {
+		t.Errorf("max/median = %v, want 2", lb.MaxOverMedian)
+	}
+	var total int
+	for _, c := range lb.Histogram {
+		total += c
+	}
+	if total != 4 {
+		t.Errorf("histogram counts %d tasks, want 4", total)
+	}
+	if lb.Histogram[len(lb.Histogram)-1] != 1 {
+		t.Errorf("max value must land in the last bucket: %v", lb.Histogram)
+	}
+	// Perfectly balanced vector: ratio 1, everything in the top bucket.
+	lb = NewLoadBalance([]int64{5, 5, 5})
+	if lb.MaxOverMedian != 1 || lb.Histogram[len(lb.Histogram)-1] != 3 {
+		t.Errorf("balanced vector: %+v", lb)
+	}
+	// All-zero vector degrades without dividing by zero.
+	lb = NewLoadBalance([]int64{0, 0})
+	if lb.MaxOverMedian != 0 || lb.Histogram[0] != 2 {
+		t.Errorf("zero vector: %+v", lb)
+	}
+}
+
+func runSmallJob(t *testing.T, par int) *JobMetrics {
+	t.Helper()
+	tuples, _ := tuplesFromWords(strings.Fields(strings.Repeat("a b c d ", 100)))
+	eng := New(Config{Workers: 4, Seed: 3, Parallelism: par}, nil)
+	counts := make(map[string]int64)
+	res, err := eng.RunTuples(wordCountJob(counts), tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jm JobMetrics
+	jm.Add(res.Metrics)
+	return &jm
+}
+
+func TestMetricsMarshalJSONSchema(t *testing.T) {
+	data, err := json.Marshal(runSmallJob(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := doc["schemaVersion"].(float64); !ok || int(v) != MetricsSchemaVersion {
+		t.Errorf("schemaVersion = %v, want %d", doc["schemaVersion"], MetricsSchemaVersion)
+	}
+	rounds, ok := doc["rounds"].([]any)
+	if !ok || len(rounds) != 1 {
+		t.Fatalf("rounds: %v", doc["rounds"])
+	}
+	round := rounds[0].(map[string]any)
+	for _, key := range []string{"job", "shuffleBytes", "mappersExecuted", "reducersExecuted",
+		"simSeconds", "wallSeconds", "retries", "mappers", "reducers", "reducerInputBalance"} {
+		if _, ok := round[key]; !ok {
+			t.Errorf("round document lacks %q", key)
+		}
+	}
+	if got := len(round["mappers"].([]any)); got != 4 {
+		t.Errorf("mappers in document = %d, want 4", got)
+	}
+	task := round["mappers"].([]any)[0].(map[string]any)
+	for _, key := range []string{"inRecords", "outBytes", "cpuSeconds", "attempts"} {
+		if _, ok := task[key]; !ok {
+			t.Errorf("task document lacks %q", key)
+		}
+	}
+	lb := round["reducerInputBalance"].(map[string]any)
+	if _, ok := lb["maxOverMedian"]; !ok {
+		t.Error("load-balance document lacks maxOverMedian")
+	}
+}
+
+// stripKeys recursively removes the named keys from a decoded JSON tree.
+func stripKeys(v any, keys map[string]bool) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, sub := range x {
+			if keys[k] {
+				delete(x, k)
+				continue
+			}
+			stripKeys(sub, keys)
+		}
+	case []any:
+		for _, sub := range x {
+			stripKeys(sub, keys)
+		}
+	}
+}
+
+func TestMetricsJSONDeterministicAcrossParallelism(t *testing.T) {
+	volatile := map[string]bool{"wallSeconds": true, "retryWallSeconds": true}
+	var docs [2]any
+	for i, par := range []int{1, 8} {
+		data, err := json.Marshal(runSmallJob(t, par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &docs[i]); err != nil {
+			t.Fatal(err)
+		}
+		stripKeys(docs[i], volatile)
+	}
+	a, _ := json.Marshal(docs[0])
+	b, _ := json.Marshal(docs[1])
+	if !bytes.Equal(a, b) {
+		t.Error("metrics document differs between parallelism 1 and 8 after stripping wall-clock fields")
+	}
+}
+
+func TestExportMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportMetrics(&buf, runSmallJob(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if len(out) == 0 || out[len(out)-1] != '\n' {
+		t.Error("exported document must end with a newline")
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("exported document is not valid JSON: %v", err)
+	}
+	if !bytes.Contains(out, []byte("\n  ")) {
+		t.Error("exported document must be indented")
+	}
+}

@@ -61,7 +61,15 @@ type RoundMetrics struct {
 	OutputRecords int64
 	OutputBytes   int64
 
-	// Simulated phase times (seconds) under the cost model.
+	// MappersExecuted/ReducersExecuted count the tasks that actually ran
+	// (Attempts > 0). Reducers scheduled after a failed one — e.g. past
+	// the first OOM under FailOnReducerOOM — never execute and are
+	// excluded from the phase-time averages below.
+	MappersExecuted  int
+	ReducersExecuted int
+
+	// Simulated phase times (seconds) under the cost model, averaged and
+	// maximized over the executed tasks only.
 	MapTimeAvg    float64
 	MapTimeMax    float64
 	ShuffleTime   float64
@@ -96,31 +104,46 @@ func (r *RoundMetrics) finalize(cost CostModel) {
 			r.WastedBytes += t.WastedBytes
 		}
 	}
+	// Phase times average over the tasks that actually ran (Attempts > 0).
+	// Tasks that never executed — reducers scheduled after the first OOM
+	// failure — carry zero CPUSeconds and would deflate the averages of
+	// failed runs if counted.
 	var mapSum float64
 	for i := range r.Mappers {
 		m := &r.Mappers[i]
+		if m.Attempts == 0 {
+			continue
+		}
+		r.MappersExecuted++
 		mapSum += m.CPUSeconds
 		if m.CPUSeconds > r.MapTimeMax {
 			r.MapTimeMax = m.CPUSeconds
 		}
 	}
-	if len(r.Mappers) > 0 {
-		r.MapTimeAvg = mapSum / float64(len(r.Mappers))
+	if r.MappersExecuted > 0 {
+		r.MapTimeAvg = mapSum / float64(r.MappersExecuted)
 	}
 	var maxIn int64
 	var redSum float64
 	for i := range r.Reducers {
 		t := &r.Reducers[i]
+		// Input bytes were transferred to the reducer even when it was
+		// killed before running, so the shuffle bottleneck below counts
+		// every task; CPU averages count executed tasks only.
+		if t.InBytes > maxIn {
+			maxIn = t.InBytes
+		}
+		if t.Attempts == 0 {
+			continue
+		}
+		r.ReducersExecuted++
 		redSum += t.CPUSeconds
 		if t.CPUSeconds > r.ReduceTimeMax {
 			r.ReduceTimeMax = t.CPUSeconds
 		}
-		if t.InBytes > maxIn {
-			maxIn = t.InBytes
-		}
 	}
-	if len(r.Reducers) > 0 {
-		r.ReduceTimeAvg = redSum / float64(len(r.Reducers))
+	if r.ReducersExecuted > 0 {
+		r.ReduceTimeAvg = redSum / float64(r.ReducersExecuted)
 	}
 	r.ShuffleTime = float64(r.ShuffleBytes) / cost.NetBytesPerSec
 	if t := float64(maxIn) / cost.NodeNetBytesPerSec; t > r.ShuffleTime {
@@ -184,13 +207,15 @@ func (j *JobMetrics) ShuffleRecords() int64 {
 	return s
 }
 
-// MapTimeAvg is the average simulated mapper time across all rounds' tasks.
+// MapTimeAvg is the average simulated mapper time across all rounds'
+// executed tasks (tasks that never ran — Attempts == 0 — are excluded, so
+// failed runs do not deflate the average).
 func (j *JobMetrics) MapTimeAvg() float64 {
 	var s float64
 	var n int
 	for i := range j.Rounds {
-		s += j.Rounds[i].MapTimeAvg * float64(len(j.Rounds[i].Mappers))
-		n += len(j.Rounds[i].Mappers)
+		s += j.Rounds[i].MapTimeAvg * float64(j.Rounds[i].MappersExecuted)
+		n += j.Rounds[i].MappersExecuted
 	}
 	if n == 0 {
 		return 0
@@ -198,13 +223,15 @@ func (j *JobMetrics) MapTimeAvg() float64 {
 	return s / float64(n)
 }
 
-// ReduceTimeAvg is the average simulated reducer time across all rounds.
+// ReduceTimeAvg is the average simulated reducer time across all rounds'
+// executed tasks (reducers that never ran, e.g. those scheduled after an
+// OOM failure, are excluded).
 func (j *JobMetrics) ReduceTimeAvg() float64 {
 	var s float64
 	var n int
 	for i := range j.Rounds {
-		s += j.Rounds[i].ReduceTimeAvg * float64(len(j.Rounds[i].Reducers))
-		n += len(j.Rounds[i].Reducers)
+		s += j.Rounds[i].ReduceTimeAvg * float64(j.Rounds[i].ReducersExecuted)
+		n += j.Rounds[i].ReducersExecuted
 	}
 	if n == 0 {
 		return 0

@@ -1,0 +1,87 @@
+package mr
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/spcube/spcube/internal/relation"
+)
+
+// TestPhaseAveragesExcludeUnexecutedTasks is the regression test for the
+// averaging bug: MapTimeAvg/ReduceTimeAvg used to divide by the total task
+// count, so reducers that never ran — those scheduled after the first OOM
+// under FailOnReducerOOM, which keep Attempts == 0 — deflated the averages
+// of failed rounds. The averages must cover executed tasks only.
+func TestPhaseAveragesExcludeUnexecutedTasks(t *testing.T) {
+	// Route keys explicitly over three reducers: reducer 0 gets a small
+	// (survivable) input, reducer 1 a large one that trips the OOM check,
+	// reducer 2 nothing. With FailOnReducerOOM the prescan kills the round
+	// at reducer 1, so only reducer 0 executes; reducers 1 and 2 keep
+	// Attempts == 0.
+	var tuples []relation.Tuple
+	for i := 0; i < 110; i++ {
+		tuples = append(tuples, relation.Tuple{Dims: []relation.Value{int32(i)}, Measure: 1})
+	}
+	job := &Job{
+		Name: "oom-avg",
+		MapTuple: func(ctx *MapCtx, tu relation.Tuple) {
+			key := "cold"
+			if tu.Dims[0] >= 10 {
+				key = "hot"
+			}
+			ctx.Emit(fmt.Sprintf("%s-%d", key, tu.Dims[0]), []byte("v"))
+		},
+		Reducers: 3,
+		Partition: func(key string, r int) int {
+			if strings.HasPrefix(key, "cold") {
+				return 0
+			}
+			return 1
+		},
+		Reduce:           func(*RedCtx, string, [][]byte) {},
+		FailOnReducerOOM: true,
+	}
+	// OOMFactor 0.01 over the 4000-tuple memory floor puts the OOM
+	// threshold at 40 input records: reducer 0 (10 records) survives,
+	// reducer 1 (100 records) dies.
+	eng := New(Config{Workers: 2, OOMFactor: 0.01}, nil)
+	res, err := eng.RunTuples(job, tuples)
+	if err == nil {
+		t.Fatal("expected OOM failure")
+	}
+	rm := &res.Metrics
+	if !rm.Failed || !strings.Contains(rm.FailReason, "reducer 1") {
+		t.Fatalf("round must fail at reducer 1: %+v", rm.FailReason)
+	}
+	if rm.Reducers[0].Attempts != 1 || rm.Reducers[1].Attempts != 0 || rm.Reducers[2].Attempts != 0 {
+		t.Fatalf("attempts = %d/%d/%d, want 1/0/0",
+			rm.Reducers[0].Attempts, rm.Reducers[1].Attempts, rm.Reducers[2].Attempts)
+	}
+	if rm.ReducersExecuted != 1 {
+		t.Errorf("ReducersExecuted = %d, want 1", rm.ReducersExecuted)
+	}
+	if rm.MappersExecuted != 2 {
+		t.Errorf("MappersExecuted = %d, want 2", rm.MappersExecuted)
+	}
+	// The average must equal the executed reducer's CPU time exactly, not
+	// be diluted over the two reducers that never ran.
+	if got, want := rm.ReduceTimeAvg, rm.Reducers[0].CPUSeconds; got != want {
+		t.Errorf("ReduceTimeAvg = %v, want the executed reducer's %v", got, want)
+	}
+	if rm.ReduceTimeAvg <= 0 {
+		t.Error("executed reducer must charge CPU time")
+	}
+
+	// Job-level averaging must weight rounds by executed tasks, so a
+	// failed round with one executed reducer does not drag the job average
+	// toward zero.
+	var jm JobMetrics
+	jm.Add(res.Metrics)
+	if got, want := jm.ReduceTimeAvg(), rm.Reducers[0].CPUSeconds; got != want {
+		t.Errorf("JobMetrics.ReduceTimeAvg = %v, want %v", got, want)
+	}
+	if got, want := jm.MapTimeAvg(), rm.MapTimeAvg; got != want {
+		t.Errorf("JobMetrics.MapTimeAvg = %v, want %v", got, want)
+	}
+}

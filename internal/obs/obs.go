@@ -1,0 +1,97 @@
+// Package obs provides the opt-in process-observability endpoint behind the
+// CLIs' -pprof flag: the standard net/http/pprof profile handlers plus a
+// machine-readable runtime-metrics snapshot, served from a private mux so
+// enabling profiling never touches http.DefaultServeMux.
+//
+// The endpoint observes the real process (heap, goroutines, CPU), which is
+// deliberately outside the simulator's determinism contract: it exists to
+// profile the simulator itself, e.g. when a full-scale `spbench -exp all`
+// run is slower than expected.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime/metrics"
+	"strconv"
+)
+
+// NewMux builds the observability handler: /debug/pprof/* (index, cmdline,
+// profile, symbol, trace and every runtime profile reachable from the
+// index) and /debug/runtime (runtime-metrics JSON).
+func NewMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/runtime", serveRuntimeMetrics)
+	return mux
+}
+
+// serveRuntimeMetrics writes every supported runtime/metrics sample as one
+// JSON object keyed by metric name. Histogram-kind metrics are summarized
+// to their bucket counts and boundaries.
+func serveRuntimeMetrics(w http.ResponseWriter, r *http.Request) {
+	descs := metrics.All()
+	samples := make([]metrics.Sample, len(descs))
+	for i, d := range descs {
+		samples[i].Name = d.Name
+	}
+	metrics.Read(samples)
+	out := make(map[string]any, len(samples))
+	for i := range samples {
+		s := &samples[i]
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			out[s.Name] = s.Value.Uint64()
+		case metrics.KindFloat64:
+			out[s.Name] = s.Value.Float64()
+		case metrics.KindFloat64Histogram:
+			h := s.Value.Float64Histogram()
+			// Boundary buckets are ±Inf, which JSON cannot represent;
+			// format every boundary as a string instead.
+			buckets := make([]string, len(h.Buckets))
+			for j, b := range h.Buckets {
+				buckets[j] = strconv.FormatFloat(b, 'g', -1, 64)
+			}
+			out[s.Name] = map[string]any{
+				"counts":  h.Counts,
+				"buckets": buckets,
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	// Addr is the endpoint's resolved listen address (useful when the
+	// requested address had port 0).
+	Addr string
+
+	srv *http.Server
+}
+
+// Start serves the observability mux on addr ("localhost:6060", ":0", ...)
+// in a background goroutine. The returned server reports the resolved
+// address and stops serving on Close.
+func Start(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewMux()}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{Addr: ln.Addr().String(), srv: srv}, nil
+}
+
+// Close stops the endpoint.
+func (s *Server) Close() error { return s.srv.Close() }

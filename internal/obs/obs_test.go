@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestStartServesPprofAndRuntime(t *testing.T) {
+	srv, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d %s", path, resp.StatusCode, body)
+		}
+		return body
+	}
+
+	if body := get("/debug/pprof/"); len(body) == 0 {
+		t.Error("pprof index empty")
+	}
+	if body := get("/debug/pprof/goroutine?debug=1"); len(body) == 0 {
+		t.Error("goroutine profile empty")
+	}
+
+	var rt map[string]any
+	if err := json.Unmarshal(get("/debug/runtime"), &rt); err != nil {
+		t.Fatalf("runtime metrics is not JSON: %v", err)
+	}
+	if len(rt) == 0 {
+		t.Fatal("runtime metrics empty")
+	}
+	if _, ok := rt["/memory/classes/total:bytes"]; !ok {
+		t.Error("runtime metrics lacks /memory/classes/total:bytes")
+	}
+}
+
+func TestStartRejectsBadAddr(t *testing.T) {
+	if _, err := Start("256.256.256.256:99999"); err == nil {
+		t.Error("Start accepted an unusable address")
+	}
+}

@@ -1,0 +1,83 @@
+package sketch
+
+import (
+	"bytes"
+	"encoding/gob"
+	"strings"
+	"testing"
+
+	"github.com/spcube/spcube/internal/lattice"
+	"github.com/spcube/spcube/internal/relation"
+)
+
+func encodeWire(t *testing.T, w wire) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDecodeRejectsMalformedWire is the regression test for Decode trusting
+// the wire form: a corrupted or adversarial sketch file used to come back
+// with skews/parts slices shorter than 2^D, panicking later inside cuboid
+// lookups. Every malformed shape must be rejected with an error.
+func TestDecodeRejectsMalformedWire(t *testing.T) {
+	skewSets := func(n int) [][]string { return make([][]string, n) }
+	cases := []struct {
+		name string
+		w    wire
+		want string
+	}{
+		{"negative dims", wire{D: -1, K: 2}, "dimensions"},
+		{"dims beyond MaxDims", wire{D: lattice.MaxDims + 1, K: 2}, "dimensions"},
+		{"zero machines", wire{D: 2, K: 0, Skews: skewSets(4)}, "machine count"},
+		{"negative machines", wire{D: 2, K: -3, Skews: skewSets(4)}, "machine count"},
+		{"skews too short", wire{D: 2, K: 2, Skews: skewSets(3)}, "skew sets"},
+		{"skews too long", wire{D: 2, K: 2, Skews: skewSets(5)}, "skew sets"},
+		{"skews missing", wire{D: 2, K: 2}, "skew sets"},
+		{"parts too short", wire{D: 2, K: 2, Skews: skewSets(4),
+			Parts: make([][][]relation.Value, 2)}, "partition sets"},
+		{"parts too long", wire{D: 2, K: 2, Skews: skewSets(4),
+			Parts: make([][][]relation.Value, 8)}, "partition sets"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Decode(encodeWire(t, tc.w))
+			if err == nil {
+				t.Fatalf("Decode accepted malformed wire %+v (got sketch D=%d K=%d)", tc.w, s.D, s.K)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not a gob stream")); err == nil {
+		t.Error("Decode accepted garbage bytes")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Error("Decode accepted empty input")
+	}
+}
+
+func TestDecodeAcceptsValidShapes(t *testing.T) {
+	// A well-formed wire with nil Parts (a sketch that recorded no
+	// partition elements) must still decode: nil Parts means "use fresh
+	// empty sets", not a malformed document.
+	w := wire{D: 2, K: 3, Skews: make([][]string, 4)}
+	s, err := Decode(encodeWire(t, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.D != 2 || s.K != 3 {
+		t.Errorf("decoded D=%d K=%d", s.D, s.K)
+	}
+	// Partition on an empty cuboid must not panic and routes to range 0.
+	if got := s.Partition(3, []relation.Value{1, 2}); got != 0 {
+		t.Errorf("partition = %d, want 0", got)
+	}
+}

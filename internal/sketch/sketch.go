@@ -193,11 +193,25 @@ func (s *Sketch) Encode() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Decode parses an encoded sketch.
+// Decode parses an encoded sketch, validating the wire form before
+// trusting it: a truncated or corrupted sketch file would otherwise panic
+// deep inside cuboid lookups (skews/parts are indexed by mask up to 2^D).
 func Decode(data []byte) (*Sketch, error) {
 	var w wire
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
 		return nil, fmt.Errorf("sketch: decode: %w", err)
+	}
+	if w.D < 0 || w.D > lattice.MaxDims {
+		return nil, fmt.Errorf("sketch: decode: dimensions %d out of range [0, %d]", w.D, lattice.MaxDims)
+	}
+	if w.K < 1 {
+		return nil, fmt.Errorf("sketch: decode: machine count %d, want at least 1", w.K)
+	}
+	if want := 1 << uint(w.D); len(w.Skews) != want {
+		return nil, fmt.Errorf("sketch: decode: %d skew sets for %d dimensions, want %d", len(w.Skews), w.D, want)
+	}
+	if want := 1 << uint(w.D); w.Parts != nil && len(w.Parts) != want {
+		return nil, fmt.Errorf("sketch: decode: %d partition sets for %d dimensions, want %d", len(w.Parts), w.D, want)
 	}
 	s := newSketch(w.D, w.K)
 	s.SampleN = w.SampleN

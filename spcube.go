@@ -29,8 +29,10 @@
 package spcube
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 
@@ -185,6 +187,7 @@ type config struct {
 	parallelism int
 	faultSpec   string
 	maxAttempts int
+	trace       io.Writer
 }
 
 // engineConfig converts the facade configuration into the engine's,
@@ -194,14 +197,18 @@ func (c *config) engineConfig() (mr.Config, error) {
 	if err != nil {
 		return mr.Config{}, err
 	}
-	return mr.Config{
+	cfg := mr.Config{
 		Workers:     c.workers,
 		MemTuples:   c.memory,
 		Seed:        uint64(c.seed),
 		Parallelism: c.parallelism,
 		Faults:      plan,
 		MaxAttempts: c.maxAttempts,
-	}, nil
+	}
+	if c.trace != nil {
+		cfg.Tracer = mr.NewJSONLTracer(c.trace)
+	}
+	return cfg, nil
 }
 
 // Option configures Compute.
@@ -246,6 +253,14 @@ func Faults(spec string) Option { return func(c *config) { c.faultSpec = spec } 
 // its injected failure becomes permanent and the computation fails
 // (default 4). Only injected faults are retried.
 func MaxAttempts(n int) Option { return func(c *config) { c.maxAttempts = n } }
+
+// Trace streams the simulated cluster's structured lifecycle events — round
+// start/end, task attempt start/success/failure/retry, shuffle, spill,
+// fault injection — to w as JSON lines (one mr.TraceEvent per line). The
+// stream is deterministic: identical, except for timestamps, at any
+// Parallelism setting. A nil writer (the default) disables tracing at zero
+// cost.
+func Trace(w io.Writer) Option { return func(c *config) { c.trace = w } }
 
 // Stats summarizes a computation's execution on the simulated cluster.
 type Stats struct {
@@ -303,9 +318,10 @@ type Group struct {
 
 // Cube is a computed data cube.
 type Cube struct {
-	rel   *Relation
-	res   *cube.Result
-	stats Stats
+	rel     *Relation
+	res     *cube.Result
+	stats   Stats
+	metrics mr.JobMetrics
 }
 
 // Compute runs a cube computation over the relation.
@@ -355,7 +371,7 @@ func Compute(rel *Relation, opts ...Option) (*Cube, error) {
 		return nil, fmt.Errorf("spcube: collecting output: %w", err)
 	}
 
-	return &Cube{rel: rel, res: res, stats: statsFromRun(run)}, nil
+	return &Cube{rel: rel, res: res, stats: statsFromRun(run), metrics: run.Metrics}, nil
 }
 
 // ComputeSet computes one cube per aggregate function over the same
@@ -394,13 +410,26 @@ func ComputeSet(rel *Relation, aggs []Agg, opts ...Option) ([]*Cube, error) {
 		if err != nil {
 			return nil, fmt.Errorf("spcube: collecting output %d: %w", i, err)
 		}
-		cubes[i] = &Cube{rel: rel, res: res, stats: statsFromRun(run)}
+		cubes[i] = &Cube{rel: rel, res: res, stats: statsFromRun(run), metrics: run.Metrics}
 	}
 	return cubes, nil
 }
 
 // Stats returns the run's execution statistics.
 func (c *Cube) Stats() Stats { return c.stats }
+
+// MetricsJSON renders the run's full per-round metrics as the stable,
+// versioned JSON document described by mr.MetricsSchemaVersion (indented,
+// newline-terminated). Everything except the wall-clock fields is
+// deterministic: identical at any Parallelism, and identical to a
+// fault-free run except for the recovery-accounting fields.
+func (c *Cube) MetricsJSON() ([]byte, error) {
+	data, err := json.MarshalIndent(&c.metrics, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("spcube: metrics: %w", err)
+	}
+	return append(data, '\n'), nil
+}
 
 // NumGroups returns the number of c-groups in the cube.
 func (c *Cube) NumGroups() int { return c.res.Len() }
