@@ -2,7 +2,8 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race retry-race fuzz-smoke bench bench-json
+.PHONY: check fmt vet build test race retry-race fuzz-smoke bench bench-json \
+	bench-hotpath bench-hotpath-json bench-compare
 
 check: fmt vet race fuzz-smoke
 
@@ -42,3 +43,41 @@ bench:
 bench-json:
 	$(GO) run ./cmd/spbench -exp fig6 -scale 0.05 -metrics-out BENCH_fig6.json > /dev/null
 	$(GO) run ./cmd/spbench -validate BENCH_fig6.json
+
+# Hot-path micro-benchmarks of the MR engine's data plane (shuffle merge,
+# partitioner, combiner, end-to-end naive cube). BENCH_COUNT runs each.
+BENCH_COUNT ?= 6
+BENCH_PATTERN ?= EngineHotPath|HashPartition|ShuffleMerge|Combine
+bench-hotpath:
+	$(GO) test -run=NONE -bench='$(BENCH_PATTERN)' -count=$(BENCH_COUNT) ./internal/mr/
+
+# Refresh the committed hot-path baseline (BENCH_hotpath.json).
+bench-hotpath-json:
+	$(GO) test -run=NONE -bench='$(BENCH_PATTERN)' -count=$(BENCH_COUNT) ./internal/mr/ > /tmp/bench_hotpath.txt
+	$(GO) run ./cmd/benchcmp -json BENCH_hotpath.json /tmp/bench_hotpath.txt
+	@cat BENCH_hotpath.json
+
+# Old-vs-new hot-path comparison. Checks out BASE (default: the previous
+# commit) into a temporary git worktree, copies the portable public-API
+# benchmark file in (so old trees predating it still run the identical
+# workload), benchmarks both trees, and renders the comparison with
+# benchstat when installed, falling back to the in-repo cmd/benchcmp.
+# In-package benchmarks (ShuffleMerge, Combine) may not exist in the old
+# tree and then appear as new-only rows.
+BASE ?= HEAD~1
+bench-compare:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'git worktree remove --force "$$tmp/base" 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	git worktree add --detach "$$tmp/base" $(BASE) >/dev/null; \
+	mkdir -p "$$tmp/base/internal/mr"; \
+	cp internal/mr/hotpath_bench_test.go "$$tmp/base/internal/mr/hotpath_bench_test.go"; \
+	echo "benchmarking base ($(BASE))..."; \
+	(cd "$$tmp/base" && $(GO) test -run=NONE -bench='$(BENCH_PATTERN)' -count=$(BENCH_COUNT) ./internal/mr/) > "$$tmp/old.txt"; \
+	echo "benchmarking working tree..."; \
+	$(GO) test -run=NONE -bench='$(BENCH_PATTERN)' -count=$(BENCH_COUNT) ./internal/mr/ > "$$tmp/new.txt"; \
+	if command -v benchstat >/dev/null 2>&1; then \
+		benchstat "$$tmp/old.txt" "$$tmp/new.txt"; \
+	else \
+		$(GO) run ./cmd/benchcmp "$$tmp/old.txt" "$$tmp/new.txt"; \
+	fi

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/spcube/spcube/internal/mr
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEngineHotPath 	       5	 204564034 ns/op	     39108 tuples/s	69530500 B/op	  507636 allocs/op
+BenchmarkEngineHotPath 	       5	 208832306 ns/op	     38308 tuples/s	69530492 B/op	  507636 allocs/op
+BenchmarkEngineHotPath 	       5	 200928438 ns/op	     39815 tuples/s	69530470 B/op	  507636 allocs/op
+BenchmarkHashPartition-8 	53852214	        21.83 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	github.com/spcube/spcube/internal/mr	20.551s
+`
+
+func parse(t *testing.T, text string) *benchFile {
+	t.Helper()
+	f, err := parseBench(bufio.NewScanner(strings.NewReader(text)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestParseBenchMedianAndCPUSuffix(t *testing.T) {
+	f := parse(t, sample)
+	hp, ok := f.bench["BenchmarkEngineHotPath"]
+	if !ok {
+		t.Fatalf("missing BenchmarkEngineHotPath; parsed %v", f.order)
+	}
+	// Median of the three ns/op samples.
+	if got, want := hp["ns/op"], 204564034.0; got != want {
+		t.Errorf("ns/op median = %v, want %v", got, want)
+	}
+	if got, want := hp["allocs/op"], 507636.0; got != want {
+		t.Errorf("allocs/op = %v, want %v", got, want)
+	}
+	if got, want := hp["tuples/s"], 39108.0; got != want {
+		t.Errorf("tuples/s median = %v, want %v", got, want)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped.
+	if _, ok := f.bench["BenchmarkHashPartition"]; !ok {
+		t.Errorf("CPU suffix not stripped; parsed names: %v", f.order)
+	}
+}
+
+func TestTrimCPUSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":       "BenchmarkFoo",
+		"BenchmarkFoo":         "BenchmarkFoo",
+		"BenchmarkFoo-bar":     "BenchmarkFoo-bar",
+		"BenchmarkFoo/sub-16":  "BenchmarkFoo/sub",
+		"BenchmarkFoo/p-2-x-4": "BenchmarkFoo/p-2-x",
+	}
+	for in, want := range cases {
+		if got := trimCPUSuffix(in); got != want {
+			t.Errorf("trimCPUSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("even median = %v", got)
+	}
+	if got := median(nil); got != 0 {
+		t.Errorf("empty median = %v", got)
+	}
+}

@@ -82,6 +82,7 @@ func ComputeOpts(eng *mr.Engine, rel *relation.Relation, spec cube.Spec, opts Op
 	type taskState struct {
 		hash map[string]agg.State
 		kb   []byte
+		vb   []byte
 	}
 	flush := func(ctx *mr.MapCtx, ts *taskState) {
 		// Hive flushes the whole table under memory pressure; emission
@@ -92,7 +93,8 @@ func ComputeOpts(eng *mr.Engine, rel *relation.Relation, spec cube.Spec, opts Op
 		}
 		sort.Strings(keys)
 		for _, key := range keys {
-			ctx.Emit(key, ts.hash[key].AppendEncode(nil))
+			ts.vb = ts.hash[key].AppendEncode(ts.vb[:0])
+			ctx.EmitCopied(key, ts.vb)
 		}
 		clear(ts.hash)
 	}
@@ -109,20 +111,22 @@ func ComputeOpts(eng *mr.Engine, rel *relation.Relation, spec cube.Spec, opts Op
 				// inspection per grouping-set row, then the hash probe.
 				ctx.ChargeOps(2)
 				ts.kb = relation.EncodeGroupKey(ts.kb, uint32(mask), t.Dims)
-				key := string(ts.kb)
 				if opts.DisableMapAggregation {
 					st := f.NewState()
 					st.Add(t.Measure)
-					ctx.Emit(key, st.AppendEncode(nil))
+					ts.vb = st.AppendEncode(ts.vb[:0])
+					ctx.EmitBytes(ts.kb, ts.vb)
 					continue
 				}
-				st, ok := ts.hash[key]
+				// The string(ts.kb) lookup does not allocate; the key is
+				// materialized only when a new table entry is created.
+				st, ok := ts.hash[string(ts.kb)]
 				if !ok {
 					if len(ts.hash) >= capacity {
 						flush(ctx, ts)
 					}
 					st = f.NewState()
-					ts.hash[key] = st
+					ts.hash[string(ts.kb)] = st
 				}
 				st.Add(t.Measure)
 			}

@@ -181,7 +181,7 @@ func sampleCuboidMax(eng *mr.Engine, rel *relation.Relation, alpha float64, seed
 			}
 			if ts.rng.Float64() <= alpha {
 				ts.buf = relation.EncodeTuple(ts.buf, t)
-				ctx.Emit("s", append([]byte(nil), ts.buf...))
+				ctx.EmitCopied("s", ts.buf)
 			}
 		},
 		Reduce: func(ctx *mr.RedCtx, key string, vals [][]byte) {
@@ -262,6 +262,7 @@ func materializeRound(
 	type matState struct {
 		rr int // round-robin chunk assignment counter (per mapper stream)
 		kb []byte
+		vb []byte
 	}
 	var overMu sync.Mutex
 	oversizedSet := make(map[lattice.Mask]bool)
@@ -287,14 +288,14 @@ func materializeRound(
 				} else {
 					ts.kb = append(ts.kb, prefixPlain)
 				}
-				gk := relation.EncodeGroupKey(nil, uint32(mask), t.Dims)
-				ts.kb = append(ts.kb, gk...)
+				ts.kb = relation.AppendGroupKey(ts.kb, uint32(mask), t.Dims)
 				if fac > 1 {
 					ts.kb = binary.AppendUvarint(ts.kb, uint64(ts.rr%fac))
 				}
 				st := f.NewState()
 				st.Add(t.Measure)
-				ctx.Emit(string(ts.kb), st.AppendEncode(nil))
+				ts.vb = st.AppendEncode(ts.vb[:0])
+				ctx.EmitBytes(ts.kb, ts.vb)
 			}
 		},
 		Combine: func(key string, vals [][]byte) [][]byte {
@@ -407,6 +408,9 @@ func mergeRound(eng *mr.Engine, f agg.Func, minSup int, partials []mr.Pair, outP
 		MapCPUFactor:    1.15,
 		ReduceCPUFactor: 1.6,
 		MapPair: func(ctx *mr.MapCtx, key string, val []byte) {
+			// Pass-through: val is the engine-owned partial from the
+			// previous round's collected output, never reused — the
+			// zero-copy Emit contract holds.
 			ctx.Emit(key, val)
 		},
 		Reduce: func(ctx *mr.RedCtx, key string, vals [][]byte) {

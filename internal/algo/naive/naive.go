@@ -27,8 +27,11 @@ func Compute(eng *mr.Engine, rel *relation.Relation, spec cube.Spec) (*cube.Run,
 	full := lattice.Full(d)
 
 	// Per-task scratch: map tasks may run in parallel, so the reusable
-	// encode buffer lives in engine-issued task state.
+	// encode buffers live in engine-issued task state. Keys and values are
+	// built in the scratch and emitted through EmitBytes, which copies
+	// them into the attempt arena — no per-emit allocations.
 	type taskState struct {
+		keyBuf []byte
 		valBuf []byte
 	}
 	job := &mr.Job{
@@ -36,11 +39,11 @@ func Compute(eng *mr.Engine, rel *relation.Relation, spec cube.Spec) (*cube.Run,
 		TaskState: func() any { return new(taskState) },
 		MapTuple: func(ctx *mr.MapCtx, t relation.Tuple) {
 			st := ctx.State().(*taskState)
+			st.valBuf = encodeMeasure(st.valBuf, t.Measure)
 			for mask := lattice.Mask(0); mask <= full; mask++ {
 				ctx.ChargeOps(1)
-				key := relation.GroupKey(uint32(mask), t.Dims)
-				st.valBuf = encodeMeasure(st.valBuf, t.Measure)
-				ctx.Emit(key, append([]byte(nil), st.valBuf...))
+				st.keyBuf = relation.EncodeGroupKey(st.keyBuf, uint32(mask), t.Dims)
+				ctx.EmitBytes(st.keyBuf, st.valBuf)
 			}
 		},
 		Reduce: func(ctx *mr.RedCtx, key string, vals [][]byte) {

@@ -40,11 +40,6 @@ func Compute(eng *mr.Engine, rel *relation.Relation, spec cube.Spec) (*cube.Run,
 	full := lattice.Full(d)
 
 	// Round 0: the top cuboid (all attributes) from the raw relation.
-	// The reusable key buffer is per-task state: map tasks may run in
-	// parallel.
-	type taskState struct {
-		kb []byte
-	}
 	top := &mr.Job{
 		Name:          "pipesort-l" + itoa(d),
 		CollectOutput: true,
@@ -56,7 +51,8 @@ func Compute(eng *mr.Engine, rel *relation.Relation, spec cube.Spec) (*cube.Run,
 			ts.kb = relation.EncodeGroupKey(ts.kb, uint32(full), t.Dims)
 			st := f.NewState()
 			st.Add(t.Measure)
-			ctx.Emit(string(ts.kb), st.AppendEncode(nil))
+			ts.vb = st.AppendEncode(ts.vb[:0])
+			ctx.EmitBytes(ts.kb, ts.vb)
 		},
 		Combine: combine(f),
 		Reduce:  reduceLevel(f, minSup, d > 0),
@@ -74,6 +70,7 @@ func Compute(eng *mr.Engine, rel *relation.Relation, spec cube.Spec) (*cube.Run,
 			Name:          "pipesort-l" + itoa(level),
 			CollectOutput: true,
 			OutputPrefix:  run.OutputPrefix,
+			TaskState:     func() any { return new(taskState) },
 			MapPair:       mapChildren(d, level),
 			Combine:       combine(f),
 			Reduce:        reduceLevel(f, minSup, level > 0),
@@ -86,6 +83,13 @@ func Compute(eng *mr.Engine, rel *relation.Relation, spec cube.Spec) (*cube.Run,
 		parents = res.Output
 	}
 	return run, nil
+}
+
+// taskState is the per-map-task scratch (map tasks may run in parallel):
+// reusable key/value encode buffers emitted through EmitBytes.
+type taskState struct {
+	kb []byte
+	vb []byte
 }
 
 // parentOf returns the level-(l+1) cuboid that computes the given cuboid:
@@ -111,6 +115,7 @@ func mapChildren(d, level int) func(ctx *mr.MapCtx, key string, val []byte) {
 		}
 	}
 	return func(ctx *mr.MapCtx, key string, val []byte) {
+		ts := ctx.State().(*taskState)
 		mask, packed, _, err := relation.ScanGroupKey([]byte(key))
 		if err != nil {
 			return
@@ -118,7 +123,8 @@ func mapChildren(d, level int) func(ctx *mr.MapCtx, key string, val []byte) {
 		dims := relation.GroupVals(mask, packed, d)
 		for _, child := range children[lattice.Mask(mask)] {
 			ctx.ChargeOps(1)
-			ctx.Emit(relation.GroupKey(uint32(child), dims), val)
+			ts.kb = relation.EncodeGroupKey(ts.kb, uint32(child), dims)
+			ctx.EmitBytes(ts.kb, val)
 		}
 	}
 }

@@ -145,6 +145,7 @@ func runCubeRound(eng *mr.Engine, rel *relation.Relation, spec cube.Spec, sk *sk
 	type taskState struct {
 		marks   *lattice.Marks
 		skewAgg map[string]agg.State
+		keyBuf  []byte
 		valBuf  []byte
 		packBuf []relation.Value
 		// subsetsBFS caches subset BFS orders per mask (reduce side).
@@ -169,12 +170,16 @@ func runCubeRound(eng *mr.Engine, rel *relation.Relation, spec cube.Spec, sk *sk
 			ts.packBuf = relation.ProjectInto(ts.packBuf, t.Dims, uint32(mask))
 			if isSkewed(mask, ts.packBuf) {
 				// Partial aggregation of a skewed c-group in the mapper
-				// (Algorithm 3, lines 6-8).
-				key := string(append([]byte{prefixSkew}, relation.EncodeGroupKey(nil, uint32(mask), t.Dims)...))
-				st, ok := ts.skewAgg[key]
+				// (Algorithm 3, lines 6-8). The prefixed key is built in
+				// scratch; the map lookup on string(ts.keyBuf) does not
+				// allocate, and the key string is materialized only when
+				// the group is seen for the first time.
+				ts.keyBuf = append(ts.keyBuf[:0], prefixSkew)
+				ts.keyBuf = relation.AppendGroupKey(ts.keyBuf, uint32(mask), t.Dims)
+				st, ok := ts.skewAgg[string(ts.keyBuf)]
 				if !ok {
 					st = f.NewState()
-					ts.skewAgg[key] = st
+					ts.skewAgg[string(ts.keyBuf)] = st
 				}
 				st.Add(t.Measure)
 				ts.marks.Mark(mask)
@@ -182,15 +187,17 @@ func runCubeRound(eng *mr.Engine, rel *relation.Relation, spec cube.Spec, sk *sk
 			}
 			// Non-skewed: send the tuple to the range partition of this
 			// c-group and mark the group and all its ancestors
-			// (Algorithm 3, lines 9-12).
-			key := string(append([]byte{prefixGroup}, relation.EncodeGroupKey(nil, uint32(mask), t.Dims)...))
+			// (Algorithm 3, lines 9-12). Key and value are built in task
+			// scratch and copied into the attempt arena by EmitBytes.
+			ts.keyBuf = append(ts.keyBuf[:0], prefixGroup)
+			ts.keyBuf = relation.AppendGroupKey(ts.keyBuf, uint32(mask), t.Dims)
 			if opts.DisableFactorization {
 				ts.valBuf = encodeMeasure(ts.valBuf, t.Measure)
-				ctx.Emit(key, append([]byte(nil), ts.valBuf...))
+				ctx.EmitBytes(ts.keyBuf, ts.valBuf)
 				ts.marks.Mark(mask)
 			} else {
 				ts.valBuf = relation.EncodeTuple(ts.valBuf, t)
-				ctx.Emit(key, append([]byte(nil), ts.valBuf...))
+				ctx.EmitBytes(ts.keyBuf, ts.valBuf)
 				ts.marks.MarkSupersetsIncl(mask)
 			}
 		}
@@ -206,7 +213,8 @@ func runCubeRound(eng *mr.Engine, rel *relation.Relation, spec cube.Spec, sk *sk
 		}
 		sort.Strings(keys)
 		for _, key := range keys {
-			ctx.Emit(key, ts.skewAgg[key].AppendEncode(nil))
+			ts.valBuf = ts.skewAgg[key].AppendEncode(ts.valBuf[:0])
+			ctx.EmitCopied(key, ts.valBuf)
 		}
 		clear(ts.skewAgg)
 	}

@@ -40,9 +40,13 @@ type detRun struct {
 	records  int64
 }
 
-func runDeterminism(t *testing.T, fn cube.ComputeFunc, rel *relation.Relation, parallelism int) detRun {
+func runDeterminism(t *testing.T, fn cube.ComputeFunc, rel *relation.Relation, parallelism int, faults string) detRun {
 	t.Helper()
-	eng := mr.New(mr.Config{Workers: 6, Seed: 42, Parallelism: parallelism}, dfs.New(false))
+	plan, err := mr.ParseFaultPlan(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := mr.New(mr.Config{Workers: 6, Seed: 42, Parallelism: parallelism, Faults: plan}, dfs.New(false))
 	run, err := fn(eng, rel, cube.Spec{Agg: agg.Count})
 	if err != nil {
 		t.Fatal(err)
@@ -53,17 +57,37 @@ func runDeterminism(t *testing.T, fn cube.ComputeFunc, rel *relation.Relation, p
 	}
 	return detRun{
 		res:      res,
-		metrics:  zeroWall(run.Metrics),
+		metrics:  zeroRetryWall(zeroWall(run.Metrics)),
 		sim:      run.Metrics.SimSeconds(),
 		checksum: eng.FS.TotalChecksum(run.OutputPrefix),
 		records:  eng.FS.TotalRecords(run.OutputPrefix),
 	}
 }
 
+// zeroRetryWall strips RetryWallSeconds — like WallSeconds it is real
+// elapsed time and excluded from the determinism contract. Attempts and
+// WastedBytes stay: fault injection is deterministic, so they must agree
+// across parallelism levels.
+func zeroRetryWall(m mr.JobMetrics) mr.JobMetrics {
+	for i := range m.Rounds {
+		r := &m.Rounds[i]
+		r.RetryWallSeconds = 0
+		for j := range r.Mappers {
+			r.Mappers[j].RetryWallSeconds = 0
+		}
+		for j := range r.Reducers {
+			r.Reducers[j].RetryWallSeconds = 0
+		}
+	}
+	return m
+}
+
 // TestParallelismDeterminism is the cross-algorithm determinism table: every
-// algorithm, on a skewed and a uniform workload, must produce bit-for-bit
-// identical cube output, identical round metrics, and identical simulated
-// seconds at parallelism 1 and parallelism 8.
+// algorithm, on a skewed and a uniform workload, clean and under an injected
+// fault plan, must produce bit-for-bit identical cube output, identical
+// round metrics, and identical simulated seconds at parallelism 1 and
+// parallelism 8 — and a faulted run's output and accounting (minus the
+// recovery counters) must equal the clean run's.
 func TestParallelismDeterminism(t *testing.T) {
 	detWorkloads := []struct {
 		name string
@@ -72,26 +96,53 @@ func TestParallelismDeterminism(t *testing.T) {
 		{"skewed", data.GenBinomial(800, 4, 0.4, 31)},
 		{"uniform", data.Uniform(800, 3, 9, 32)},
 	}
+	faultPlans := []struct {
+		name string
+		spec string
+	}{
+		{"clean", ""},
+		{"crash", "*:map:*:crash,*:reduce:*:mid-emit@4"},
+	}
 	for _, w := range detWorkloads {
-		for _, a := range allAlgorithms {
-			t.Run(w.name+"/"+a.name, func(t *testing.T) {
-				seq := runDeterminism(t, a.fn, w.rel, 1)
-				par := runDeterminism(t, a.fn, w.rel, 8)
-				if ok, diff := seq.res.Equal(par.res); !ok {
-					t.Errorf("cube output differs: %s", diff)
-				}
-				if seq.checksum != par.checksum || seq.records != par.records {
-					t.Errorf("DFS output differs: checksum %x/%d records vs %x/%d records",
-						seq.checksum, seq.records, par.checksum, par.records)
-				}
-				if seq.sim != par.sim {
-					t.Errorf("simulated seconds differ: %v vs %v", seq.sim, par.sim)
-				}
-				if !reflect.DeepEqual(seq.metrics, par.metrics) {
-					t.Errorf("round metrics differ:\nsequential: %+v\nparallel:   %+v",
-						seq.metrics, par.metrics)
-				}
-			})
+		for _, fp := range faultPlans {
+			for _, a := range allAlgorithms {
+				t.Run(w.name+"/"+fp.name+"/"+a.name, func(t *testing.T) {
+					seq := runDeterminism(t, a.fn, w.rel, 1, fp.spec)
+					par := runDeterminism(t, a.fn, w.rel, 8, fp.spec)
+					if ok, diff := seq.res.Equal(par.res); !ok {
+						t.Errorf("cube output differs: %s", diff)
+					}
+					if seq.checksum != par.checksum || seq.records != par.records {
+						t.Errorf("DFS output differs: checksum %x/%d records vs %x/%d records",
+							seq.checksum, seq.records, par.checksum, par.records)
+					}
+					if seq.sim != par.sim {
+						t.Errorf("simulated seconds differ: %v vs %v", seq.sim, par.sim)
+					}
+					if !reflect.DeepEqual(seq.metrics, par.metrics) {
+						t.Errorf("round metrics differ:\nsequential: %+v\nparallel:   %+v",
+							seq.metrics, par.metrics)
+					}
+					if fp.spec != "" {
+						// The faulted run must recover to the clean run's
+						// exact output and accounting.
+						clean := runDeterminism(t, a.fn, w.rel, 1, "")
+						if ok, diff := clean.res.Equal(seq.res); !ok {
+							t.Errorf("faulted output differs from clean: %s", diff)
+						}
+						if clean.checksum != seq.checksum || clean.records != seq.records {
+							t.Errorf("faulted DFS output differs from clean: checksum %x/%d vs %x/%d",
+								clean.checksum, clean.records, seq.checksum, seq.records)
+						}
+						if clean.sim != seq.sim {
+							t.Errorf("faulted simulated seconds differ from clean: %v vs %v", clean.sim, seq.sim)
+						}
+						if !reflect.DeepEqual(zeroRecovery(clean.metrics), zeroRecovery(seq.metrics)) {
+							t.Errorf("faulted metrics (recovery-stripped) differ from clean")
+						}
+					}
+				})
+			}
 		}
 	}
 }

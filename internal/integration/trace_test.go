@@ -47,6 +47,7 @@ func TestTraceDeterminismTable(t *testing.T) {
 	}{
 		{"clean", ""},
 		{"crash", "*:map:*:crash"},
+		{"reduce-mid-emit", "*:reduce:*:mid-emit@3"},
 	}
 	for _, fp := range faultPlans {
 		for _, a := range allAlgorithms {

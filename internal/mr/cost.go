@@ -20,7 +20,10 @@ type CostModel struct {
 	// MapCPUPerRecord is charged for every map input record.
 	MapCPUPerRecord float64
 	// MapCPUPerEmit is charged for every record emitted by a mapper
-	// (serialization + collector).
+	// (serialization + collector). Hadoop's collector sorts its buffer
+	// per spill, so the engine's map-side bucket sort — and with it the
+	// reduce-side merge it enables — is part of this per-emit charge, not
+	// a separate term; see DESIGN.md §11.
 	MapCPUPerEmit float64
 	// CPUPerOp is charged per algorithm-reported elementary operation
 	// (hash probe, lattice-node visit); see Ctx.ChargeOps.

@@ -37,12 +37,11 @@ package mr
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"github.com/spcube/spcube/internal/dfs"
 	"github.com/spcube/spcube/internal/relation"
@@ -186,6 +185,12 @@ type Engine struct {
 	// traceSeq numbers delivered trace events; only touched from the run
 	// goroutine (events are flushed at phase barriers).
 	traceSeq int64
+	// inBytesPtr/N/Val memoize tupleInputBytes for the last input slice:
+	// multi-round algorithms call RunTuples repeatedly on the same
+	// relation, and the full encoding pass is worth running only once.
+	inBytesPtr *relation.Tuple
+	inBytesN   int
+	inBytesVal int64
 }
 
 // New creates an engine. When fs is nil a discard-mode DFS is created.
@@ -232,6 +237,12 @@ type MapCtx struct {
 	state   any
 	metrics TaskMetrics
 	inject  *injector
+	// arena batches EmitCopied/EmitBytes copies for the attempt: records
+	// are appended to one growing buffer instead of one allocation each.
+	// Arena bytes are written once and never modified, so emitted slices
+	// (and the key strings EmitBytes builds over them) stay valid as the
+	// arena grows, and die with the attempt on a fault.
+	arena []byte
 }
 
 // State returns the task-private state created by Job.TaskState, or nil
@@ -239,12 +250,52 @@ type MapCtx struct {
 func (c *MapCtx) State() any { return c.state }
 
 // Emit sends a key/value record to the shuffle.
+//
+// This is the zero-copy fast path: the engine retains val as passed — it
+// is NOT copied — and the record may be read as late as the reduce phase.
+// The caller must therefore not modify val's backing array after the
+// call. Mappers that build values in a reusable scratch buffer must emit
+// through EmitCopied (or EmitBytes) instead; passing one immutable buffer
+// to several Emit calls (aliased values) is fine.
 func (c *MapCtx) Emit(key string, val []byte) {
 	c.out = append(c.out, Pair{Key: key, Val: val})
 	c.metrics.PreCombineRecords++
 	c.metrics.PreCombineBytes += pairBytes(key, val)
 	c.metrics.CPUSeconds += c.eng.Cfg.Cost.MapCPUPerEmit
 	c.inject.onEmit()
+}
+
+// EmitCopied sends a key/value record to the shuffle, copying val into the
+// attempt's arena first: the caller may immediately reuse val's backing
+// buffer. The copy costs amortized zero allocations.
+func (c *MapCtx) EmitCopied(key string, val []byte) {
+	c.Emit(key, c.arenaAppend(val))
+}
+
+// EmitBytes sends a key/value record to the shuffle with both key and
+// value built in reusable scratch buffers: both are copied into the
+// attempt's arena, and the key string is built over its arena bytes
+// without a separate allocation. This is the allocation-free emit path
+// for mappers that encode keys per record.
+func (c *MapCtx) EmitBytes(key, val []byte) {
+	k := c.arenaAppend(key)
+	v := c.arenaAppend(val)
+	var ks string
+	if len(k) > 0 {
+		// Safe: arena bytes are append-only, so the string over them is
+		// as immutable as any other string.
+		ks = unsafe.String(&k[0], len(k))
+	}
+	c.Emit(ks, v)
+}
+
+// arenaAppend copies b into the attempt arena and returns the copy,
+// capped so appends through the returned slice cannot touch later arena
+// content.
+func (c *MapCtx) arenaAppend(b []byte) []byte {
+	n := len(c.arena)
+	c.arena = append(c.arena, b...)
+	return c.arena[n:len(c.arena):len(c.arena)]
 }
 
 // ChargeOps reports n elementary algorithm operations (hash probes, lattice
@@ -324,7 +375,7 @@ func (e *Engine) RunTuples(job *Job, tuples []relation.Tuple) (*RoundResult, err
 		return nil, fmt.Errorf("mr: job %s: RunTuples requires MapTuple", job.Name)
 	}
 	n := len(tuples)
-	inBytes := tupleInputBytes(tuples)
+	inBytes := e.tupleInputBytes(tuples)
 	return e.run(job, n, inBytes, func(task int, ctx *MapCtx) {
 		lo, hi := split(n, e.Cfg.Workers, task)
 		for i := lo; i < hi; i++ {
@@ -467,12 +518,17 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 	tr.shuffle(rm)
 
 	// Shuffle barrier: reducer r receives task 0's pairs, then task 1's,
-	// ... — the same order the sequential engine produced.
-	buckets := make([][]Pair, reducers)
+	// ... — the same order the sequential engine produced. Each task's
+	// bucket arrives already sorted (map-side sort in mapAttempt), so the
+	// hand-off is pure slice headers: no record is copied, flattened or
+	// re-sorted; the reducers merge the task-ordered runs streaming.
+	shuffled := make([][][]Pair, reducers)
 	for r := 0; r < reducers; r++ {
+		runs := make([][]Pair, e.Cfg.Workers)
 		for task := 0; task < e.Cfg.Workers; task++ {
-			buckets[r] = append(buckets[r], taskBuckets[task][r]...)
+			runs[task] = taskBuckets[task][r]
 		}
+		shuffled[r] = runs
 	}
 
 	inflation := job.MemInflation
@@ -496,10 +552,11 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 	tr.startPhase(reducers)
 	for task := 0; task < reducers; task++ {
 		tm := &rm.Reducers[task]
-		in := buckets[task]
-		for i := range in {
-			tm.InRecords++
-			tm.InBytes += pairBytes(in[i].Key, in[i].Val)
+		for _, run := range shuffled[task] {
+			for i := range run {
+				tm.InRecords++
+				tm.InBytes += pairBytes(run[i].Key, run[i].Val)
+			}
 		}
 		tm.CPUSeconds += float64(tm.InRecords) * e.Cfg.Cost.ReduceCPUPerRecord
 		if float64(tm.InRecords)*inflation > e.Cfg.OOMFactor*oomMem && job.FailOnReducerOOM {
@@ -523,10 +580,9 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 	redErrs := make([]error, runTasks)
 	e.forEachTask(runTasks, func(task int) {
 		base := rm.Reducers[task] // input accounting from the pre-scan
-		in := buckets[task]
-		// Group by key (Hadoop sorts each reducer's input). Sorting is
-		// idempotent, so doing it once outside the attempt loop is safe.
-		sort.SliceStable(in, func(a, b int) bool { return in[a].Key < in[b].Key })
+		// The k-way merge over the map tasks' sorted runs is read-only,
+		// so one merger serves every attempt; reset rewinds it.
+		merger := newRunMerger(shuffled[task])
 		file := fmt.Sprintf("%spart-r-%05d", outPrefix, task)
 		sideFile := fmt.Sprintf("side/%s/part-r-%05d", job.Name, task)
 		var wasted int64
@@ -547,7 +603,7 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 			}
 			fileMark := e.FS.Mark(file)
 			sideMark := e.FS.Mark(sideFile)
-			err := e.reduceAttempt(job, ctx, in, oomMem, inflation)
+			err := e.reduceAttempt(job, ctx, merger, oomMem, inflation)
 			if err == nil {
 				attemptMetrics.WallSeconds = time.Since(tstart).Seconds()
 				attemptMetrics.Attempts = int64(attempt + 1)
@@ -605,10 +661,11 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 }
 
 // mapAttempt executes one attempt of one map task: fresh TaskState, the
-// input feed, MapFlush, the combiner, and partitioning into per-reducer
-// buckets. An injected crash surfaces as a *FaultError; the partial results
-// accumulated in ctx die with it. Partition range violations are returned
-// as plain (non-retryable) errors.
+// input feed, MapFlush, the combiner, partitioning into per-reducer
+// buckets, and the map-side sort of each bucket. An injected crash
+// surfaces as a *FaultError; the partial results accumulated in ctx die
+// with it. Partition range violations are returned as plain
+// (non-retryable) errors.
 func (e *Engine) mapAttempt(job *Job, ctx *MapCtx, task int, feed func(task int, ctx *MapCtx), reducers int, partition func(string, int) int) (buckets [][]Pair, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -632,14 +689,45 @@ func (e *Engine) mapAttempt(job *Job, ctx *MapCtx, task int, feed func(task int,
 		out = e.combine(job, ctx, out)
 	}
 	ctx.metrics.OutRecords = int64(len(out))
-	buckets = make([][]Pair, reducers)
+	// Counting pass: partition every record once up front so the buckets
+	// can be carved at exact size out of a single backing array — no
+	// per-append growth, no copying when the shuffle hands them over.
+	targets := make([]int32, len(out))
+	counts := make([]int32, reducers)
 	for i := range out {
 		ctx.metrics.OutBytes += pairBytes(out[i].Key, out[i].Val)
 		r := partition(out[i].Key, reducers)
 		if r < 0 || r >= reducers {
 			return nil, fmt.Errorf("mr: job %s: partition(%q) = %d out of range [0,%d)", job.Name, out[i].Key, r, reducers)
 		}
-		buckets[r] = append(buckets[r], out[i])
+		targets[i] = int32(r)
+		counts[r]++
+	}
+	offs := make([]int32, reducers+1)
+	for r := 0; r < reducers; r++ {
+		offs[r+1] = offs[r] + counts[r]
+	}
+	backing := make([]Pair, len(out))
+	cursor := counts // reuse the counts array as per-bucket fill cursors
+	copy(cursor, offs[:reducers])
+	for i := range out {
+		backing[cursor[targets[i]]] = out[i]
+		cursor[targets[i]]++
+	}
+	// Map-side sort (the cluster model's sort-merge shuffle): each bucket
+	// is sorted by key exactly once, here, in the map task; reducers only
+	// merge. The stable sort preserves emission order within equal keys,
+	// so the merged reducer input is bit-for-bit the order the historical
+	// concatenate-then-stable-sort produced. The real CPU this spends is
+	// the work the CostModel already charges per emitted record
+	// (MapCPUPerEmit covers Hadoop's collector, whose buffer sort is part
+	// of the emit path); no separate simulated charge is added.
+	buckets = make([][]Pair, reducers)
+	var scratch []Pair
+	for r := 0; r < reducers; r++ {
+		b := backing[offs[r]:offs[r+1]:offs[r+1]]
+		scratch = sortPairsStable(b, scratch)
+		buckets[r] = b
 	}
 	if job.MapCPUFactor > 0 {
 		ctx.metrics.CPUSeconds *= job.MapCPUFactor
@@ -647,11 +735,13 @@ func (e *Engine) mapAttempt(job *Job, ctx *MapCtx, task int, feed func(task int,
 	return buckets, nil
 }
 
-// reduceAttempt executes one attempt of one reduce task over its sorted
-// input: fresh TaskState, per-key grouping, the reduce function, and spill
-// accounting. An injected crash surfaces as a *FaultError; the caller rolls
-// back the attempt's DFS appends.
-func (e *Engine) reduceAttempt(job *Job, ctx *RedCtx, in []Pair, oomMem, inflation float64) (err error) {
+// reduceAttempt executes one attempt of one reduce task by streaming the
+// k-way merge of the map tasks' sorted runs: fresh TaskState, per-key
+// grouping straight off the merge (adjacent equal keys form a group, as
+// in Hadoop's reduce iterator), the reduce function, and spill accounting.
+// An injected crash surfaces as a *FaultError; the caller rolls back the
+// attempt's DFS appends.
+func (e *Engine) reduceAttempt(job *Job, ctx *RedCtx, m *runMerger, oomMem, inflation float64) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			sig, ok := r.(faultSignal)
@@ -665,17 +755,17 @@ func (e *Engine) reduceAttempt(job *Job, ctx *RedCtx, in []Pair, oomMem, inflati
 	if job.TaskState != nil {
 		ctx.state = job.TaskState()
 	}
+	m.reset()
 	tm := ctx.metrics
 	vals := make([][]byte, 0, 16)
 	var spillRecords float64
-	for i := 0; i < len(in); {
-		j := i
+	for p := m.next(); p != nil; {
+		key := p.Key
 		vals = vals[:0]
 		var keyBytes int64
-		for j < len(in) && in[j].Key == in[i].Key {
-			vals = append(vals, in[j].Val)
-			keyBytes += pairBytes(in[j].Key, in[j].Val)
-			j++
+		for ; p != nil && p.Key == key; p = m.next() {
+			vals = append(vals, p.Val)
+			keyBytes += pairBytes(p.Key, p.Val)
 		}
 		if int64(len(vals)) > tm.LargestKeyRecords {
 			tm.LargestKeyRecords = int64(len(vals))
@@ -688,8 +778,7 @@ func (e *Engine) reduceAttempt(job *Job, ctx *RedCtx, in []Pair, oomMem, inflati
 		if ex := float64(len(vals))*inflation - oomMem; ex > 0 {
 			spillRecords += ex
 		}
-		job.Reduce(ctx, in[i].Key, vals)
-		i = j
+		job.Reduce(ctx, key, vals)
 	}
 	if job.ReduceCPUFactor > 0 {
 		tm.CPUSeconds *= job.ReduceCPUFactor
@@ -745,38 +834,88 @@ func (e *Engine) forEachTask(n int, fn func(task int)) {
 }
 
 // combine groups one mapper's buffered output by key and applies the
-// combiner, charging its CPU.
+// combiner, charging its CPU. Grouping is by hash table — one map probe
+// per record instead of a sort — which is legal because group order does
+// not matter here: whatever order the combiner's output leaves in, the
+// map-side bucket sort in mapAttempt re-establishes the canonical order
+// before the shuffle. Values are gathered in first-seen group order.
+//
+// Rebuilding into out[:0] at the end is safe only because both passes
+// below copy every key string header and every Val slice header out of
+// out first; the historical version read out[j] while overwriting
+// combined = out[:0] in place, which corrupted later groups whenever a
+// combiner returned more values than it consumed.
 func (e *Engine) combine(job *Job, ctx *MapCtx, out []Pair) []Pair {
 	ctx.metrics.CPUSeconds += float64(len(out)) * e.Cfg.Cost.CombineCPUPerRecord
-	sort.SliceStable(out, func(a, b int) bool { return out[a].Key < out[b].Key })
+	if len(out) == 0 {
+		return out
+	}
+	// Pass 1: assign each distinct key a dense group index, count group
+	// sizes.
+	idx := make(map[string]int32, len(out)/2+1)
+	gi := make([]int32, len(out))
+	var groups int32
+	for i := range out {
+		g, ok := idx[out[i].Key]
+		if !ok {
+			g = groups
+			groups++
+			idx[out[i].Key] = g
+		}
+		gi[i] = g
+	}
+	counts := make([]int32, groups)
+	for _, g := range gi {
+		counts[g]++
+	}
+	offs := make([]int32, groups+1)
+	for g := int32(0); g < groups; g++ {
+		offs[g+1] = offs[g] + counts[g]
+	}
+	// Pass 2: gather each group's values (and one key string per group)
+	// into shared backing arrays — after this, nothing reads out's old
+	// contents.
+	keys := make([]string, groups)
+	vals := make([][]byte, len(out))
+	cursor := counts // reuse as per-group fill cursors
+	copy(cursor, offs[:groups])
+	for i := range out {
+		g := gi[i]
+		if cursor[g] == offs[g] {
+			keys[g] = out[i].Key
+		}
+		vals[cursor[g]] = out[i].Val
+		cursor[g]++
+	}
 	combined := out[:0]
-	vals := make([][]byte, 0, 16)
-	for i := 0; i < len(out); {
-		j := i
-		vals = vals[:0]
-		for j < len(out) && out[j].Key == out[i].Key {
-			vals = append(vals, out[j].Val)
-			j++
+	for g := int32(0); g < groups; g++ {
+		for _, v := range job.Combine(keys[g], vals[offs[g]:offs[g+1]]) {
+			combined = append(combined, Pair{Key: keys[g], Val: v})
 		}
-		for _, v := range job.Combine(out[i].Key, vals) {
-			combined = append(combined, Pair{Key: out[i].Key, Val: v})
-		}
-		i = j
 	}
 	return combined
 }
 
+// FNV-1a constants (matching hash/fnv's 64-bit variant).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // HashPartition is the default partitioner: FNV-1a of the key, salted by
-// the engine seed.
+// the engine seed. The hash is inlined — byte-identical to feeding
+// fnv.New64a() the seed's 8 little-endian bytes followed by the key — so
+// the per-emit hot path allocates nothing (the historical version
+// allocated a hasher and a []byte(key) copy per call).
 func HashPartition(seed uint64, key string, reducers int) int {
-	h := fnv.New64a()
-	var s [8]byte
+	h := uint64(fnvOffset64)
 	for i := 0; i < 8; i++ {
-		s[i] = byte(seed >> (8 * uint(i)))
+		h = (h ^ uint64(byte(seed>>(8*uint(i))))) * fnvPrime64
 	}
-	h.Write(s[:])
-	h.Write([]byte(key))
-	return int(h.Sum64() % uint64(reducers))
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * fnvPrime64
+	}
+	return int(h % uint64(reducers))
 }
 
 // split returns the [lo,hi) range of the i-th of k equal input splits.
@@ -784,6 +923,25 @@ func split(n, k, i int) (int, int) {
 	lo := i * n / k
 	hi := (i + 1) * n / k
 	return lo, hi
+}
+
+// tupleInputBytes returns the encoded input size of tuples, memoized for
+// the last slice seen: multi-round algorithms (spcube's sample/skew/group
+// rounds, mrcube, pipesort) call RunTuples repeatedly on one relation, and
+// the full encoding pass only needs to run once per relation. The cache
+// key is the slice identity (base pointer + length) — same tuples, same
+// bytes — so a different or mutated-in-place-to-different-length slice
+// recomputes.
+func (e *Engine) tupleInputBytes(tuples []relation.Tuple) int64 {
+	if len(tuples) == 0 {
+		return 0
+	}
+	if e.inBytesPtr == &tuples[0] && e.inBytesN == len(tuples) {
+		return e.inBytesVal
+	}
+	v := tupleInputBytes(tuples)
+	e.inBytesPtr, e.inBytesN, e.inBytesVal = &tuples[0], len(tuples), v
+	return v
 }
 
 func tupleInputBytes(tuples []relation.Tuple) int64 {

@@ -1,0 +1,203 @@
+package mr
+
+import "strings"
+
+// This file is the sort-merge half of the engine's data plane: a stable
+// bottom-up merge sort for the map side's per-reducer buckets and a
+// loser-tree k-way merge for the reduce side. Together they reproduce
+// Hadoop's actual shuffle structure (the cluster model of §2.3 assumes it):
+// every map task sorts each of its per-reducer buckets once, the shuffle
+// hands a reducer its k task-ordered sorted runs without flattening them,
+// and the reducer consumes the runs through a single streaming merge — it
+// never re-sorts its whole input.
+//
+// Both pieces are exactly order-equivalent to the historical
+// implementation (sort.SliceStable over the concatenated bucket): the
+// map-side sort is stable in emission order, and the merge breaks key ties
+// by run index, i.e. by map-task index — the same tiebreak a stable sort
+// of the task-ordered concatenation produces. Reducer input order, and
+// with it output, metrics and traces, is bit-for-bit unchanged.
+
+// sortRun is the insertion-sort block size of sortPairsStable; blocks of
+// this size are sorted in place before the merge passes start.
+const sortRun = 16
+
+// sortPairsStable stably sorts pairs by key — equivalent to
+// sort.SliceStable with a key comparison, but monomorphic (no reflection
+// swapper) and reusing scratch across calls. It returns the scratch slice,
+// grown if needed, for the caller to keep.
+func sortPairsStable(pairs, scratch []Pair) []Pair {
+	n := len(pairs)
+	if n < 2 {
+		return scratch
+	}
+	// Insertion-sort blocks of sortRun (stable: shift only strictly
+	// greater keys).
+	for lo := 0; lo < n; lo += sortRun {
+		hi := lo + sortRun
+		if hi > n {
+			hi = n
+		}
+		for i := lo + 1; i < hi; i++ {
+			p := pairs[i]
+			j := i
+			for j > lo && pairs[j-1].Key > p.Key {
+				pairs[j] = pairs[j-1]
+				j--
+			}
+			pairs[j] = p
+		}
+	}
+	if n <= sortRun {
+		return scratch
+	}
+	if cap(scratch) < n {
+		scratch = make([]Pair, n)
+	}
+	buf := scratch[:n]
+	src, dst := pairs, buf
+	for width := sortRun; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid, hi := lo+width, lo+2*width
+			if mid >= n {
+				// Lone tail run: carry it over unmerged.
+				copy(dst[lo:n], src[lo:n])
+				break
+			}
+			if hi > n {
+				hi = n
+			}
+			mergeInto(dst[lo:hi], src[lo:mid], src[mid:hi])
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &pairs[0] {
+		copy(pairs, src)
+	}
+	return scratch
+}
+
+// mergeInto merges two sorted runs into dst (len(dst) == len(a)+len(b)),
+// taking from a on equal keys (stability).
+func mergeInto(dst, a, b []Pair) {
+	i, j := 0, 0
+	for k := range dst {
+		if i < len(a) && (j >= len(b) || a[i].Key <= b[j].Key) {
+			dst[k] = a[i]
+			i++
+		} else {
+			dst[k] = b[j]
+			j++
+		}
+	}
+}
+
+// runMerger streams the pairs of k sorted runs in globally sorted order
+// through a loser tree: each next() replays one leaf-to-root path — log k
+// key comparisons — instead of re-scanning all run heads. Key ties go to
+// the lower run index, which, with runs ordered by map task, reproduces
+// the stable task-ordered concatenation sort exactly.
+//
+// The tree is the classic 2k-slot tournament layout: leaf j sits at node
+// k+j, internal node i holds the loser of the match between its subtrees,
+// and the overall winner is kept at slot 0. Exhausted runs act as +∞
+// sentinels, so no special casing is needed as runs drain.
+type runMerger struct {
+	runs  [][]Pair
+	pos   []int // per-run cursor
+	loser []int // loser[0] = overall winner; loser[1..k-1] = match losers
+	win   []int // build() scratch, kept so reset() does not allocate
+	k     int
+}
+
+// newRunMerger builds a merger over the given runs (empty runs are
+// allowed). The runs are read, never modified.
+func newRunMerger(runs [][]Pair) *runMerger {
+	k := len(runs)
+	m := &runMerger{
+		runs:  runs,
+		pos:   make([]int, k),
+		loser: make([]int, max(k, 1)),
+		win:   make([]int, 2*k),
+		k:     k,
+	}
+	m.build()
+	return m
+}
+
+// reset rewinds every run to its start, making the merger reusable across
+// task attempts.
+func (m *runMerger) reset() {
+	for i := range m.pos {
+		m.pos[i] = 0
+	}
+	m.build()
+}
+
+// build plays the initial tournament bottom-up.
+func (m *runMerger) build() {
+	if m.k == 0 {
+		return
+	}
+	if m.k == 1 {
+		m.loser[0] = 0
+		return
+	}
+	// win[i] is the winner of the subtree rooted at node i; leaves k..2k-1
+	// hold the runs themselves.
+	win := m.win
+	for j := 0; j < m.k; j++ {
+		win[m.k+j] = j
+	}
+	for i := m.k - 1; i >= 1; i-- {
+		a, b := win[2*i], win[2*i+1]
+		if m.beats(a, b) {
+			win[i], m.loser[i] = a, b
+		} else {
+			win[i], m.loser[i] = b, a
+		}
+	}
+	m.loser[0] = win[1]
+}
+
+// beats reports whether run a's head precedes run b's head: exhausted runs
+// lose to live ones, equal keys go to the lower run index.
+func (m *runMerger) beats(a, b int) bool {
+	pa, pb := m.pos[a], m.pos[b]
+	ea, eb := pa >= len(m.runs[a]), pb >= len(m.runs[b])
+	switch {
+	case ea && eb:
+		return a < b
+	case ea:
+		return false
+	case eb:
+		return true
+	}
+	if c := strings.Compare(m.runs[a][pa].Key, m.runs[b][pb].Key); c != 0 {
+		return c < 0
+	}
+	return a < b
+}
+
+// next returns a pointer to the globally next pair, or nil when every run
+// is exhausted. The pointed-to Pair lives in its run's backing array and
+// must not be modified.
+func (m *runMerger) next() *Pair {
+	if m.k == 0 {
+		return nil
+	}
+	w := m.loser[0]
+	if m.pos[w] >= len(m.runs[w]) {
+		return nil // winner exhausted: all runs drained
+	}
+	p := &m.runs[w][m.pos[w]]
+	m.pos[w]++
+	// Replay the winner's leaf-to-root path against the stored losers.
+	for i := (m.k + w) / 2; i >= 1; i /= 2 {
+		if m.beats(m.loser[i], w) {
+			m.loser[i], w = w, m.loser[i]
+		}
+	}
+	m.loser[0] = w
+	return p
+}

@@ -30,6 +30,19 @@ func EncodeGroupKey(buf []byte, mask uint32, dims []Value) []byte {
 	return buf
 }
 
+// AppendGroupKey appends the encoded c-group key of dims projected on mask
+// to buf and returns the extended slice. Unlike EncodeGroupKey it does not
+// reset buf, so callers can build prefixed keys (a tag byte followed by the
+// group key) in one reusable scratch buffer.
+func AppendGroupKey(buf []byte, mask uint32, dims []Value) []byte {
+	buf = binary.AppendUvarint(buf, uint64(mask))
+	for m := mask; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros32(m)
+		buf = binary.AppendUvarint(buf, zig(dims[i]))
+	}
+	return buf
+}
+
 // GroupKey returns the encoded c-group key of dims projected on mask as a
 // string (usable as a map key and MapReduce shuffle key).
 func GroupKey(mask uint32, dims []Value) string {

@@ -315,7 +315,7 @@ func Build(eng *mr.Engine, rel *relation.Relation, seed int64) (*BuildResult, er
 		}
 		if ts.rng.Float64() <= alpha {
 			ts.buf = relation.EncodeTuple(ts.buf, t)
-			ctx.Emit("s", append([]byte(nil), ts.buf...))
+			ctx.EmitCopied("s", ts.buf)
 		}
 	}
 
