@@ -2,10 +2,10 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race retry-race fuzz-smoke bench bench-json \
-	bench-hotpath bench-hotpath-json bench-compare
+.PHONY: check fmt vet build test race retry-race fuzz-smoke chaos bench \
+	bench-json bench-hotpath bench-hotpath-json bench-compare
 
-check: fmt vet race fuzz-smoke
+check: fmt vet race fuzz-smoke chaos
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -34,6 +34,12 @@ retry-race:
 # coordinate vs brute force).
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzCubeEquivalence -fuzztime=10s ./internal/integration
+
+# Randomized fault-plan soak: deterministically generated multi-fault plans
+# (every task-fault kind, whole-node crashes, speculation, task timeouts)
+# differentially validated against the brute-force cube.
+chaos:
+	$(GO) test -count=1 -run TestChaosRandomFaultPlans ./internal/integration
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

@@ -12,10 +12,14 @@
 // The -p flag controls how many goroutines execute the simulated tasks
 // (0 = all cores). Every figure is identical at any parallelism; only the
 // real time to produce it changes. Likewise -faults injects deterministic
-// task failures (see mr.ParseFaultPlan for the spec syntax) that the
-// engine's retry layer must recover from without changing a single figure:
+// task failures (see mr.ParseFaultPlan for the spec syntax, including
+// round:node:N:node-crash to kill a whole simulated machine) that the
+// engine's recovery layer must absorb without changing a single figure;
+// -spec-slack and -task-timeout exercise straggler mitigation the same way:
 //
-//	spbench -exp fig6 -faults '*:map:*:crash' # same figures, every map task retried
+//	spbench -exp fig6 -faults '*:map:*:crash'        # same figures, every map task retried
+//	spbench -exp fig6 -faults '*:node:1:node-crash'  # same figures, node 1's output recomputed
+//	spbench -exp fig6 -faults '*:map:2:slow@20' -spec-slack 0.01
 //
 // Observability: -metrics-out FILE writes the figures plus every run's full
 // per-round metrics as a versioned JSON document (validate one with
@@ -55,8 +59,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed       = fs.Int64("seed", 2016, "deterministic seed for data generation and sampling")
 		scale      = fs.Float64("scale", 1, "sweep size multiplier (1 = paper scale / 1000)")
 		format     = fs.String("format", "table", "output format: table, csv, or chart")
-		faults     = fs.String("faults", "", "fault-injection spec: round:phase:task:kind[:attempt[:count]], comma-separated (figures are identical to a fault-free run)")
+		faults     = fs.String("faults", "", "fault-injection spec: round:phase:task:kind[:attempt[:count]] or round:node:N:node-crash, comma-separated (figures are identical to a fault-free run)")
 		maxAtt     = fs.Int("max-attempts", 0, "task attempts before an injected failure becomes permanent (0 = engine default, 4)")
+		specSlack  = fs.Float64("spec-slack", 0, "speculative-execution slack in simulated seconds: race a backup attempt against tasks stalled longer than this (0 = disabled)")
+		taskTO     = fs.Float64("task-timeout", 0, "kill and retry task attempts stalled longer than this many simulated seconds (0 = disabled)")
 		metricsOut = fs.String("metrics-out", "", "write figures and per-run metrics (versioned JSON) to this file")
 		traceFile  = fs.String("trace", "", "write structured engine trace events (JSON lines) to this file")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof and /debug/runtime on this address (e.g. localhost:6060)")
@@ -104,7 +110,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := bench.Config{Workers: *workers, Seed: *seed, Scale: *scale, Parallelism: *par,
-		Faults: plan, MaxAttempts: *maxAtt}
+		Faults: plan, MaxAttempts: *maxAtt,
+		SpeculativeSlack: *specSlack, TaskTimeout: *taskTO}
 
 	var col bench.Collector
 	if *metricsOut != "" {

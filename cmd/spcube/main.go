@@ -17,11 +17,21 @@
 //
 // The -faults flag injects deterministic task failures into the simulated
 // cluster (spec: round:phase:task:kind[:attempt[:count]], comma-separated,
-// "*" wildcards; kinds: crash, mid-emit, slow, oom). Failed tasks are
-// re-executed up to -max-attempts times; the cube and every statistic except
-// the retry counters are identical to a fault-free run:
+// "*" wildcards; kinds: crash, mid-emit, slow, oom, plus
+// round:node:N:node-crash to kill simulated machine N at a round's shuffle
+// barrier — its completed map output is lost and recomputed). Failed tasks
+// are re-executed up to -max-attempts times; the cube and every statistic
+// except the recovery counters are identical to a fault-free run:
 //
-//	spcube -in sales.csv -faults '*:map:*:crash' # every map task retried once
+//	spcube -in sales.csv -faults '*:map:*:crash'      # every map task retried once
+//	spcube -in sales.csv -faults '*:node:1:node-crash' # lose node 1's map output
+//
+// Straggler mitigation: -spec-slack S races a backup attempt against any
+// task stalled (by a slow fault) more than S simulated seconds, keeping the
+// attempt with the lower simulated finish time; -task-timeout T kills and
+// retries attempts stalled past T simulated seconds:
+//
+//	spcube -in sales.csv -faults '*:map:2:slow@40' -spec-slack 0.01
 //
 // Observability: -trace FILE streams the simulated cluster's structured
 // lifecycle events as JSON lines, -metrics-out FILE writes the run's full
@@ -55,8 +65,10 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "sampling seed")
 	flag.IntVar(&o.minSup, "minsup", 0, "iceberg threshold: only materialize groups with at least this many rows")
 	flag.BoolVar(&o.stats, "stats", true, "print execution statistics to stderr")
-	flag.StringVar(&o.faults, "faults", "", "fault-injection spec: round:phase:task:kind[:attempt[:count]], comma-separated (e.g. '*:map:*:crash'); the cube is identical to a fault-free run")
+	flag.StringVar(&o.faults, "faults", "", "fault-injection spec: round:phase:task:kind[:attempt[:count]] or round:node:N:node-crash, comma-separated (e.g. '*:map:*:crash', '*:node:1:node-crash'); the cube is identical to a fault-free run")
 	flag.IntVar(&o.maxAttempts, "max-attempts", 0, "task attempts before an injected failure becomes permanent (0 = engine default, 4)")
+	flag.Float64Var(&o.specSlack, "spec-slack", 0, "speculative-execution slack in simulated seconds: race a backup attempt against tasks stalled longer than this (0 = disabled)")
+	flag.Float64Var(&o.taskTimeout, "task-timeout", 0, "kill and retry task attempts stalled longer than this many simulated seconds (0 = disabled)")
 	flag.StringVar(&o.traceFile, "trace", "", "write structured engine trace events (JSON lines) to this file")
 	flag.StringVar(&o.metricsFile, "metrics-out", "", "write the run's per-round metrics (versioned JSON) to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/runtime on this address (e.g. localhost:6060)")
@@ -71,7 +83,7 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "spcube: profiling endpoint on http://%s/debug/pprof/\n", srv.Addr)
 	}
-	if err := run(o); err != nil {
+	if err := run(o, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "spcube:", err)
 		os.Exit(1)
 	}
@@ -87,11 +99,13 @@ type options struct {
 	stats            bool
 	faults           string
 	maxAttempts      int
+	specSlack        float64
+	taskTimeout      float64
 	traceFile        string
 	metricsFile      string
 }
 
-func run(o options) error {
+func run(o options, stderr io.Writer) error {
 	aggFn, err := spcube.AggByName(o.aggName)
 	if err != nil {
 		return err
@@ -124,6 +138,8 @@ func run(o options) error {
 		spcube.MinSupport(o.minSup),
 		spcube.Faults(o.faults),
 		spcube.MaxAttempts(o.maxAttempts),
+		spcube.SpeculativeSlack(o.specSlack),
+		spcube.TaskTimeout(o.taskTimeout),
 	}
 	if o.traceFile != "" {
 		tf, err := os.Create(o.traceFile)
@@ -164,18 +180,26 @@ func run(o options) error {
 
 	if o.stats {
 		st := c.Stats()
-		fmt.Fprintf(os.Stderr,
+		fmt.Fprintf(stderr,
 			"%s: %d rows -> %d c-groups | %d rounds, %.1f simulated s (%.2fs wall), %d intermediate records (%d B)",
 			st.Algorithm, rel.NumRows(), c.NumGroups(), st.Rounds, st.SimSeconds, st.WallSeconds,
 			st.ShuffleRecords, st.ShuffleBytes)
 		if st.SketchBytes > 0 {
-			fmt.Fprintf(os.Stderr, " | sketch %d B, %d skewed groups", st.SketchBytes, st.SkewedGroups)
+			fmt.Fprintf(stderr, " | sketch %d B, %d skewed groups", st.SketchBytes, st.SkewedGroups)
 		}
 		if st.Retries > 0 {
-			fmt.Fprintf(os.Stderr, " | %d task retries (%d B wasted, %.2fs retry wall)",
+			fmt.Fprintf(stderr, " | %d task retries (%d B wasted, %.2fs retry wall)",
 				st.Retries, st.WastedBytes, st.RetryWallSeconds)
 		}
-		fmt.Fprintln(os.Stderr)
+		if st.MapReexecutions > 0 {
+			fmt.Fprintf(stderr, " | %d map re-executions (%d fetch failures)",
+				st.MapReexecutions, st.FetchFailures)
+		}
+		if st.SpeculativeLaunched > 0 {
+			fmt.Fprintf(stderr, " | %d speculative attempts (won %d, killed %d)",
+				st.SpeculativeLaunched, st.SpeculativeWon, st.SpeculativeKilled)
+		}
+		fmt.Fprintln(stderr)
 	}
 	return nil
 }

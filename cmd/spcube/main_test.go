@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -22,7 +23,7 @@ func TestRunEndToEnd(t *testing.T) {
 	if err := os.WriteFile(in, []byte(sampleCSV), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(options{in: in, out: out, aggName: "sum", algName: "sp-cube", workers: 3, par: 0, seed: 1, minSup: 0, stats: false, faults: "", maxAttempts: 0}); err != nil {
+	if err := run(options{in: in, out: out, aggName: "sum", algName: "sp-cube", workers: 3, par: 0, seed: 1, minSup: 0, stats: false, faults: "", maxAttempts: 0}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -57,12 +58,12 @@ func TestRunAllAlgorithmsAndMinSup(t *testing.T) {
 	}
 	for _, algo := range []string{"sp-cube", "naive", "mr-cube", "hive"} {
 		out := filepath.Join(dir, algo+".csv")
-		if err := run(options{in: in, out: out, aggName: "count", algName: algo, workers: 2, par: 0, seed: 1, minSup: 0, stats: false, faults: "", maxAttempts: 0}); err != nil {
+		if err := run(options{in: in, out: out, aggName: "count", algName: algo, workers: 2, par: 0, seed: 1, minSup: 0, stats: false, faults: "", maxAttempts: 0}, io.Discard); err != nil {
 			t.Errorf("%s: %v", algo, err)
 		}
 	}
 	out := filepath.Join(dir, "iceberg.csv")
-	if err := run(options{in: in, out: out, aggName: "count", algName: "sp-cube", workers: 2, par: 0, seed: 1, minSup: 3, stats: false, faults: "", maxAttempts: 0}); err != nil {
+	if err := run(options{in: in, out: out, aggName: "count", algName: "sp-cube", workers: 2, par: 0, seed: 1, minSup: 3, stats: false, faults: "", maxAttempts: 0}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, _ := os.ReadFile(out)
@@ -77,16 +78,16 @@ func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	in := filepath.Join(dir, "in.csv")
 
-	if err := run(options{in: in, out: "", aggName: "count", algName: "sp-cube", workers: 2, par: 0, seed: 1, minSup: 0, stats: false, faults: "", maxAttempts: 0}); err == nil {
+	if err := run(options{in: in, out: "", aggName: "count", algName: "sp-cube", workers: 2, par: 0, seed: 1, minSup: 0, stats: false, faults: "", maxAttempts: 0}, io.Discard); err == nil {
 		t.Error("missing input must fail")
 	}
 	if err := os.WriteFile(in, []byte(sampleCSV), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(options{in: in, out: "", aggName: "median", algName: "sp-cube", workers: 2, par: 0, seed: 1, minSup: 0, stats: false, faults: "", maxAttempts: 0}); err == nil {
+	if err := run(options{in: in, out: "", aggName: "median", algName: "sp-cube", workers: 2, par: 0, seed: 1, minSup: 0, stats: false, faults: "", maxAttempts: 0}, io.Discard); err == nil {
 		t.Error("unknown aggregate must fail")
 	}
-	if err := run(options{in: in, out: "", aggName: "count", algName: "spark", workers: 2, par: 0, seed: 1, minSup: 0, stats: false, faults: "", maxAttempts: 0}); err == nil {
+	if err := run(options{in: in, out: "", aggName: "count", algName: "spark", workers: 2, par: 0, seed: 1, minSup: 0, stats: false, faults: "", maxAttempts: 0}, io.Discard); err == nil {
 		t.Error("unknown algorithm must fail")
 	}
 
@@ -94,21 +95,21 @@ func TestRunErrors(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("a,b,m\nx,y,notanumber\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(options{in: bad, out: "", aggName: "count", algName: "sp-cube", workers: 2, par: 0, seed: 1, minSup: 0, stats: false, faults: "", maxAttempts: 0}); err == nil {
+	if err := run(options{in: bad, out: "", aggName: "count", algName: "sp-cube", workers: 2, par: 0, seed: 1, minSup: 0, stats: false, faults: "", maxAttempts: 0}, io.Discard); err == nil {
 		t.Error("non-numeric measure must fail")
 	}
 	empty := filepath.Join(dir, "empty.csv")
 	if err := os.WriteFile(empty, []byte("a,b,m\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(options{in: empty, out: "", aggName: "count", algName: "sp-cube", workers: 2, par: 0, seed: 1, minSup: 0, stats: false, faults: "", maxAttempts: 0}); err == nil {
+	if err := run(options{in: empty, out: "", aggName: "count", algName: "sp-cube", workers: 2, par: 0, seed: 1, minSup: 0, stats: false, faults: "", maxAttempts: 0}, io.Discard); err == nil {
 		t.Error("headerless/empty data must fail")
 	}
 	oneCol := filepath.Join(dir, "one.csv")
 	if err := os.WriteFile(oneCol, []byte("m\n1\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(options{in: oneCol, out: "", aggName: "count", algName: "sp-cube", workers: 2, par: 0, seed: 1, minSup: 0, stats: false, faults: "", maxAttempts: 0}); err == nil {
+	if err := run(options{in: oneCol, out: "", aggName: "count", algName: "sp-cube", workers: 2, par: 0, seed: 1, minSup: 0, stats: false, faults: "", maxAttempts: 0}, io.Discard); err == nil {
 		t.Error("single-column input must fail")
 	}
 }
@@ -122,7 +123,7 @@ func TestRunTraceAndMetricsOut(t *testing.T) {
 	trace := filepath.Join(dir, "trace.jsonl")
 	metrics := filepath.Join(dir, "metrics.json")
 	err := run(options{in: in, out: filepath.Join(dir, "out.csv"), aggName: "count", algName: "sp-cube",
-		workers: 2, seed: 1, traceFile: trace, metricsFile: metrics})
+		workers: 2, seed: 1, traceFile: trace, metricsFile: metrics}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,10 +154,78 @@ func TestRunTraceAndMetricsOut(t *testing.T) {
 	if err := json.Unmarshal(metricsData, &doc); err != nil {
 		t.Fatalf("metrics file is not JSON: %v", err)
 	}
-	if v, ok := doc["schemaVersion"].(float64); !ok || int(v) != 1 {
+	if v, ok := doc["schemaVersion"].(float64); !ok || int(v) != 2 {
 		t.Errorf("metrics schemaVersion = %v", doc["schemaVersion"])
 	}
 	if rounds, ok := doc["rounds"].([]any); !ok || len(rounds) != 2 {
 		t.Errorf("sp-cube metrics should have 2 rounds, got %v", doc["rounds"])
+	}
+}
+
+// TestRunNodeCrashAndSpeculationStats drives the recovery machinery through
+// the CLI: a node-crash plan must surface map re-executions in both the
+// stats line and the metrics document without changing the cube, and a
+// slow-task plan with -spec-slack must surface speculative attempts.
+func TestRunNodeCrashAndSpeculationStats(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.csv")
+	if err := os.WriteFile(in, []byte(sampleCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	clean := filepath.Join(dir, "clean.csv")
+	if err := run(options{in: in, out: clean, aggName: "count", algName: "sp-cube",
+		workers: 2, seed: 1, stats: false}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		opts    options
+		stats   string // substring the stats line must contain
+		counter string // metrics-document counter that must be positive
+	}{
+		{"node crash", options{faults: "*:node:1:node-crash"},
+			"map re-executions", "mapReexecutions"},
+		{"speculation", options{faults: "*:map:*:slow@3", specSlack: 0.0005},
+			"speculative attempts", "speculativeLaunched"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := tc.opts
+			o.in, o.out = in, filepath.Join(dir, tc.name+".csv")
+			o.aggName, o.algName = "count", "sp-cube"
+			o.workers, o.seed, o.stats = 2, 1, true
+			o.metricsFile = filepath.Join(dir, tc.name+".json")
+			var stderr strings.Builder
+			if err := run(o, &stderr); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(stderr.String(), tc.stats) {
+				t.Errorf("stats line %q lacks %q", stderr.String(), tc.stats)
+			}
+			got, err := os.ReadFile(o.out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("cube under %s differs from the fault-free run", tc.name)
+			}
+			metricsData, err := os.ReadFile(o.metricsFile)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var doc map[string]any
+			if err := json.Unmarshal(metricsData, &doc); err != nil {
+				t.Fatal(err)
+			}
+			if v, _ := doc[tc.counter].(float64); v <= 0 {
+				t.Errorf("metrics %s = %v, want > 0", tc.counter, doc[tc.counter])
+			}
+		})
 	}
 }

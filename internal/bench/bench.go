@@ -49,6 +49,12 @@ type Config struct {
 	// MaxAttempts bounds task re-execution under injected faults
 	// (0 = engine default).
 	MaxAttempts int
+	// SpeculativeSlack enables straggler speculation in every engine round
+	// (see mr.Config.SpeculativeSlack); 0 disables it.
+	SpeculativeSlack float64
+	// TaskTimeout kills and retries attempts stalled past it (see
+	// mr.Config.TaskTimeout); 0 disables it.
+	TaskTimeout float64
 	// Tracer, when set, receives every engine's structured lifecycle
 	// events (see mr.Tracer); it is shared by all runs of the experiment,
 	// so sinks must be safe for sequential reuse (the bundled
@@ -130,7 +136,9 @@ func paperAlgos(seed int64) []algo {
 // engineConfig is the mr.Config every experiment engine is created with.
 func (c Config) engineConfig() mr.Config {
 	return mr.Config{Workers: c.Workers, Seed: uint64(c.Seed), Parallelism: c.Parallelism,
-		Faults: c.Faults, MaxAttempts: c.MaxAttempts, Tracer: c.Tracer}
+		Faults: c.Faults, MaxAttempts: c.MaxAttempts,
+		SpeculativeSlack: c.SpeculativeSlack, TaskTimeout: c.TaskTimeout,
+		Tracer: c.Tracer}
 }
 
 // runOne executes one algorithm on one relation with a fresh engine.

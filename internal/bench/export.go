@@ -51,9 +51,11 @@ type Environment struct {
 // derived from. Its schema version is shared with the engine-level metrics
 // document (mr.MetricsSchemaVersion), whose determinism contract applies:
 // everything except the environment block and the wall-clock fields
-// ("wallSeconds", "retryWallSeconds") is bit-for-bit identical at any
-// parallelism, and only the recovery fields ("retries", "wastedBytes",
-// "attempts") additionally differ between faulted and fault-free runs.
+// ("wallSeconds", "retryWallSeconds", "speculativeWallSeconds") is
+// bit-for-bit identical at any parallelism, and only the recovery fields
+// ("retries", "wastedBytes", "attempts", "reexecutions"/"mapReexecutions",
+// "fetchFailures", "speculativeLaunched"/"Won"/"Killed") additionally
+// differ between faulted and fault-free runs.
 type MetricsDoc struct {
 	SchemaVersion int    `json:"schemaVersion"`
 	Tool          string `json:"tool"`
@@ -220,7 +222,8 @@ func ValidateMetricsJSON(data []byte) error {
 // them (StripVolatile) makes documents from different parallelism levels
 // byte-comparable.
 var VolatileMetricsKeys = []string{
-	"wallSeconds", "retryWallSeconds", "time", "generatedAt", "goVersion", "parallelism",
+	"wallSeconds", "retryWallSeconds", "speculativeWallSeconds",
+	"time", "generatedAt", "goVersion", "parallelism",
 }
 
 // StripVolatile removes the volatile keys (VolatileMetricsKeys plus any

@@ -75,11 +75,12 @@ func TestValidateMetricsJSONRejectsMalformed(t *testing.T) {
 		{"not json", "nope", "metrics document"},
 		{"no version", `{"tool":"spbench"}`, "schemaVersion"},
 		{"wrong version", `{"schemaVersion":99,"tool":"x","experiment":"y"}`, "schemaVersion 99"},
-		{"no tool", `{"schemaVersion":1}`, "missing tool"},
-		{"no figures", `{"schemaVersion":1,"tool":"x","experiment":"y","workers":1,"seed":1,"scale":1,"environment":{"goVersion":"go"}}`, "figures"},
-		{"figure without id", `{"schemaVersion":1,"tool":"x","experiment":"y","workers":1,"seed":1,"scale":1,"environment":{"goVersion":"go"},"figures":[{}],"runs":[]}`, "no id"},
-		{"run without algo", `{"schemaVersion":1,"tool":"x","experiment":"y","workers":1,"seed":1,"scale":1,"environment":{"goVersion":"go"},"figures":[],"runs":[{}]}`, "no algo"},
-		{"run with bad metrics", `{"schemaVersion":1,"tool":"x","experiment":"y","workers":1,"seed":1,"scale":1,"environment":{"goVersion":"go"},"figures":[],"runs":[{"algo":"a","inputTuples":1,"metrics":{"schemaVersion":2}}]}`, "metrics schemaVersion"},
+		{"stale v1", `{"schemaVersion":1,"tool":"x","experiment":"y"}`, "schemaVersion 1"},
+		{"no tool", `{"schemaVersion":2}`, "missing tool"},
+		{"no figures", `{"schemaVersion":2,"tool":"x","experiment":"y","workers":1,"seed":1,"scale":1,"environment":{"goVersion":"go"}}`, "figures"},
+		{"figure without id", `{"schemaVersion":2,"tool":"x","experiment":"y","workers":1,"seed":1,"scale":1,"environment":{"goVersion":"go"},"figures":[{}],"runs":[]}`, "no id"},
+		{"run without algo", `{"schemaVersion":2,"tool":"x","experiment":"y","workers":1,"seed":1,"scale":1,"environment":{"goVersion":"go"},"figures":[],"runs":[{}]}`, "no algo"},
+		{"run with bad metrics", `{"schemaVersion":2,"tool":"x","experiment":"y","workers":1,"seed":1,"scale":1,"environment":{"goVersion":"go"},"figures":[],"runs":[{"algo":"a","inputTuples":1,"metrics":{"schemaVersion":1}}]}`, "metrics schemaVersion"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -40,13 +40,14 @@ type detRun struct {
 	records  int64
 }
 
-func runDeterminism(t *testing.T, fn cube.ComputeFunc, rel *relation.Relation, parallelism int, faults string) detRun {
+func runDeterminism(t *testing.T, fn cube.ComputeFunc, rel *relation.Relation, parallelism int, faults string, slack, timeout float64) detRun {
 	t.Helper()
 	plan, err := mr.ParseFaultPlan(faults)
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := mr.New(mr.Config{Workers: 6, Seed: 42, Parallelism: parallelism, Faults: plan}, dfs.New(false))
+	eng := mr.New(mr.Config{Workers: 6, Seed: 42, Parallelism: parallelism, Faults: plan,
+		SpeculativeSlack: slack, TaskTimeout: timeout}, dfs.New(false))
 	run, err := fn(eng, rel, cube.Spec{Agg: agg.Count})
 	if err != nil {
 		t.Fatal(err)
@@ -64,19 +65,20 @@ func runDeterminism(t *testing.T, fn cube.ComputeFunc, rel *relation.Relation, p
 	}
 }
 
-// zeroRetryWall strips RetryWallSeconds — like WallSeconds it is real
-// elapsed time and excluded from the determinism contract. Attempts and
-// WastedBytes stay: fault injection is deterministic, so they must agree
-// across parallelism levels.
+// zeroRetryWall strips RetryWallSeconds and SpeculativeWallSeconds — like
+// WallSeconds they are real elapsed time and excluded from the determinism
+// contract. Attempts, WastedBytes and the re-execution/speculation counters
+// stay: fault injection, placement and the speculation winner rule are all
+// deterministic, so they must agree across parallelism levels.
 func zeroRetryWall(m mr.JobMetrics) mr.JobMetrics {
 	for i := range m.Rounds {
 		r := &m.Rounds[i]
-		r.RetryWallSeconds = 0
+		r.RetryWallSeconds, r.SpeculativeWallSeconds = 0, 0
 		for j := range r.Mappers {
-			r.Mappers[j].RetryWallSeconds = 0
+			r.Mappers[j].RetryWallSeconds, r.Mappers[j].SpeculativeWallSeconds = 0, 0
 		}
 		for j := range r.Reducers {
-			r.Reducers[j].RetryWallSeconds = 0
+			r.Reducers[j].RetryWallSeconds, r.Reducers[j].SpeculativeWallSeconds = 0, 0
 		}
 	}
 	return m
@@ -97,18 +99,23 @@ func TestParallelismDeterminism(t *testing.T) {
 		{"uniform", data.Uniform(800, 3, 9, 32)},
 	}
 	faultPlans := []struct {
-		name string
-		spec string
+		name    string
+		spec    string
+		slack   float64
+		timeout float64
 	}{
-		{"clean", ""},
-		{"crash", "*:map:*:crash,*:reduce:*:mid-emit@4"},
+		{"clean", "", 0, 0},
+		{"crash", "*:map:*:crash,*:reduce:*:mid-emit@4", 0, 0},
+		{"node-crash", "*:node:1:node-crash", 0, 0},
+		{"speculate", "*:map:*:slow@2,*:reduce:2:slow@2", 0.0005, 0},
+		{"timeout", "*:reduce:*:slow@2", 0, 0.0005},
 	}
 	for _, w := range detWorkloads {
 		for _, fp := range faultPlans {
 			for _, a := range allAlgorithms {
 				t.Run(w.name+"/"+fp.name+"/"+a.name, func(t *testing.T) {
-					seq := runDeterminism(t, a.fn, w.rel, 1, fp.spec)
-					par := runDeterminism(t, a.fn, w.rel, 8, fp.spec)
+					seq := runDeterminism(t, a.fn, w.rel, 1, fp.spec, fp.slack, fp.timeout)
+					par := runDeterminism(t, a.fn, w.rel, 8, fp.spec, fp.slack, fp.timeout)
 					if ok, diff := seq.res.Equal(par.res); !ok {
 						t.Errorf("cube output differs: %s", diff)
 					}
@@ -126,7 +133,7 @@ func TestParallelismDeterminism(t *testing.T) {
 					if fp.spec != "" {
 						// The faulted run must recover to the clean run's
 						// exact output and accounting.
-						clean := runDeterminism(t, a.fn, w.rel, 1, "")
+						clean := runDeterminism(t, a.fn, w.rel, 1, "", 0, 0)
 						if ok, diff := clean.res.Equal(seq.res); !ok {
 							t.Errorf("faulted output differs from clean: %s", diff)
 						}

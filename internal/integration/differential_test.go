@@ -16,16 +16,23 @@ import (
 )
 
 // zeroRecovery strips, on top of zeroWall, the recovery accounting (task
-// attempts, retry latency, wasted bytes) — the only counters a faulted run
-// is allowed to differ from a fault-free run on.
+// attempts, retry latency, wasted bytes, map re-executions, fetch failures
+// and the speculation counters) — the only counters a faulted run is allowed
+// to differ from a fault-free run on.
 func zeroRecovery(m mr.JobMetrics) mr.JobMetrics {
 	out := zeroWall(m)
 	for i := range out.Rounds {
 		r := &out.Rounds[i]
 		r.Retries, r.RetryWallSeconds, r.WastedBytes = 0, 0, 0
+		r.MapReexecutions, r.FetchFailures = 0, 0
+		r.SpeculativeLaunched, r.SpeculativeWon, r.SpeculativeKilled = 0, 0, 0
+		r.SpeculativeWallSeconds = 0
 		for _, tasks := range [][]mr.TaskMetrics{r.Mappers, r.Reducers} {
 			for j := range tasks {
 				tasks[j].Attempts, tasks[j].RetryWallSeconds, tasks[j].WastedBytes = 0, 0, 0
+				tasks[j].Reexecutions, tasks[j].FetchFailures = 0, 0
+				tasks[j].SpeculativeLaunched, tasks[j].SpeculativeWon, tasks[j].SpeculativeKilled = 0, 0, 0
+				tasks[j].SpeculativeWallSeconds = 0
 			}
 		}
 	}
@@ -93,6 +100,9 @@ var faultMatrix = []struct {
 	{"mid-emit", "*:map:*:mid-emit@2,*:reduce:*:mid-emit@2", true},
 	{"slow", "*:map:*:slow@1,*:reduce:*:slow@1", false},
 	{"oom", "*:map:*:oom,*:reduce:*:oom", true},
+	// A whole failure domain dies at every shuffle barrier: its completed
+	// map output must be re-executed and its reduce attempts re-placed.
+	{"node-crash", "*:node:1:node-crash", true},
 }
 
 // TestDifferentialOracleUnderFaults is the cross-algorithm differential

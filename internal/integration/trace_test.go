@@ -16,7 +16,7 @@ import (
 // runTrace executes one algorithm with a SliceTracer attached and returns
 // the event stream with the wall-clock timestamps (the only field outside
 // the determinism contract) zeroed.
-func runTrace(t *testing.T, fn cube.ComputeFunc, rel *relation.Relation, parallelism int, faults string) []mr.TraceEvent {
+func runTrace(t *testing.T, fn cube.ComputeFunc, rel *relation.Relation, parallelism int, faults string, slack float64) []mr.TraceEvent {
 	t.Helper()
 	plan, err := mr.ParseFaultPlan(faults)
 	if err != nil {
@@ -24,7 +24,7 @@ func runTrace(t *testing.T, fn cube.ComputeFunc, rel *relation.Relation, paralle
 	}
 	tracer := &mr.SliceTracer{}
 	eng := mr.New(mr.Config{Workers: 6, Seed: 42, Parallelism: parallelism,
-		Faults: plan, Tracer: tracer}, dfs.New(false))
+		Faults: plan, SpeculativeSlack: slack, Tracer: tracer}, dfs.New(false))
 	if _, err := fn(eng, rel, cube.Spec{Agg: agg.Count}); err != nil {
 		t.Fatal(err)
 	}
@@ -42,18 +42,23 @@ func runTrace(t *testing.T, fn cube.ComputeFunc, rel *relation.Relation, paralle
 func TestTraceDeterminismTable(t *testing.T) {
 	rel := data.GenBinomial(600, 4, 0.4, 31)
 	faultPlans := []struct {
-		name string
-		spec string
+		name  string
+		spec  string
+		slack float64
+		want  []string // event types the stream must contain
 	}{
-		{"clean", ""},
-		{"crash", "*:map:*:crash"},
-		{"reduce-mid-emit", "*:reduce:*:mid-emit@3"},
+		{"clean", "", 0, nil},
+		{"crash", "*:map:*:crash", 0, []string{mr.EvTaskRetry}},
+		{"reduce-mid-emit", "*:reduce:*:mid-emit@3", 0, []string{mr.EvTaskRetry}},
+		{"node-crash", "*:node:1:node-crash", 0,
+			[]string{mr.EvNodeCrash, mr.EvFetchFail}},
+		{"speculate", "*:map:0:slow@2", 0.0005, []string{mr.EvSpeculate}},
 	}
 	for _, fp := range faultPlans {
 		for _, a := range allAlgorithms {
 			t.Run(fp.name+"/"+a.name, func(t *testing.T) {
-				seq := runTrace(t, a.fn, rel, 1, fp.spec)
-				par := runTrace(t, a.fn, rel, 8, fp.spec)
+				seq := runTrace(t, a.fn, rel, 1, fp.spec, fp.slack)
+				par := runTrace(t, a.fn, rel, 8, fp.spec, fp.slack)
 				if len(seq) == 0 {
 					t.Fatal("no trace events emitted")
 				}
@@ -61,15 +66,14 @@ func TestTraceDeterminismTable(t *testing.T) {
 					t.Fatalf("trace streams differ: %d events sequential vs %d parallel",
 						len(seq), len(par))
 				}
-				if fp.spec != "" {
-					retries := 0
-					for _, ev := range seq {
-						if ev.Type == mr.EvTaskRetry {
-							retries++
-						}
-					}
-					if retries == 0 {
-						t.Error("fault plan injected but no retry events traced")
+				counts := map[string]int{}
+				for _, ev := range seq {
+					counts[ev.Type]++
+				}
+				for _, want := range fp.want {
+					if counts[want] == 0 {
+						t.Errorf("fault plan injected but no %q events traced (got %v)",
+							want, counts)
 					}
 				}
 			})

@@ -32,6 +32,23 @@
 // it mutates must be idempotent under replay (monotone set unions, maxima)
 // and anything consumed incrementally (RNG streams, cursors) must live in
 // TaskState, which is rebuilt per attempt.
+//
+// Beyond task-level faults, the engine models node-level failure domains:
+// every task attempt is deterministically placed on one of Config.Nodes
+// simulated machines (PlaceNode), and a node-crash fault kills a node at a
+// round's shuffle barrier. Completed map output stored on the dead node
+// becomes unfetchable — reducers observe fetch failures and the engine
+// re-executes the lost map tasks on live nodes (Hadoop's
+// re-run-completed-maps-on-node-loss semantics) — and reduce attempts
+// placed on the dead node are killed and re-placed. Straggler mitigation
+// rides on the same scheduler: Config.SpeculativeSlack launches one
+// deterministic backup attempt for a task whose injected stall exceeds the
+// slack (the winner is the attempt with the lowest simulated finish time,
+// ties keeping the lower attempt index), and Config.TaskTimeout kills and
+// retries attempts that stall past it. Because attempts are byte-identical
+// (the re-entrancy contract), re-execution, speculation and kills never
+// change a single output byte; they only move work and show up in the
+// recovery counters.
 package mr
 
 import (
@@ -100,10 +117,31 @@ type Config struct {
 	// MaxAttempts bounds how many times one task is executed before its
 	// failure becomes permanent and fails the round (Hadoop's
 	// mapreduce.map.maxattempts). 0 defaults to 4. Only injected faults
-	// are retried: deterministic failures — reducer OOM under
-	// FailOnReducerOOM, partition range errors — would fail identically
-	// again and abort the round on the first attempt.
+	// and engine-initiated kills (node loss, task timeout) are retried:
+	// deterministic failures — reducer OOM under FailOnReducerOOM,
+	// partition range errors — would fail identically again and abort the
+	// round on the first attempt.
 	MaxAttempts int
+	// Nodes is the number of simulated failure domains (machines) task
+	// attempts and their stored map output are placed on; 0 defaults to
+	// Workers. Placement is a deterministic hash of (Seed, round, phase,
+	// task, attempt), so node-crash faults lose the same map outputs and
+	// kill the same reduce attempts at any Parallelism.
+	Nodes int
+	// SpeculativeSlack enables straggler mitigation when positive: a task
+	// attempt whose injected stall (the slow fault's delay, in simulated
+	// seconds) exceeds the slack gets one deterministic backup attempt at
+	// the next attempt index. The winner is the attempt with the lowest
+	// simulated finish time (CPU + stall), ties keeping the lower attempt
+	// index; the loser's output is discarded into WastedBytes. Output and
+	// deterministic metrics are unchanged — only the Speculative* recovery
+	// counters record the race.
+	SpeculativeSlack float64
+	// TaskTimeout, when positive, kills a task attempt whose injected
+	// stall exceeds it (in simulated seconds — the analog of Hadoop's
+	// progress timeout) and retries it, counting against MaxAttempts.
+	// Checked before SpeculativeSlack.
+	TaskTimeout float64
 	// Tracer receives structured lifecycle events (round start/end, task
 	// attempt start/success/failure/retry, shuffle, spill, fault
 	// injection). Nil — the default — disables tracing; the engine then
@@ -450,15 +488,24 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 	tr := e.tracerFor(round, job.Name)
 	tr.roundStart(e.Cfg.Workers, reducers)
 
+	// Failure domains: node-crash faults targeting this round kill whole
+	// nodes at the shuffle barrier below; attempt placement is fixed up
+	// front so it is identical at any parallelism.
+	nodes := e.nodeCount()
+	dead := e.deadNodes(round, nodes)
+
 	// Map phase. Tasks run on the worker pool; each partitions its own
 	// output into private per-reducer buckets, and the shuffle merges them
 	// in task-index order below, so bucket contents are independent of
-	// task scheduling. Every task retries injected-fault failures up to
-	// MaxAttempts with a fresh context and fresh TaskState; a failed
-	// attempt's buffered output dies with its context, so nothing of it
-	// reaches the shuffle.
+	// task scheduling. Every task retries injected-fault failures and
+	// engine kills up to MaxAttempts with a fresh context and fresh
+	// TaskState; a failed attempt's buffered output dies with its context,
+	// so nothing of it reaches the shuffle. A completed attempt that
+	// stalled past TaskTimeout is killed and retried; one that stalled
+	// past SpeculativeSlack races a deterministic backup attempt.
 	taskBuckets := make([][][]Pair, e.Cfg.Workers)
 	mapErrs := make([]error, e.Cfg.Workers)
+	mapWinner := make([]int, e.Cfg.Workers) // winning attempt index: decides output placement
 	tr.startPhase(e.Cfg.Workers)
 	e.forEachTask(e.Cfg.Workers, func(task int) {
 		var wasted int64
@@ -470,16 +517,33 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 			ctx := &MapCtx{Task: task, job: job, eng: e, inject: inj}
 			buckets, err := e.mapAttempt(job, ctx, task, feed, reducers, partition)
 			if err == nil {
-				ctx.metrics.WallSeconds = time.Since(tstart).Seconds()
-				ctx.metrics.Attempts = int64(attempt + 1)
-				ctx.metrics.RetryWallSeconds = retryWall
-				ctx.metrics.WastedBytes = wasted
-				rm.Mappers[task] = ctx.metrics
-				taskBuckets[task] = buckets
-				tr.taskSuccess(PhaseMap, task, attempt, &rm.Mappers[task])
-				return
+				stall := inj.simDelay()
+				if kill := e.timeoutKill(PhaseMap, task, attempt, stall); kill != nil {
+					err = kill // discard the attempt and fall through to retry
+				} else {
+					ctx.metrics.WallSeconds = time.Since(tstart).Seconds()
+					winCtx, winBuckets, winAttempt := ctx, buckets, attempt
+					var sp specOutcome
+					if e.Cfg.SpeculativeSlack > 0 && stall > e.Cfg.SpeculativeSlack {
+						winCtx, winBuckets, winAttempt, sp = e.speculateMap(
+							job, round, task, attempt, feed, reducers, partition, ctx, buckets, stall, tr)
+					}
+					m := &winCtx.metrics
+					m.Attempts = int64(attempt+1) + sp.launched
+					m.RetryWallSeconds = retryWall
+					m.WastedBytes = wasted + sp.wasted
+					m.SpeculativeLaunched = sp.launched
+					m.SpeculativeWon = sp.won
+					m.SpeculativeKilled = sp.killed
+					m.SpeculativeWallSeconds = sp.wall
+					rm.Mappers[task] = *m
+					mapWinner[task] = winAttempt
+					taskBuckets[task] = winBuckets
+					tr.taskSuccess(PhaseMap, task, winAttempt, &rm.Mappers[task])
+					return
+				}
 			}
-			retryable := isFaultError(err)
+			retryable := isFaultError(err) || isKillError(err)
 			if retryable {
 				wasted += ctx.metrics.PreCombineBytes
 				retryWall += time.Since(tstart).Seconds()
@@ -500,7 +564,7 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 	tr.flushPhase()
 	for task := 0; task < e.Cfg.Workers; task++ {
 		if err := mapErrs[task]; err != nil {
-			if isFaultError(err) {
+			if isFaultError(err) || isKillError(err) {
 				rm.Failed = true
 				rm.FailReason = fmt.Sprintf("map task %d failed after %d attempts: %v",
 					task, rm.Mappers[task].Attempts, err)
@@ -512,6 +576,63 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 			tr.roundEnd(rm)
 			return res, err
 		}
+	}
+
+	// Node crash: each dead node takes the completed map output stored on
+	// it with it. Every reducer observes a fetch failure per lost map
+	// task, and the engine re-executes the lost tasks on live nodes —
+	// continuing the attempt numbering with a fresh budget — before the
+	// shuffle hand-off. Re-executed output is byte-identical (the
+	// re-entrancy contract), so only the recovery counters change.
+	if dead != nil {
+		for n := 0; n < nodes; n++ {
+			if dead[n] {
+				tr.nodeCrash(n)
+			}
+		}
+		var lost []int
+		lostNode := make([]int, e.Cfg.Workers)
+		for task := 0; task < e.Cfg.Workers; task++ {
+			node := PlaceNode(e.Cfg.Seed, round, PhaseMap, task, mapWinner[task], nodes)
+			if dead[node] {
+				lost = append(lost, task)
+				lostNode[task] = node
+			}
+		}
+		if len(lost) > 0 {
+			for _, task := range lost {
+				tr.fetchFail(task, lostNode[task], reducers)
+			}
+			for r := 0; r < reducers; r++ {
+				rm.Reducers[r].FetchFailures = int64(len(lost))
+			}
+			tr.startPhase(e.Cfg.Workers)
+			e.forEachTask(len(lost), func(i int) {
+				e.reexecuteMap(job, round, lost[i], feed, reducers, partition, dead, nodes, rm, taskBuckets, mapErrs, tr)
+			})
+			tr.flushPhase()
+			for _, task := range lost {
+				if err := mapErrs[task]; err != nil {
+					if isFaultError(err) || isKillError(err) {
+						rm.Failed = true
+						rm.FailReason = fmt.Sprintf("map task %d failed after %d attempts: %v",
+							task, rm.Mappers[task].Attempts, err)
+						err = fmt.Errorf("mr: job %s: map task %d failed after %d attempts: %w",
+							job.Name, task, rm.Mappers[task].Attempts, err)
+					}
+					rm.finalize(e.Cfg.Cost)
+					rm.WallSeconds = time.Since(start).Seconds()
+					tr.roundEnd(rm)
+					return res, err
+				}
+			}
+		}
+	}
+
+	// Shuffle accounting runs after any re-execution: the re-run output is
+	// byte-identical, so the totals equal a fault-free run's — the lost
+	// bytes appear only in WastedBytes.
+	for task := 0; task < e.Cfg.Workers; task++ {
 		rm.ShuffleRecords += rm.Mappers[task].OutRecords
 		rm.ShuffleBytes += rm.Mappers[task].OutBytes
 	}
@@ -573,9 +694,11 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 	// Reduce phase: tasks before the first failure (all of them on the
 	// usual error-free path) run on the worker pool, each collecting side
 	// output privately; the merge below restores task order. Injected
-	// faults are retried like map tasks; a failed attempt's DFS appends
-	// are rolled back to the pre-attempt marks so the output files hold
-	// exactly one successful attempt's records.
+	// faults and engine kills — an attempt placed on a crashed node, a
+	// stall past TaskTimeout — are retried like map tasks; a failed
+	// attempt's DFS appends are rolled back to the pre-attempt marks so
+	// the output files hold exactly one successful attempt's records.
+	// Attempts stalled past SpeculativeSlack race a deterministic backup.
 	taskCollect := make([][]Pair, runTasks)
 	redErrs := make([]error, runTasks)
 	e.forEachTask(runTasks, func(task int) {
@@ -603,16 +726,35 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 			}
 			fileMark := e.FS.Mark(file)
 			sideMark := e.FS.Mark(sideFile)
-			err := e.reduceAttempt(job, ctx, merger, oomMem, inflation)
+			err := e.nodeKill(round, PhaseReduce, task, attempt, dead, nodes)
 			if err == nil {
-				attemptMetrics.WallSeconds = time.Since(tstart).Seconds()
-				attemptMetrics.Attempts = int64(attempt + 1)
-				attemptMetrics.RetryWallSeconds = retryWall
-				attemptMetrics.WastedBytes = wasted
-				rm.Reducers[task] = attemptMetrics
-				taskCollect[task] = ctx.collect
-				tr.taskSuccess(PhaseReduce, task, attempt, &rm.Reducers[task])
-				return
+				err = e.reduceAttempt(job, ctx, merger, oomMem, inflation)
+			}
+			if err == nil {
+				stall := inj.simDelay()
+				if kill := e.timeoutKill(PhaseReduce, task, attempt, stall); kill != nil {
+					err = kill // discard the attempt and fall through to retry
+				} else {
+					attemptMetrics.WallSeconds = time.Since(tstart).Seconds()
+					win, winCollect, winAttempt := &attemptMetrics, ctx.collect, attempt
+					var sp specOutcome
+					if e.Cfg.SpeculativeSlack > 0 && stall > e.Cfg.SpeculativeSlack {
+						win, winCollect, winAttempt, sp = e.speculateReduce(
+							job, round, task, attempt, base, merger, oomMem, inflation,
+							file, sideFile, &attemptMetrics, ctx, stall, tr)
+					}
+					win.Attempts = int64(attempt+1) + sp.launched
+					win.RetryWallSeconds = retryWall
+					win.WastedBytes = wasted + sp.wasted
+					win.SpeculativeLaunched = sp.launched
+					win.SpeculativeWon = sp.won
+					win.SpeculativeKilled = sp.killed
+					win.SpeculativeWallSeconds = sp.wall
+					rm.Reducers[task] = *win
+					taskCollect[task] = winCollect
+					tr.taskSuccess(PhaseReduce, task, winAttempt, &rm.Reducers[task])
+					return
+				}
 			}
 			wasted += attemptMetrics.OutBytes + attemptMetrics.SideBytes
 			retryWall += time.Since(tstart).Seconds()
@@ -792,6 +934,151 @@ func (e *Engine) reduceAttempt(job *Job, ctx *RedCtx, m *runMerger, oomMem, infl
 		tm.CPUSeconds += float64(tm.SpillBytes) * e.Cfg.Cost.SpillPasses / e.Cfg.Cost.DiskBytesPerSec
 	}
 	return nil
+}
+
+// speculateMap races one backup attempt against a completed-but-stalled
+// original map attempt (Config.SpeculativeSlack) and returns the winner's
+// context, buckets and attempt index plus the race's recovery accounting.
+// The backup runs at the next attempt index with its own injector, so fault
+// plans can target it too; a crashed backup loses by definition. Attempts
+// are byte-identical under the re-entrancy contract, so the loser differs
+// from the winner only in its simulated stall.
+func (e *Engine) speculateMap(job *Job, round, task, attempt int, feed func(int, *MapCtx),
+	reducers int, partition func(string, int) int, ctx *MapCtx, buckets [][]Pair,
+	stall float64, tr *roundTracer) (*MapCtx, [][]Pair, int, specOutcome) {
+	sp := specOutcome{launched: 1}
+	bAttempt := attempt + 1
+	bstart := time.Now()
+	binj := e.injectorFor(round, PhaseMap, task, bAttempt)
+	tr.speculate(PhaseMap, task, bAttempt)
+	tr.attemptStart(PhaseMap, task, bAttempt, binj)
+	bctx := &MapCtx{Task: task, job: job, eng: e, inject: binj}
+	bbuckets, berr := e.mapAttempt(job, bctx, task, feed, reducers, partition)
+	bWall := time.Since(bstart).Seconds()
+	switch {
+	case berr != nil:
+		// The backup crashed: the original wins, the backup's partial
+		// output is wasted work (but no retry — the task has succeeded).
+		sp.wasted = bctx.metrics.PreCombineBytes
+		sp.wall = bWall
+		return ctx, buckets, attempt, sp
+	case backupWins(bctx.metrics.CPUSeconds+binj.simDelay(), ctx.metrics.CPUSeconds+stall):
+		sp.won, sp.killed = 1, 1
+		sp.wasted = ctx.metrics.PreCombineBytes
+		sp.wall = ctx.metrics.WallSeconds
+		bctx.metrics.WallSeconds = bWall
+		return bctx, bbuckets, bAttempt, sp
+	default:
+		sp.killed = 1
+		sp.wasted = bctx.metrics.PreCombineBytes
+		sp.wall = bWall
+		return ctx, buckets, attempt, sp
+	}
+}
+
+// speculateReduce races one backup attempt against a completed-but-stalled
+// reduce attempt. The attempts are byte-identical, so the backup's DFS
+// appends are always rolled back (the original's, already on the DFS,
+// stand for the winner's); the race only decides the reported attempt
+// index and the speculative counters.
+func (e *Engine) speculateReduce(job *Job, round, task, attempt int, base TaskMetrics,
+	merger *runMerger, oomMem, inflation float64, file, sideFile string,
+	orig *TaskMetrics, origCtx *RedCtx, stall float64, tr *roundTracer) (*TaskMetrics, []Pair, int, specOutcome) {
+	sp := specOutcome{launched: 1}
+	bAttempt := attempt + 1
+	bstart := time.Now()
+	binj := e.injectorFor(round, PhaseReduce, task, bAttempt)
+	tr.speculate(PhaseReduce, task, bAttempt)
+	tr.attemptStart(PhaseReduce, task, bAttempt, binj)
+	bMetrics := base
+	bctx := &RedCtx{Task: task, job: job, eng: e, file: file, sideFile: sideFile,
+		metrics: &bMetrics, inject: binj}
+	bFileMark := e.FS.Mark(file)
+	bSideMark := e.FS.Mark(sideFile)
+	berr := e.reduceAttempt(job, bctx, merger, oomMem, inflation)
+	e.FS.Rollback(file, bFileMark)
+	e.FS.Rollback(sideFile, bSideMark)
+	bWall := time.Since(bstart).Seconds()
+	switch {
+	case berr != nil:
+		sp.wasted = bMetrics.OutBytes + bMetrics.SideBytes
+		sp.wall = bWall
+		return orig, origCtx.collect, attempt, sp
+	case backupWins(bMetrics.CPUSeconds+binj.simDelay(), orig.CPUSeconds+stall):
+		sp.won, sp.killed = 1, 1
+		sp.wasted = orig.OutBytes + orig.SideBytes
+		sp.wall = orig.WallSeconds
+		bMetrics.WallSeconds = bWall
+		return &bMetrics, bctx.collect, bAttempt, sp
+	default:
+		sp.killed = 1
+		sp.wasted = bMetrics.OutBytes + bMetrics.SideBytes
+		sp.wall = bWall
+		return orig, origCtx.collect, attempt, sp
+	}
+}
+
+// reexecuteMap re-runs one map task whose completed output was lost to a
+// node crash, continuing the task's attempt numbering with a fresh budget
+// of MaxAttempts (Hadoop restarts the attempt counter for a re-launched
+// map). The lost attempt's output moves into WastedBytes and its wall time
+// into RetryWallSeconds; re-placements avoid the dead nodes, and when no
+// node is live every attempt is killed until the budget runs out, failing
+// the round with a plain (non-fault) error.
+func (e *Engine) reexecuteMap(job *Job, round, task int, feed func(int, *MapCtx), reducers int,
+	partition func(string, int) int, dead []bool, nodes int,
+	rm *RoundMetrics, taskBuckets [][][]Pair, mapErrs []error, tr *roundTracer) {
+	prev := rm.Mappers[task]
+	wasted := prev.WastedBytes + prev.OutBytes
+	retryWall := prev.RetryWallSeconds + prev.WallSeconds
+	base := int(prev.Attempts)
+	for try := 0; ; try++ {
+		attempt := base + try
+		tstart := time.Now()
+		inj := e.injectorFor(round, PhaseMap, task, attempt)
+		tr.attemptStart(PhaseMap, task, attempt, inj)
+		ctx := &MapCtx{Task: task, job: job, eng: e, inject: inj}
+		var buckets [][]Pair
+		var err error
+		if placeLive(PlaceNode(e.Cfg.Seed, round, PhaseMap, task, attempt, nodes), dead, nodes) < 0 {
+			err = &killError{reason: "no live node", phase: PhaseMap, task: task, attempt: attempt}
+		} else {
+			buckets, err = e.mapAttempt(job, ctx, task, feed, reducers, partition)
+		}
+		if err == nil {
+			m := &ctx.metrics
+			m.WallSeconds = time.Since(tstart).Seconds()
+			m.Attempts = int64(attempt + 1)
+			m.RetryWallSeconds = retryWall
+			m.WastedBytes = wasted
+			m.Reexecutions = prev.Reexecutions + 1
+			m.SpeculativeLaunched = prev.SpeculativeLaunched
+			m.SpeculativeWon = prev.SpeculativeWon
+			m.SpeculativeKilled = prev.SpeculativeKilled
+			m.SpeculativeWallSeconds = prev.SpeculativeWallSeconds
+			rm.Mappers[task] = *m
+			taskBuckets[task] = buckets
+			tr.taskSuccess(PhaseMap, task, attempt, &rm.Mappers[task])
+			return
+		}
+		retryable := isFaultError(err) || isKillError(err)
+		if retryable {
+			wasted += ctx.metrics.PreCombineBytes
+			retryWall += time.Since(tstart).Seconds()
+		}
+		if !retryable || try+1 >= e.Cfg.MaxAttempts {
+			rm.Mappers[task] = TaskMetrics{
+				Attempts:         int64(attempt + 1),
+				RetryWallSeconds: retryWall,
+				WastedBytes:      wasted,
+				Reexecutions:     prev.Reexecutions + 1,
+			}
+			mapErrs[task] = err
+			tr.attemptFailure(PhaseMap, task, attempt, err)
+			return
+		}
+		tr.attemptRetry(PhaseMap, task, attempt, err)
+	}
 }
 
 // isFaultError reports whether err is an injected-fault failure (retryable)

@@ -15,10 +15,15 @@ import (
 // Determinism contract of the document: for a fixed input, configuration
 // and fault plan, every field is bit-for-bit identical at any
 // Config.Parallelism except the wall-clock fields ("wallSeconds",
-// "retryWallSeconds"). Additionally, the recovery-accounting fields
-// ("retries", "wastedBytes", "attempts") are the only deterministic fields
+// "retryWallSeconds", "speculativeWallSeconds"). Additionally, the
+// recovery-accounting fields ("retries", "wastedBytes", "attempts",
+// "reexecutions"/"mapReexecutions", "fetchFailures",
+// "speculativeLaunched"/"Won"/"Killed") are the only deterministic fields
 // that differ between a faulted and a fault-free run of the same job.
-const MetricsSchemaVersion = 1
+//
+// Version history: v2 added the node-failure and speculation recovery
+// counters at every level (task, round, job).
+const MetricsSchemaVersion = 2
 
 // LoadBalance summarizes how evenly a byte quantity is spread over a
 // round's reduce tasks — the paper's §6.2 closing claim is that SP-Cube's
@@ -93,6 +98,13 @@ type taskMetricsJSON struct {
 	Attempts          int64   `json:"attempts"`
 	RetryWallSeconds  float64 `json:"retryWallSeconds"`
 	WastedBytes       int64   `json:"wastedBytes"`
+	// Schema v2 recovery counters (node failures and speculation).
+	Reexecutions           int64   `json:"reexecutions"`
+	FetchFailures          int64   `json:"fetchFailures"`
+	SpeculativeLaunched    int64   `json:"speculativeLaunched"`
+	SpeculativeWon         int64   `json:"speculativeWon"`
+	SpeculativeKilled      int64   `json:"speculativeKilled"`
+	SpeculativeWallSeconds float64 `json:"speculativeWallSeconds"`
 }
 
 func taskJSON(t *TaskMetrics) taskMetricsJSON {
@@ -106,6 +118,9 @@ func taskJSON(t *TaskMetrics) taskMetricsJSON {
 		SpillBytes: t.SpillBytes,
 		CPUSeconds: t.CPUSeconds, WallSeconds: t.WallSeconds,
 		Attempts: t.Attempts, RetryWallSeconds: t.RetryWallSeconds, WastedBytes: t.WastedBytes,
+		Reexecutions: t.Reexecutions, FetchFailures: t.FetchFailures,
+		SpeculativeLaunched: t.SpeculativeLaunched, SpeculativeWon: t.SpeculativeWon,
+		SpeculativeKilled: t.SpeculativeKilled, SpeculativeWallSeconds: t.SpeculativeWallSeconds,
 	}
 }
 
@@ -119,27 +134,34 @@ func tasksJSON(ts []TaskMetrics) []taskMetricsJSON {
 
 // roundMetricsJSON is the wire form of RoundMetrics.
 type roundMetricsJSON struct {
-	Job              string            `json:"job"`
-	ShuffleRecords   int64             `json:"shuffleRecords"`
-	ShuffleBytes     int64             `json:"shuffleBytes"`
-	OutputRecords    int64             `json:"outputRecords"`
-	OutputBytes      int64             `json:"outputBytes"`
-	MappersExecuted  int               `json:"mappersExecuted"`
-	ReducersExecuted int               `json:"reducersExecuted"`
-	MapTimeAvg       float64           `json:"mapTimeAvg"`
-	MapTimeMax       float64           `json:"mapTimeMax"`
-	ShuffleTime      float64           `json:"shuffleTime"`
-	ReduceTimeAvg    float64           `json:"reduceTimeAvg"`
-	ReduceTimeMax    float64           `json:"reduceTimeMax"`
-	SimSeconds       float64           `json:"simSeconds"`
-	WallSeconds      float64           `json:"wallSeconds"`
-	Retries          int64             `json:"retries"`
-	RetryWallSeconds float64           `json:"retryWallSeconds"`
-	WastedBytes      int64             `json:"wastedBytes"`
-	Failed           bool              `json:"failed,omitempty"`
-	FailReason       string            `json:"failReason,omitempty"`
-	Mappers          []taskMetricsJSON `json:"mappers"`
-	Reducers         []taskMetricsJSON `json:"reducers"`
+	Job              string  `json:"job"`
+	ShuffleRecords   int64   `json:"shuffleRecords"`
+	ShuffleBytes     int64   `json:"shuffleBytes"`
+	OutputRecords    int64   `json:"outputRecords"`
+	OutputBytes      int64   `json:"outputBytes"`
+	MappersExecuted  int     `json:"mappersExecuted"`
+	ReducersExecuted int     `json:"reducersExecuted"`
+	MapTimeAvg       float64 `json:"mapTimeAvg"`
+	MapTimeMax       float64 `json:"mapTimeMax"`
+	ShuffleTime      float64 `json:"shuffleTime"`
+	ReduceTimeAvg    float64 `json:"reduceTimeAvg"`
+	ReduceTimeMax    float64 `json:"reduceTimeMax"`
+	SimSeconds       float64 `json:"simSeconds"`
+	WallSeconds      float64 `json:"wallSeconds"`
+	Retries          int64   `json:"retries"`
+	RetryWallSeconds float64 `json:"retryWallSeconds"`
+	WastedBytes      int64   `json:"wastedBytes"`
+	// Schema v2 recovery counters (node failures and speculation).
+	MapReexecutions        int64             `json:"mapReexecutions"`
+	FetchFailures          int64             `json:"fetchFailures"`
+	SpeculativeLaunched    int64             `json:"speculativeLaunched"`
+	SpeculativeWon         int64             `json:"speculativeWon"`
+	SpeculativeKilled      int64             `json:"speculativeKilled"`
+	SpeculativeWallSeconds float64           `json:"speculativeWallSeconds"`
+	Failed                 bool              `json:"failed,omitempty"`
+	FailReason             string            `json:"failReason,omitempty"`
+	Mappers                []taskMetricsJSON `json:"mappers"`
+	Reducers               []taskMetricsJSON `json:"reducers"`
 	// ReducerInputBalance/ReducerOutputBalance summarize how evenly the
 	// shuffle and the output were spread over the round's reducers.
 	ReducerInputBalance  *LoadBalance `json:"reducerInputBalance,omitempty"`
@@ -161,6 +183,9 @@ func roundJSON(r *RoundMetrics) roundMetricsJSON {
 		ReduceTimeAvg: r.ReduceTimeAvg, ReduceTimeMax: r.ReduceTimeMax,
 		SimSeconds: r.SimSeconds, WallSeconds: r.WallSeconds,
 		Retries: r.Retries, RetryWallSeconds: r.RetryWallSeconds, WastedBytes: r.WastedBytes,
+		MapReexecutions: r.MapReexecutions, FetchFailures: r.FetchFailures,
+		SpeculativeLaunched: r.SpeculativeLaunched, SpeculativeWon: r.SpeculativeWon,
+		SpeculativeKilled: r.SpeculativeKilled, SpeculativeWallSeconds: r.SpeculativeWallSeconds,
 		Failed: r.Failed, FailReason: r.FailReason,
 		Mappers:              tasksJSON(r.Mappers),
 		Reducers:             tasksJSON(r.Reducers),
@@ -182,8 +207,15 @@ type jobMetricsJSON struct {
 	Retries          int64              `json:"retries"`
 	RetryWallSeconds float64            `json:"retryWallSeconds"`
 	WastedBytes      int64              `json:"wastedBytes"`
-	Failed           bool               `json:"failed,omitempty"`
-	FailReason       string             `json:"failReason,omitempty"`
+	// Schema v2 recovery counters (node failures and speculation).
+	MapReexecutions        int64   `json:"mapReexecutions"`
+	FetchFailures          int64   `json:"fetchFailures"`
+	SpeculativeLaunched    int64   `json:"speculativeLaunched"`
+	SpeculativeWon         int64   `json:"speculativeWon"`
+	SpeculativeKilled      int64   `json:"speculativeKilled"`
+	SpeculativeWallSeconds float64 `json:"speculativeWallSeconds"`
+	Failed                 bool    `json:"failed,omitempty"`
+	FailReason             string  `json:"failReason,omitempty"`
 }
 
 // MarshalJSON renders the job's metrics as the stable, versioned document
@@ -203,6 +235,13 @@ func (j *JobMetrics) MarshalJSON() ([]byte, error) {
 		Retries:          j.Retries(),
 		RetryWallSeconds: j.RetryWallSeconds(),
 		WastedBytes:      j.WastedBytes(),
+
+		MapReexecutions:        j.MapReexecutions(),
+		FetchFailures:          j.FetchFailures(),
+		SpeculativeLaunched:    j.SpeculativeLaunched(),
+		SpeculativeWon:         j.SpeculativeWon(),
+		SpeculativeKilled:      j.SpeculativeKilled(),
+		SpeculativeWallSeconds: j.SpeculativeWallSeconds(),
 	}
 	doc.Failed, doc.FailReason = j.Failed()
 	for i := range j.Rounds {

@@ -13,6 +13,9 @@ type Phase int
 const (
 	PhaseMap Phase = iota
 	PhaseReduce
+	// PhaseNode is the pseudo-phase of node-level faults: the fault's Task
+	// selector names a failure domain (see Config.Nodes) instead of a task.
+	PhaseNode
 )
 
 // String returns the phase's name.
@@ -22,6 +25,8 @@ func (p Phase) String() string {
 		return "map"
 	case PhaseReduce:
 		return "reduce"
+	case PhaseNode:
+		return "node"
 	}
 	return fmt.Sprintf("Phase(%d)", int(p))
 }
@@ -33,8 +38,10 @@ func PhaseByName(name string) (Phase, error) {
 		return PhaseMap, nil
 	case "reduce", "red", "r":
 		return PhaseReduce, nil
+	case "node":
+		return PhaseNode, nil
 	}
-	return 0, fmt.Errorf("mr: unknown phase %q (want map or reduce)", name)
+	return 0, fmt.Errorf("mr: unknown phase %q (want map, reduce or node)", name)
 }
 
 // FaultKind enumerates the injectable task failures. All are modeled on the
@@ -58,36 +65,58 @@ const (
 	// reducer-overflow failure of FailOnReducerOOM, which is never
 	// retried.
 	FaultTransientOOM
+	// FaultNodeCrash kills a whole failure domain (a simulated worker
+	// machine) at the round's shuffle barrier: completed map output stored
+	// on the node becomes unfetchable (reducers observe fetch failures and
+	// the engine re-executes the lost map tasks), and reduce attempts
+	// placed on the node are killed and re-placed on live nodes. Node
+	// faults use the "node" pseudo-phase and their Task selector names the
+	// node index.
+	FaultNodeCrash
 )
+
+// faultKindNames is the single source of the kind↔name mapping: it drives
+// String, FaultKindByName (canonical name plus aliases) and the unknown-kind
+// error text, so the three cannot drift apart as kinds are added. Order
+// follows the FaultKind constants.
+var faultKindNames = []struct {
+	kind    FaultKind
+	name    string
+	aliases []string
+}{
+	{FaultCrashBeforeEmit, "crash", []string{"crash-before-emit"}},
+	{FaultCrashMidEmit, "mid-emit", []string{"mid", "crash-mid-emit"}},
+	{FaultSlowTask, "slow", []string{"slow-task"}},
+	{FaultTransientOOM, "oom", []string{"transient-oom"}},
+	{FaultNodeCrash, "node-crash", []string{"nodecrash"}},
+}
 
 // String returns the kind's spec name.
 func (k FaultKind) String() string {
-	switch k {
-	case FaultCrashBeforeEmit:
-		return "crash"
-	case FaultCrashMidEmit:
-		return "mid-emit"
-	case FaultSlowTask:
-		return "slow"
-	case FaultTransientOOM:
-		return "oom"
+	for _, e := range faultKindNames {
+		if e.kind == k {
+			return e.name
+		}
 	}
 	return fmt.Sprintf("FaultKind(%d)", int(k))
 }
 
-// FaultKindByName resolves a fault kind by spec name.
+// FaultKindByName resolves a fault kind by spec name (canonical names and
+// aliases).
 func FaultKindByName(name string) (FaultKind, error) {
-	switch name {
-	case "crash", "crash-before-emit":
-		return FaultCrashBeforeEmit, nil
-	case "mid-emit", "mid", "crash-mid-emit":
-		return FaultCrashMidEmit, nil
-	case "slow", "slow-task":
-		return FaultSlowTask, nil
-	case "oom", "transient-oom":
-		return FaultTransientOOM, nil
+	names := make([]string, len(faultKindNames))
+	for i, e := range faultKindNames {
+		if name == e.name {
+			return e.kind, nil
+		}
+		for _, a := range e.aliases {
+			if name == a {
+				return e.kind, nil
+			}
+		}
+		names[i] = e.name
 	}
-	return 0, fmt.Errorf("mr: unknown fault kind %q (want crash, mid-emit, slow, oom)", name)
+	return 0, fmt.Errorf("mr: unknown fault kind %q (want %s)", name, strings.Join(names, ", "))
 }
 
 // AnyIndex is the wildcard for Fault.Round and Fault.Task.
@@ -99,15 +128,18 @@ const AllAttempts = -1
 // Fault deterministically targets one or more task attempts. A fault fires
 // on attempt a of task t in phase p of engine round r iff every selector
 // matches: Round ∈ {r, AnyIndex}, Phase == p, Task ∈ {t, AnyIndex}, and
-// a ∈ [Attempt, Attempt+Count).
+// a ∈ [Attempt, Attempt+Count). Node faults (Phase == PhaseNode, Kind ==
+// FaultNodeCrash) are matched per round, not per attempt: Task names the
+// crashed node and Attempt/Count are unused.
 type Fault struct {
 	// Round is the 0-based index of the engine round (the engine counts
 	// every executed job, across multi-round algorithms); AnyIndex
 	// matches all rounds.
 	Round int
-	// Phase selects map or reduce tasks.
+	// Phase selects map or reduce tasks, or PhaseNode for node faults.
 	Phase Phase
-	// Task is the task index within the phase; AnyIndex matches all.
+	// Task is the task index within the phase (for node faults: the node
+	// index); AnyIndex matches all.
 	Task int
 	// Attempt is the first affected attempt, 0-based.
 	Attempt int
@@ -237,12 +269,22 @@ func (p *FaultPlan) String() string {
 // "@n" (mid-emit: crash on the n-th emitted record; slow: delay in
 // milliseconds), attempt is the first affected attempt (default 0), and
 // count is how many consecutive attempts fail (default 1, "*" = all, i.e. a
-// permanent failure). Examples:
+// permanent failure).
+//
+// Node faults use the "node" pseudo-phase with the node-crash kind and no
+// attempt/count selectors:
+//
+//	round:node:N:node-crash
+//
+// where N is the crashed failure domain (or "*" for all — which leaves no
+// live node to re-execute on and fails the round once attempts run out).
+// Examples:
 //
 //	1:reduce:0:mid-emit        round 1, reduce task 0 crashes mid-emit once
 //	*:map:*:oom                first attempt of every map task OOMs
 //	0:map:2:crash:0:*          map task 2 of round 0 fails permanently
 //	*:reduce:1:slow@10         reduce task 1 is delayed 10ms every round
+//	*:node:2:node-crash        node 2 dies at every round's shuffle barrier
 //
 // An empty spec yields a nil plan (no injection).
 func ParseFaultPlan(spec string) (*FaultPlan, error) {
@@ -305,6 +347,17 @@ func parseFault(s string) (Fault, error) {
 		default:
 			return Fault{}, fmt.Errorf("kind %s takes no @ argument", f.Kind)
 		}
+	}
+	// Node faults pair the node pseudo-phase with the node-crash kind and
+	// are matched per round, so attempt/count selectors make no sense.
+	if (f.Kind == FaultNodeCrash) != (f.Phase == PhaseNode) {
+		if f.Kind == FaultNodeCrash {
+			return Fault{}, fmt.Errorf("node-crash faults use the node phase: round:node:N:node-crash")
+		}
+		return Fault{}, fmt.Errorf("the node phase only takes node-crash faults")
+	}
+	if f.Kind == FaultNodeCrash && len(fields) > 4 {
+		return Fault{}, fmt.Errorf("node-crash faults take no attempt/count selectors")
 	}
 	if len(fields) >= 5 {
 		a, err := strconv.Atoi(fields[4])
@@ -416,4 +469,35 @@ func (in *injector) onEmit() {
 // err converts the armed fault into the attempt's failure value.
 func (in *injector) err(f *Fault) error {
 	return &FaultError{Kind: f.Kind, Phase: in.phase, Task: in.task, Attempt: in.attempt}
+}
+
+// simDelay is the attempt's simulated straggler stall in seconds: the slow
+// fault's injected delay (zero for other kinds and unfaulted attempts). It
+// is the quantity Config.SpeculativeSlack and Config.TaskTimeout compare
+// against — the deterministic analog of a Hadoop task reporting no progress —
+// and is deliberately not charged to CPUSeconds, so a stalled run's
+// simulated-time accounting stays identical to a fault-free run's.
+func (in *injector) simDelay() float64 {
+	if in == nil || in.fault.Kind != FaultSlowTask {
+		return 0
+	}
+	return in.fault.delay().Seconds()
+}
+
+// killError is an engine-initiated attempt kill: the attempt's node crashed
+// under it, no live node was left to place it on, or it exceeded
+// Config.TaskTimeout. Kills are retried up to Config.MaxAttempts like
+// injected faults, but a killError is deliberately not a *FaultError: a
+// round that fails by exhausting its attempts on kills (e.g. every node
+// dead) surfaces a plain, non-injected error.
+type killError struct {
+	reason  string
+	phase   Phase
+	task    int
+	attempt int
+}
+
+// Error describes the kill.
+func (e *killError) Error() string {
+	return fmt.Sprintf("%s: %s task %d (attempt %d) killed", e.reason, e.phase, e.task, e.attempt)
 }

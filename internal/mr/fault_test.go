@@ -55,11 +55,18 @@ type faultRun struct {
 // exercised, not just the counters.
 func runFaulted(t *testing.T, plan *FaultPlan, maxAttempts, parallelism int) faultRun {
 	t.Helper()
+	return runFaultedCfg(t, Config{Workers: 4, Seed: 7, Parallelism: parallelism,
+		Faults: plan, MaxAttempts: maxAttempts})
+}
+
+// runFaultedCfg is runFaulted with full control over the engine config, for
+// tests that need the recovery knobs (SpeculativeSlack, TaskTimeout, Nodes).
+func runFaultedCfg(t *testing.T, cfg Config) faultRun {
+	t.Helper()
 	words := strings.Fields(strings.Repeat("a b c d e f g a b a ", 50))
 	tuples, _ := tuplesFromWords(words)
 	fs := dfs.New(false)
-	eng := New(Config{Workers: 4, Seed: 7, Parallelism: parallelism,
-		Faults: plan, MaxAttempts: maxAttempts}, fs)
+	eng := New(cfg, fs)
 	res, err := eng.RunTuples(faultTestJob(), tuples)
 	return faultRun{
 		metrics: res.Metrics,
@@ -85,9 +92,15 @@ func mustPlan(t *testing.T, spec string) *FaultPlan {
 func stripRecovery(rm RoundMetrics) RoundMetrics {
 	out := stripWall(rm)
 	out.Retries, out.RetryWallSeconds, out.WastedBytes = 0, 0, 0
+	out.MapReexecutions, out.FetchFailures = 0, 0
+	out.SpeculativeLaunched, out.SpeculativeWon, out.SpeculativeKilled = 0, 0, 0
+	out.SpeculativeWallSeconds = 0
 	for _, tasks := range [][]TaskMetrics{out.Mappers, out.Reducers} {
 		for i := range tasks {
 			tasks[i].Attempts, tasks[i].RetryWallSeconds, tasks[i].WastedBytes = 0, 0, 0
+			tasks[i].Reexecutions, tasks[i].FetchFailures = 0, 0
+			tasks[i].SpeculativeLaunched, tasks[i].SpeculativeWon, tasks[i].SpeculativeKilled = 0, 0, 0
+			tasks[i].SpeculativeWallSeconds = 0
 		}
 	}
 	return out
@@ -98,10 +111,10 @@ func stripRecovery(rm RoundMetrics) RoundMetrics {
 // those must match across parallelism levels too.
 func stripTimes(rm RoundMetrics) RoundMetrics {
 	out := stripWall(rm)
-	out.RetryWallSeconds = 0
+	out.RetryWallSeconds, out.SpeculativeWallSeconds = 0, 0
 	for _, tasks := range [][]TaskMetrics{out.Mappers, out.Reducers} {
 		for i := range tasks {
-			tasks[i].RetryWallSeconds = 0
+			tasks[i].RetryWallSeconds, tasks[i].SpeculativeWallSeconds = 0, 0
 		}
 	}
 	return out
@@ -378,6 +391,8 @@ func TestParseFaultPlanRoundTrip(t *testing.T) {
 		"0:map:2:crash:0:*",
 		"2:reduce:0:mid-emit",
 		"0:map:0:crash,1:reduce:3:oom:2",
+		"*:node:2:node-crash",
+		"1:node:*:node-crash,0:map:0:crash",
 	}
 	for _, spec := range specs {
 		plan := mustPlan(t, spec)
@@ -397,16 +412,19 @@ func TestParseFaultPlanRoundTrip(t *testing.T) {
 		t.Errorf("empty items: plan=%v err=%v, want nil/nil", plan, err)
 	}
 	bad := []string{
-		"0:map:0",             // too few fields
-		"0:map:0:crash:0:1:9", // too many fields
-		"x:map:0:crash",       // bad round
-		"0:nope:0:crash",      // bad phase
-		"0:map:y:crash",       // bad task
-		"0:map:0:weird",       // bad kind
-		"0:map:0:crash@3",     // kind takes no argument
-		"0:map:0:slow@0",      // argument must be positive
-		"0:map:0:crash:-1",    // bad attempt
-		"0:map:0:crash:0:0",   // bad count
+		"0:map:0",                 // too few fields
+		"0:map:0:crash:0:1:9",     // too many fields
+		"x:map:0:crash",           // bad round
+		"0:nope:0:crash",          // bad phase
+		"0:map:y:crash",           // bad task
+		"0:map:0:weird",           // bad kind
+		"0:map:0:crash@3",         // kind takes no argument
+		"0:map:0:slow@0",          // argument must be positive
+		"0:map:0:crash:-1",        // bad attempt
+		"0:map:0:crash:0:0",       // bad count
+		"0:map:0:node-crash",      // node-crash needs the node phase
+		"0:node:0:crash",          // the node phase takes only node-crash
+		"0:node:0:node-crash:0:1", // node-crash takes no attempt/count
 	}
 	for _, spec := range bad {
 		if _, err := ParseFaultPlan(spec); err == nil {

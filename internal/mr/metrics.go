@@ -44,6 +44,22 @@ type TaskMetrics struct {
 	Attempts         int64
 	RetryWallSeconds float64
 	WastedBytes      int64
+
+	// Reexecutions counts full re-runs of a completed map task whose stored
+	// output was lost to a node crash (Hadoop's re-run-completed-maps
+	// semantics); FetchFailures, on a reduce task, counts the lost map
+	// outputs it could not fetch at the shuffle. SpeculativeLaunched, Won
+	// and Killed count the task's backup attempts under
+	// Config.SpeculativeSlack (Won: the backup's result was kept; Killed:
+	// the race's loser was discarded — its output lands in WastedBytes).
+	// SpeculativeWallSeconds is the real time consumed by the race's loser
+	// and is volatile like WallSeconds; the counters are deterministic.
+	Reexecutions           int64
+	FetchFailures          int64
+	SpeculativeLaunched    int64
+	SpeculativeWon         int64
+	SpeculativeKilled      int64
+	SpeculativeWallSeconds float64
 }
 
 // RoundMetrics aggregates one MapReduce round.
@@ -88,21 +104,46 @@ type RoundMetrics struct {
 	RetryWallSeconds float64
 	WastedBytes      int64
 
+	// MapReexecutions counts completed map tasks re-run after a node crash
+	// lost their output; FetchFailures the reducer-observed lost map
+	// outputs; the Speculative counters aggregate the straggler backups.
+	// SpeculativeWallSeconds is volatile (real loser wall time); the rest
+	// are deterministic.
+	MapReexecutions        int64
+	FetchFailures          int64
+	SpeculativeLaunched    int64
+	SpeculativeWon         int64
+	SpeculativeKilled      int64
+	SpeculativeWallSeconds float64
+
 	Failed     bool
 	FailReason string
 }
 
 func (r *RoundMetrics) finalize(cost CostModel) {
 	r.Retries, r.RetryWallSeconds, r.WastedBytes = 0, 0, 0
+	r.MapReexecutions, r.FetchFailures = 0, 0
+	r.SpeculativeLaunched, r.SpeculativeWon, r.SpeculativeKilled = 0, 0, 0
+	r.SpeculativeWallSeconds = 0
 	for _, tasks := range [][]TaskMetrics{r.Mappers, r.Reducers} {
 		for i := range tasks {
 			t := &tasks[i]
-			if t.Attempts > 1 {
-				r.Retries += t.Attempts - 1
+			// Speculative backups are extra attempts but not retries: the
+			// task never failed, the scheduler just raced a copy of it.
+			if extra := t.Attempts - 1 - t.SpeculativeLaunched; extra > 0 {
+				r.Retries += extra
 			}
 			r.RetryWallSeconds += t.RetryWallSeconds
 			r.WastedBytes += t.WastedBytes
+			r.FetchFailures += t.FetchFailures
+			r.SpeculativeLaunched += t.SpeculativeLaunched
+			r.SpeculativeWon += t.SpeculativeWon
+			r.SpeculativeKilled += t.SpeculativeKilled
+			r.SpeculativeWallSeconds += t.SpeculativeWallSeconds
 		}
+	}
+	for i := range r.Mappers {
+		r.MapReexecutions += r.Mappers[i].Reexecutions
 	}
 	// Phase times average over the tasks that actually ran (Attempts > 0).
 	// Tasks that never executed — reducers scheduled after the first OOM
@@ -266,6 +307,65 @@ func (j *JobMetrics) WastedBytes() int64 {
 	return s
 }
 
+// MapReexecutions is the total number of completed map tasks re-run after
+// a node crash lost their stored output.
+func (j *JobMetrics) MapReexecutions() int64 {
+	var s int64
+	for i := range j.Rounds {
+		s += j.Rounds[i].MapReexecutions
+	}
+	return s
+}
+
+// FetchFailures is the total number of lost map outputs observed by
+// reducers at the shuffle.
+func (j *JobMetrics) FetchFailures() int64 {
+	var s int64
+	for i := range j.Rounds {
+		s += j.Rounds[i].FetchFailures
+	}
+	return s
+}
+
+// SpeculativeLaunched is the total number of speculative backup attempts.
+func (j *JobMetrics) SpeculativeLaunched() int64 {
+	var s int64
+	for i := range j.Rounds {
+		s += j.Rounds[i].SpeculativeLaunched
+	}
+	return s
+}
+
+// SpeculativeWon is the number of speculative backups whose result was
+// kept over the original attempt's.
+func (j *JobMetrics) SpeculativeWon() int64 {
+	var s int64
+	for i := range j.Rounds {
+		s += j.Rounds[i].SpeculativeWon
+	}
+	return s
+}
+
+// SpeculativeKilled is the number of speculative-race losers whose
+// completed output was discarded.
+func (j *JobMetrics) SpeculativeKilled() int64 {
+	var s int64
+	for i := range j.Rounds {
+		s += j.Rounds[i].SpeculativeKilled
+	}
+	return s
+}
+
+// SpeculativeWallSeconds is the total real time consumed by the losers of
+// speculative races (volatile, like WallSeconds).
+func (j *JobMetrics) SpeculativeWallSeconds() float64 {
+	var s float64
+	for i := range j.Rounds {
+		s += j.Rounds[i].SpeculativeWallSeconds
+	}
+	return s
+}
+
 // Failed reports whether any round failed, with its reason.
 func (j *JobMetrics) Failed() (bool, string) {
 	for i := range j.Rounds {
@@ -285,6 +385,13 @@ func (j *JobMetrics) String() string {
 			i, r.Job, r.ShuffleRecords, r.ShuffleBytes, r.OutputRecords, r.SimSeconds)
 		if r.Retries > 0 {
 			fmt.Fprintf(&b, ", retries=%d (%d wasted B)", r.Retries, r.WastedBytes)
+		}
+		if r.MapReexecutions > 0 {
+			fmt.Fprintf(&b, ", map reexec=%d (%d fetch failures)", r.MapReexecutions, r.FetchFailures)
+		}
+		if r.SpeculativeLaunched > 0 {
+			fmt.Fprintf(&b, ", speculative=%d (won %d, killed %d)",
+				r.SpeculativeLaunched, r.SpeculativeWon, r.SpeculativeKilled)
 		}
 		if r.Failed {
 			fmt.Fprintf(&b, " FAILED: %s", r.FailReason)

@@ -1,0 +1,143 @@
+package mr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PlaceNode returns the failure domain (simulated machine) in [0, nodes)
+// that attempt `attempt` of task `task` in `phase` of engine round `round`
+// is placed on — and, for map attempts, where the attempt's output is
+// stored until the shuffle. Placement is a pure FNV-1a hash of the
+// coordinates salted by the engine seed, so it is identical at any
+// Config.Parallelism and across re-runs: a node-crash fault deterministically
+// loses the same map outputs and kills the same reduce attempts every time.
+// Including the attempt index means a re-scheduled attempt moves to a
+// different node, like a real scheduler avoiding a bad machine.
+func PlaceNode(seed uint64, round int, phase Phase, task, attempt, nodes int) int {
+	if nodes <= 1 {
+		return 0
+	}
+	h := uint64(fnvOffset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ uint64(byte(v>>(8*uint(i))))) * fnvPrime64
+		}
+	}
+	mix(seed)
+	mix(uint64(round))
+	mix(uint64(phase))
+	mix(uint64(task))
+	mix(uint64(attempt))
+	return int(h % uint64(nodes))
+}
+
+// nodeCount resolves Config.Nodes (0 defaults to Workers: one failure
+// domain per simulated machine).
+func (e *Engine) nodeCount() int {
+	if e.Cfg.Nodes > 0 {
+		return e.Cfg.Nodes
+	}
+	return e.Cfg.Workers
+}
+
+// deadNodes returns the per-node dead flags from the round's node-crash
+// faults, or nil when none targets the round. The crash is modeled at the
+// round's shuffle barrier: map attempts complete first (their stored output
+// is then lost), reduce attempts placed on a dead node are killed.
+func (e *Engine) deadNodes(round, nodes int) []bool {
+	if e.Cfg.Faults == nil {
+		return nil
+	}
+	var dead []bool
+	for i := range e.Cfg.Faults.Faults {
+		f := &e.Cfg.Faults.Faults[i]
+		if f.Kind != FaultNodeCrash {
+			continue
+		}
+		if f.Round != AnyIndex && f.Round != round {
+			continue
+		}
+		if dead == nil {
+			dead = make([]bool, nodes)
+		}
+		if f.Task == AnyIndex {
+			for n := range dead {
+				dead[n] = true
+			}
+		} else if f.Task < nodes {
+			dead[f.Task] = true
+		}
+	}
+	return dead
+}
+
+// placeLive re-places a hashed node slot onto a live node by probing
+// forward from it (deterministic, parallelism-invariant), or -1 when every
+// node is dead and the attempt cannot be scheduled at all.
+func placeLive(node int, dead []bool, nodes int) int {
+	if dead == nil || !dead[node] {
+		return node
+	}
+	for i := 1; i < nodes; i++ {
+		if c := (node + i) % nodes; !dead[c] {
+			return c
+		}
+	}
+	return -1
+}
+
+// nodeKill returns the kill for an attempt placed on a dead node, or nil.
+// Attempt 0 keeps its raw placement — it was already running when the node
+// died mid-round, so it dies with it; later attempts are re-placed on live
+// nodes and only die when none is left.
+func (e *Engine) nodeKill(round int, phase Phase, task, attempt int, dead []bool, nodes int) error {
+	if dead == nil {
+		return nil
+	}
+	node := PlaceNode(e.Cfg.Seed, round, phase, task, attempt, nodes)
+	if attempt > 0 {
+		node = placeLive(node, dead, nodes)
+		if node < 0 {
+			return &killError{reason: "no live node", phase: phase, task: task, attempt: attempt}
+		}
+	}
+	if dead[node] {
+		return &killError{reason: fmt.Sprintf("node %d crashed", node), phase: phase, task: task, attempt: attempt}
+	}
+	return nil
+}
+
+// timeoutKill returns the kill for a completed attempt whose simulated
+// stall exceeded Config.TaskTimeout (the progress-timeout analog), or nil.
+func (e *Engine) timeoutKill(phase Phase, task, attempt int, stall float64) error {
+	if e.Cfg.TaskTimeout <= 0 || stall <= e.Cfg.TaskTimeout {
+		return nil
+	}
+	return &killError{
+		reason: fmt.Sprintf("stalled %.3gs beyond the %.3gs task timeout", stall, e.Cfg.TaskTimeout),
+		phase:  phase, task: task, attempt: attempt,
+	}
+}
+
+// backupWins applies the deterministic speculation winner rule: the backup
+// replaces the original only when its simulated finish time is strictly
+// lower; ties keep the original (the lower attempt index).
+func backupWins(backupFinish, originalFinish float64) bool {
+	return backupFinish < originalFinish
+}
+
+// isKillError reports whether err is an engine-initiated kill (retryable,
+// but not an injected fault).
+func isKillError(err error) bool {
+	var ke *killError
+	return errors.As(err, &ke)
+}
+
+// specOutcome is one speculative race's recovery accounting: the loser's
+// discarded output, its wall time, and the counter deltas.
+type specOutcome struct {
+	launched, won, killed int64
+	wasted                int64
+	wall                  float64
+}

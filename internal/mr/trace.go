@@ -39,6 +39,19 @@ const (
 	// EvTaskFailure reports a permanent task failure (retries exhausted or
 	// a non-retryable error such as reducer OOM); the round fails.
 	EvTaskFailure = "task-failure"
+	// EvSpeculate reports a speculative backup attempt launching against a
+	// stalled original (Attempt is the backup's attempt index); it is
+	// followed by the backup's own task-start, and the race's winner is the
+	// attempt index carried by the task's task-success event.
+	EvSpeculate = "speculate"
+	// EvNodeCrash is a round-level event reporting a node-crash fault
+	// killing failure domain Node at the round's shuffle barrier.
+	EvNodeCrash = "node-crash"
+	// EvFetchFail reports that map task Task's completed output, stored on
+	// the crashed Node, could not be fetched by the round's Records
+	// reducers; the task is re-executed (a task-start at the next attempt
+	// index follows).
+	EvFetchFail = "fetch-fail"
 	// EvSpill reports reduce-side external aggregation: Bytes is the input
 	// volume that exceeded the task's memory (§3.2 skew penalty).
 	EvSpill = "spill"
@@ -89,6 +102,9 @@ type TraceEvent struct {
 	SimSeconds float64 `json:"simSeconds,omitempty"`
 	// Fault is the injected fault kind (fault-injected only).
 	Fault string `json:"fault,omitempty"`
+	// Node is the failure domain a node-crash killed or a fetch-fail lost
+	// its map output on (node-crash and fetch-fail only).
+	Node int `json:"node,omitempty"`
 	// Err describes the failure on task-retry/task-failure, and the round's
 	// FailReason on a failed round-end.
 	Err string `json:"err,omitempty"`
@@ -252,6 +268,33 @@ func (t *roundTracer) taskSuccess(phase Phase, task, attempt int, tm *TaskMetric
 	t.add(phase, task, TraceEvent{
 		Type: EvTaskSuccess, Attempt: attempt,
 		Records: records, Bytes: bytes, CPUSeconds: tm.CPUSeconds,
+	})
+}
+
+// speculate records a backup attempt launching against a stalled original.
+func (t *roundTracer) speculate(phase Phase, task, attempt int) {
+	if t == nil {
+		return
+	}
+	t.add(phase, task, TraceEvent{Type: EvSpeculate, Attempt: attempt})
+}
+
+// nodeCrash records a failure domain dying at the round's shuffle barrier.
+func (t *roundTracer) nodeCrash(node int) {
+	t.event(TraceEvent{Type: EvNodeCrash, Node: node})
+}
+
+// fetchFail records map task task's completed output (stored on the dead
+// node) being unfetchable by the round's reducers. Called from the run
+// goroutine at the shuffle barrier, between the map and re-execution
+// phases, so it emits directly rather than buffering.
+func (t *roundTracer) fetchFail(task, node, reducers int) {
+	if t == nil {
+		return
+	}
+	t.emit(TraceEvent{
+		Time: time.Now(), Type: EvFetchFail, Round: t.round, Job: t.job,
+		Phase: PhaseMap.String(), Task: task, Node: node, Records: int64(reducers),
 	})
 }
 

@@ -187,6 +187,8 @@ type config struct {
 	parallelism int
 	faultSpec   string
 	maxAttempts int
+	specSlack   float64
+	taskTimeout float64
 	trace       io.Writer
 }
 
@@ -198,12 +200,14 @@ func (c *config) engineConfig() (mr.Config, error) {
 		return mr.Config{}, err
 	}
 	cfg := mr.Config{
-		Workers:     c.workers,
-		MemTuples:   c.memory,
-		Seed:        uint64(c.seed),
-		Parallelism: c.parallelism,
-		Faults:      plan,
-		MaxAttempts: c.maxAttempts,
+		Workers:          c.workers,
+		MemTuples:        c.memory,
+		Seed:             uint64(c.seed),
+		Parallelism:      c.parallelism,
+		Faults:           plan,
+		MaxAttempts:      c.maxAttempts,
+		SpeculativeSlack: c.specSlack,
+		TaskTimeout:      c.taskTimeout,
 	}
 	if c.trace != nil {
 		cfg.Tracer = mr.NewJSONLTracer(c.trace)
@@ -243,16 +247,31 @@ func Parallelism(n int) Option { return func(c *config) { c.parallelism = n } }
 
 // Faults injects deterministic task failures into the simulated cluster.
 // The spec is a comma-separated list of round:phase:task:kind[:attempt[:count]]
-// entries ("*" wildcards round and task; kinds: crash, mid-emit, slow, oom —
-// see mr.ParseFaultPlan). Failed tasks are transparently re-executed: the
-// computed cube and all simulated statistics except the retry counters are
-// identical to a fault-free run. An empty spec (the default) injects nothing.
+// entries ("*" wildcards round and task; kinds: crash, mid-emit, slow, oom,
+// plus round:node:N:node-crash to kill a whole simulated machine — see
+// mr.ParseFaultPlan). Failed tasks are transparently re-executed, and map
+// output lost to a node crash is recomputed: the computed cube and all
+// simulated statistics except the recovery counters are identical to a
+// fault-free run. An empty spec (the default) injects nothing.
 func Faults(spec string) Option { return func(c *config) { c.faultSpec = spec } }
 
 // MaxAttempts bounds how many times one simulated task is executed before
 // its injected failure becomes permanent and the computation fails
-// (default 4). Only injected faults are retried.
+// (default 4). Only injected faults and engine-initiated kills (node loss,
+// task timeout) are retried.
 func MaxAttempts(n int) Option { return func(c *config) { c.maxAttempts = n } }
+
+// SpeculativeSlack enables straggler mitigation: a task attempt stalled (by
+// a slow fault) more than slack simulated seconds races one backup attempt,
+// and the attempt with the lower simulated finish time wins — ties keep the
+// original. The loser's output is discarded into Stats.WastedBytes; the
+// computed cube is unchanged. 0 (the default) disables speculation.
+func SpeculativeSlack(slack float64) Option { return func(c *config) { c.specSlack = slack } }
+
+// TaskTimeout kills a task attempt stalled more than the given number of
+// simulated seconds and retries it (counting against MaxAttempts) — the
+// analog of Hadoop's progress timeout. 0 (the default) disables it.
+func TaskTimeout(seconds float64) Option { return func(c *config) { c.taskTimeout = seconds } }
 
 // Trace streams the simulated cluster's structured lifecycle events — round
 // start/end, task attempt start/success/failure/retry, shuffle, spill,
@@ -289,6 +308,16 @@ type Stats struct {
 	Retries          int64
 	RetryWallSeconds float64
 	WastedBytes      int64
+	// MapReexecutions is the number of completed map tasks re-run because a
+	// node crash lost their output, and FetchFailures the lost map outputs
+	// the reducers observed. SpeculativeLaunched/Won/Killed count straggler
+	// backup attempts under the SpeculativeSlack option. All zero without
+	// node-crash faults and speculation.
+	MapReexecutions     int64
+	FetchFailures       int64
+	SpeculativeLaunched int64
+	SpeculativeWon      int64
+	SpeculativeKilled   int64
 }
 
 // statsFromRun extracts the facade statistics from a finished run.
@@ -306,6 +335,12 @@ func statsFromRun(run *cube.Run) Stats {
 		Retries:          run.Metrics.Retries(),
 		RetryWallSeconds: run.Metrics.RetryWallSeconds(),
 		WastedBytes:      run.Metrics.WastedBytes(),
+
+		MapReexecutions:     run.Metrics.MapReexecutions(),
+		FetchFailures:       run.Metrics.FetchFailures(),
+		SpeculativeLaunched: run.Metrics.SpeculativeLaunched(),
+		SpeculativeWon:      run.Metrics.SpeculativeWon(),
+		SpeculativeKilled:   run.Metrics.SpeculativeKilled(),
 	}
 }
 
