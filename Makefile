@@ -3,9 +3,10 @@
 GO ?= go
 
 .PHONY: check fmt vet build test race retry-race fuzz-smoke chaos bench \
-	bench-json bench-hotpath bench-hotpath-json bench-compare
+	bench-json bench-hotpath bench-hotpath-json bench-compare \
+	serve-smoke cover-serve lint
 
-check: fmt vet race fuzz-smoke chaos
+check: fmt vet race fuzz-smoke chaos serve-smoke cover-serve
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -62,6 +63,50 @@ bench-hotpath-json:
 	$(GO) test -run=NONE -bench='$(BENCH_PATTERN)' -count=$(BENCH_COUNT) ./internal/mr/ > /tmp/bench_hotpath.txt
 	$(GO) run ./cmd/benchcmp -json BENCH_hotpath.json /tmp/bench_hotpath.txt
 	@cat BENCH_hotpath.json
+
+# End-to-end smoke of the serving stack: compute a small cube, serve it on a
+# random port, drive it with the load generator, and require non-zero
+# throughput plus a schema-valid latency document.
+serve-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/gendata -dataset retail -n 2000 -o "$$tmp/data.csv"; \
+	$(GO) build -o "$$tmp/spserve" ./cmd/spserve; \
+	$(GO) build -o "$$tmp/sploadgen" ./cmd/sploadgen; \
+	"$$tmp/spserve" -in "$$tmp/data.csv" -addr 127.0.0.1:0 -addr-file "$$tmp/addr" & pid=$$!; \
+	for i in $$(seq 1 100); do \
+		[ -s "$$tmp/addr" ] && break; \
+		kill -0 $$pid 2>/dev/null || { echo "spserve exited before listening" >&2; exit 1; }; \
+		sleep 0.1; \
+	done; \
+	[ -s "$$tmp/addr" ] || { echo "spserve never wrote its address" >&2; exit 1; }; \
+	"$$tmp/sploadgen" -target "http://$$(cat "$$tmp/addr")" -duration 2s -c 8 \
+		-min-qps 1 -out "$$tmp/latency.json"; \
+	"$$tmp/sploadgen" -validate "$$tmp/latency.json"; \
+	kill $$pid; wait $$pid 2>/dev/null || true
+
+# Coverage gate for the serving layer: its concurrency machinery (cache,
+# batcher, HTTP front end) must stay above 80% statement coverage.
+COVER_SERVE_MIN ?= 80.0
+cover-serve:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) test -count=1 -coverprofile="$$tmp/serve.out" ./internal/serve/; \
+	pct=$$($(GO) tool cover -func="$$tmp/serve.out" | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "internal/serve coverage: $$pct% (minimum $(COVER_SERVE_MIN)%)"; \
+	awk -v got="$$pct" -v min="$(COVER_SERVE_MIN)" \
+		'BEGIN { if (got + 0 < min + 0) { exit 1 } }' \
+		|| { echo "internal/serve coverage $$pct% is below $(COVER_SERVE_MIN)%" >&2; exit 1; }
+
+# Static analysis and known-vulnerability scan, pinned so CI and local runs
+# agree. Both tools are fetched by `go run`, so the first run needs network.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+lint:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
 # Old-vs-new hot-path comparison. Checks out BASE (default: the previous
 # commit) into a temporary git worktree, copies the portable public-API

@@ -1,0 +1,384 @@
+// Command sploadgen drives load against a running spserve instance and
+// reports the serving layer's user-facing numbers: QPS and latency
+// percentiles (p50/p90/p95/p99), overall and per operation.
+//
+// It runs closed-loop workers (-c): each issues one query, waits for the
+// answer, and immediately issues the next, until -duration elapses. Queries
+// are generated from the server's /v1/schema — real dimension values, so
+// point queries actually hit groups — with key popularity drawn zipf
+// (default; hot keys exercise the result cache and single-flight path) or
+// uniform (exercises the batcher and index), and the operation mix set by
+// -mix weights.
+//
+//	sploadgen -target http://localhost:8080 -duration 5s -c 32
+//	sploadgen -target http://localhost:8080 -dist uniform -mix point=1
+//	sploadgen -target http://localhost:8080 -out latency.json -min-qps 100
+//	sploadgen -validate latency.json
+//
+// -out writes a versioned latency JSON document (bench.LatencyDoc);
+// -validate checks one and exits. -min-qps makes the run fail (exit 1) when
+// the measured throughput falls below the bound — the CI smoke gate.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/spcube/spcube/internal/bench"
+	"github.com/spcube/spcube/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes one sploadgen invocation; main minus the process exit, so
+// tests can drive the full CLI surface.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sploadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		target   = fs.String("target", "http://localhost:8080", "spserve base URL")
+		duration = fs.Duration("duration", 5*time.Second, "how long to drive load")
+		workers  = fs.Int("c", 16, "closed-loop worker (connection) count")
+		dist     = fs.String("dist", "zipf", "key popularity: zipf or uniform")
+		zipfS    = fs.Float64("zipf-s", 1.2, "zipf exponent (>1; higher = hotter keys)")
+		seed     = fs.Int64("seed", 1, "query-generation seed")
+		mix      = fs.String("mix", "point=8,slice=1,rollup=1,topk=1", "op weights, comma-separated op=weight")
+		topK     = fs.Int("k", 5, "k for generated top-k queries")
+		timeout  = fs.Duration("timeout", 10*time.Second, "per-request timeout")
+		out      = fs.String("out", "", "write the latency document (versioned JSON) to this file")
+		minQPS   = fs.Float64("min-qps", 0, "fail (exit 1) when measured QPS falls below this")
+		validate = fs.String("validate", "", "validate a latency JSON document and exit (no load is run)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := bench.ValidateLatencyJSON(data); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%s: valid latency document (schema version %d)\n", *validate, bench.LatencySchemaVersion)
+		return 0
+	}
+
+	weights, err := parseMix(*mix)
+	if err != nil {
+		fmt.Fprintln(stderr, "sploadgen:", err)
+		return 2
+	}
+	if *dist != "zipf" && *dist != "uniform" {
+		fmt.Fprintf(stderr, "sploadgen: unknown distribution %q (want zipf or uniform)\n", *dist)
+		return 2
+	}
+	if *workers < 1 || *duration <= 0 {
+		fmt.Fprintln(stderr, "sploadgen: need -c >= 1 and -duration > 0")
+		return 2
+	}
+
+	doc, err := drive(loadConfig{
+		target: strings.TrimRight(*target, "/"), duration: *duration,
+		workers: *workers, dist: *dist, zipfS: *zipfS, seed: *seed,
+		weights: weights, topK: *topK, timeout: *timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "sploadgen:", err)
+		return 1
+	}
+
+	fmt.Fprintf(stdout,
+		"sploadgen: %d requests in %.2fs (%.0f QPS, %d errors) | p50 %.3fms p90 %.3fms p95 %.3fms p99 %.3fms max %.3fms\n",
+		doc.Requests, doc.DurationSeconds, doc.QPS, doc.Errors,
+		doc.Latency.P50, doc.Latency.P90, doc.Latency.P95, doc.Latency.P99, doc.Latency.Max)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(stderr, "sploadgen:", err)
+			return 1
+		}
+		werr := bench.WriteLatencyDoc(f, doc)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, "sploadgen:", werr)
+			return 1
+		}
+	}
+	if doc.Requests == 0 {
+		fmt.Fprintln(stderr, "sploadgen: no request completed")
+		return 1
+	}
+	if *minQPS > 0 && doc.QPS < *minQPS {
+		fmt.Fprintf(stderr, "sploadgen: measured %.0f QPS below required %.0f\n", doc.QPS, *minQPS)
+		return 1
+	}
+	return 0
+}
+
+// parseMix parses "point=8,slice=1,..." into per-op weights.
+func parseMix(s string) (map[string]int, error) {
+	weights := make(map[string]int)
+	total := 0
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		op, w, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad mix entry %q (want op=weight)", part)
+		}
+		if _, err := serve.OpByName(op); err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(w)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad mix weight %q", part)
+		}
+		weights[op] = n
+		total += n
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("mix %q has no positive weight", s)
+	}
+	return weights, nil
+}
+
+// loadConfig carries one run's parameters.
+type loadConfig struct {
+	target   string
+	duration time.Duration
+	workers  int
+	dist     string
+	zipfS    float64
+	seed     int64
+	weights  map[string]int
+	topK     int
+	timeout  time.Duration
+}
+
+// sample is one completed request.
+type sample struct {
+	op      string
+	latency time.Duration
+	err     bool
+}
+
+// drive fetches the schema, runs the closed-loop workers, and aggregates
+// the measurements into a latency document.
+func drive(cfg loadConfig) (*bench.LatencyDoc, error) {
+	client := &http.Client{
+		Timeout: cfg.timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.workers * 2,
+			MaxIdleConnsPerHost: cfg.workers * 2,
+		},
+	}
+	schema, err := fetchSchema(client, cfg.target)
+	if err != nil {
+		return nil, err
+	}
+	if len(schema.Dims) == 0 {
+		return nil, fmt.Errorf("target serves no dimensions")
+	}
+
+	results := make([][]sample, cfg.workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(cfg.duration)
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			gen := newQueryGen(schema, cfg, cfg.seed+int64(w)*7919)
+			var local []sample
+			for time.Now().Before(deadline) {
+				req := gen.next()
+				t0 := time.Now()
+				ok := post(client, cfg.target+"/v1/query", req)
+				local = append(local, sample{op: req.Op, latency: time.Since(t0), err: !ok})
+			}
+			results[w] = local
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	doc := bench.NewLatencyDoc(cfg.target)
+	doc.DurationSeconds = elapsed.Seconds()
+	doc.Concurrency = cfg.workers
+	doc.Distribution = cfg.dist
+	doc.Seed = cfg.seed
+
+	var all []time.Duration
+	perOp := make(map[string][]time.Duration)
+	perOpErr := make(map[string]int64)
+	for _, local := range results {
+		for _, s := range local {
+			doc.Requests++
+			if s.err {
+				doc.Errors++
+				perOpErr[s.op]++
+				continue
+			}
+			all = append(all, s.latency)
+			perOp[s.op] = append(perOp[s.op], s.latency)
+		}
+	}
+	doc.QPS = float64(doc.Requests-doc.Errors) / elapsed.Seconds()
+	doc.Latency = bench.Percentiles(all)
+	for op := range cfg.weights {
+		doc.Ops[op] = bench.OpLatency{
+			Requests: int64(len(perOp[op])) + perOpErr[op],
+			Errors:   perOpErr[op],
+			Latency:  bench.Percentiles(perOp[op]),
+		}
+	}
+	return doc, nil
+}
+
+// fetchSchema reads the served cube's shape.
+func fetchSchema(client *http.Client, target string) (*serve.SchemaDoc, error) {
+	resp, err := client.Get(target + "/v1/schema")
+	if err != nil {
+		return nil, fmt.Errorf("fetching schema: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fetching schema: %s", resp.Status)
+	}
+	var doc serve.SchemaDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("decoding schema: %w", err)
+	}
+	return &doc, nil
+}
+
+// post issues one query, reporting success (HTTP 200 and a decodable
+// answer).
+func post(client *http.Client, url string, req serve.QueryRequest) bool {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return false
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	var ans serve.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ans); err != nil {
+		return false
+	}
+	return resp.StatusCode == http.StatusOK && ans.Error == ""
+}
+
+// queryGen deterministically generates the query stream of one worker.
+type queryGen struct {
+	schema *serve.SchemaDoc
+	cfg    loadConfig
+	rng    *rand.Rand
+	zipf   []*rand.Zipf // per dimension, nil for dims with no served values
+	ops    []string     // op name repeated by weight, drawn uniformly
+}
+
+func newQueryGen(schema *serve.SchemaDoc, cfg loadConfig, seed int64) *queryGen {
+	g := &queryGen{schema: schema, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	for _, dim := range schema.Dims {
+		if len(dim.Values) == 0 {
+			g.zipf = append(g.zipf, nil)
+			continue
+		}
+		g.zipf = append(g.zipf, rand.NewZipf(g.rng, cfg.zipfS, 1, uint64(len(dim.Values)-1)))
+	}
+	for op, w := range cfg.weights {
+		for i := 0; i < w; i++ {
+			g.ops = append(g.ops, op)
+		}
+	}
+	// Deterministic draw order regardless of map iteration.
+	sort.Strings(g.ops)
+	return g
+}
+
+// value draws a value index for dimension i under the configured
+// distribution.
+func (g *queryGen) value(i int) (string, bool) {
+	vals := g.schema.Dims[i].Values
+	if len(vals) == 0 {
+		return "", false
+	}
+	if g.cfg.dist == "zipf" {
+		return vals[g.zipf[i].Uint64()], true
+	}
+	return vals[g.rng.Intn(len(vals))], true
+}
+
+// next builds one query: a random cuboid, values drawn by popularity, the
+// op by mix weight.
+func (g *queryGen) next() serve.QueryRequest {
+	op := g.ops[g.rng.Intn(len(g.ops))]
+	d := len(g.schema.Dims)
+	group := make([]string, d)
+	// Draw a random non-empty cuboid (dimensions with no served values
+	// stay aggregated away).
+	masked := make([]int, 0, d)
+	for i := range group {
+		group[i] = "*"
+		if g.rng.Intn(2) == 1 && len(g.schema.Dims[i].Values) > 0 {
+			masked = append(masked, i)
+		}
+	}
+	if len(masked) == 0 {
+		// The apex is a fine point/rollup target but slice and top-k
+		// degenerate; keep it only for point-like ops.
+		if op == "slice" || op == "topk" {
+			op = "point"
+		}
+	}
+	switch op {
+	case "point", "rollup":
+		for _, i := range masked {
+			v, _ := g.value(i)
+			group[i] = v
+		}
+		return serve.QueryRequest{Op: op, Group: group}
+	case "slice":
+		// A concrete prefix of the cuboid, the rest wildcarded.
+		pfx := g.rng.Intn(len(masked) + 1)
+		for j, i := range masked {
+			if j < pfx {
+				v, _ := g.value(i)
+				group[i] = v
+			} else {
+				group[i] = "?"
+			}
+		}
+		return serve.QueryRequest{Op: op, Group: group}
+	default: // topk
+		for _, i := range masked {
+			group[i] = "?"
+		}
+		return serve.QueryRequest{Op: op, Group: group, K: g.cfg.topK}
+	}
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/spcube/spcube/internal/algo/naive"
+	"github.com/spcube/spcube/internal/bench"
+	"github.com/spcube/spcube/internal/cube"
+	"github.com/spcube/spcube/internal/cubetest"
+	"github.com/spcube/spcube/internal/serve"
+)
+
+// testServer stands up a real serving stack over a small random cube.
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	rel := cubetest.RandomRelation(rand.New(rand.NewSource(5)), 300, 3, 4)
+	res, _, err := cubetest.RunAndCollect(cubetest.NewEngine(2), naive.Compute, rel, cube.Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := serve.Build(rel, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &serve.Counters{}
+	svc := serve.NewService(store, serve.Config{Counters: m})
+	ts := httptest.NewServer(serve.NewHandler(svc, store, m))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return ts
+}
+
+func TestLoadgenEndToEnd(t *testing.T) {
+	ts := testServer(t)
+	out := filepath.Join(t.TempDir(), "latency.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-target", ts.URL, "-duration", "300ms", "-c", "4",
+		"-dist", "zipf", "-seed", "7", "-out", out, "-min-qps", "1",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "QPS") || !strings.Contains(stdout.String(), "p99") {
+		t.Errorf("summary line incomplete: %s", stdout.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bench.ValidateLatencyJSON(data); err != nil {
+		t.Fatalf("written document invalid: %v", err)
+	}
+
+	// The document the run wrote validates through the CLI flag too.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-validate", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-validate exit = %d; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "valid latency document") {
+		t.Errorf("-validate output: %s", stdout.String())
+	}
+}
+
+func TestLoadgenUniformPointOnly(t *testing.T) {
+	ts := testServer(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-target", ts.URL, "-duration", "200ms", "-c", "2",
+		"-dist", "uniform", "-mix", "point=1",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d; stderr: %s", code, stderr.String())
+	}
+}
+
+func TestLoadgenMinQPSGate(t *testing.T) {
+	ts := testServer(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-target", ts.URL, "-duration", "200ms", "-c", "2", "-min-qps", "1e12",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 when QPS below the bound", code)
+	}
+	if !strings.Contains(stderr.String(), "below required") {
+		t.Errorf("stderr does not explain the gate: %s", stderr.String())
+	}
+}
+
+func TestLoadgenValidateRejectsBadDoc(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schemaVersion": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-validate", bad}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "schemaVersion") {
+		t.Errorf("error does not name the offending field: %s", stderr.String())
+	}
+	if code := run([]string{"-validate", filepath.Join(t.TempDir(), "missing.json")}, &stdout, &stderr); code != 1 {
+		t.Fatalf("missing file exit = %d, want 1", code)
+	}
+}
+
+func TestLoadgenBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"bad flag", []string{"-nope"}},
+		{"bad dist", []string{"-dist", "pareto"}},
+		{"bad mix op", []string{"-mix", "dice=1"}},
+		{"bad mix weight", []string{"-mix", "point=lots"}},
+		{"zero mix", []string{"-mix", "point=0"}},
+		{"zero workers", []string{"-c", "0"}},
+	}
+	for _, c := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(c.args, &stdout, &stderr); code != 2 {
+			t.Errorf("%s: exit = %d, want 2; stderr: %s", c.name, code, stderr.String())
+		}
+	}
+}
+
+func TestLoadgenUnreachableTarget(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-target", "http://127.0.0.1:1", "-duration", "100ms", "-c", "1"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 for unreachable target", code)
+	}
+	if !strings.Contains(stderr.String(), "schema") {
+		t.Errorf("stderr does not mention the schema fetch: %s", stderr.String())
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	w, err := parseMix("point=8, slice=1,topk=0")
+	if err != nil || w["point"] != 8 || w["slice"] != 1 || w["topk"] != 0 {
+		t.Fatalf("parseMix: %v, %v", w, err)
+	}
+	if _, err := parseMix("point"); err == nil {
+		t.Error("missing weight accepted")
+	}
+	if _, err := parseMix("point=-1"); err == nil {
+		t.Error("negative weight accepted")
+	}
+}

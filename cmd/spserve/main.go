@@ -1,0 +1,290 @@
+// Command spserve computes the data cube of a CSV file and serves it over
+// HTTP: point, slice, rollup and top-k queries against a read-optimized
+// in-memory index, with request batching and single-flight result caching
+// so concurrent clients coalesce into few index probes.
+//
+// The input format and the compute flags follow cmd/spcube exactly (-algo,
+// -agg, -k, -p, -seed, -minsup, -faults, -max-attempts, -spec-slack,
+// -task-timeout, -trace, -metrics-out, -pprof). The serving side adds:
+//
+//	spserve -in sales.csv -addr localhost:8080
+//	curl 'localhost:8080/v1/query?op=point&group=laptop,*,2012'
+//	curl -d '{"op":"topk","group":["?","?","*"],"k":3}' localhost:8080/v1/query
+//	curl localhost:8080/v1/schema     # dims, served values, cuboid sizes
+//	curl localhost:8080/v1/stats      # queries, cache hits, batch coalescing
+//
+// -addr :0 binds a free port; -addr-file writes the resolved host:port to a
+// file once the server is listening (how the CI smoke test finds it). With
+// -pprof, the serving counters are also exported on the observability
+// endpoint at /debug/serve. Drive it with cmd/sploadgen for QPS and
+// latency percentiles.
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"time"
+
+	"github.com/spcube/spcube/internal/agg"
+	"github.com/spcube/spcube/internal/algo/hivecube"
+	"github.com/spcube/spcube/internal/algo/mrcube"
+	"github.com/spcube/spcube/internal/algo/naive"
+	"github.com/spcube/spcube/internal/algo/pipesort"
+	spalgo "github.com/spcube/spcube/internal/algo/spcube"
+	"github.com/spcube/spcube/internal/cube"
+	"github.com/spcube/spcube/internal/dfs"
+	"github.com/spcube/spcube/internal/mr"
+	"github.com/spcube/spcube/internal/obs"
+	"github.com/spcube/spcube/internal/relation"
+	"github.com/spcube/spcube/internal/serve"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	os.Exit(run(os.Args[1:], stop, os.Stderr))
+}
+
+// run executes one spserve invocation; main minus the process exit and
+// signal wiring, so tests can drive the full CLI (stop ends the serve loop).
+func run(args []string, stop <-chan os.Signal, stderr io.Writer) int {
+	fs := flag.NewFlagSet("spserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in          = fs.String("in", "", "input CSV path (default stdin)")
+		aggName     = fs.String("agg", "count", "aggregate function: count, sum, min, max, avg, var, stddev, distinct")
+		algName     = fs.String("algo", "sp-cube", "algorithm: sp-cube, naive, mr-cube, hive, pipesort")
+		workers     = fs.Int("k", 8, "simulated cluster size")
+		par         = fs.Int("p", 0, "goroutines executing simulated tasks: 0 = all cores")
+		seed        = fs.Int64("seed", 1, "sampling seed")
+		minSup      = fs.Int("minsup", 0, "iceberg threshold: only materialize groups with at least this many rows")
+		faults      = fs.String("faults", "", "fault-injection spec for the compute phase (see spcube -faults)")
+		maxAttempts = fs.Int("max-attempts", 0, "task attempts before an injected failure becomes permanent (0 = engine default)")
+		specSlack   = fs.Float64("spec-slack", 0, "speculative-execution slack in simulated seconds (0 = disabled)")
+		taskTimeout = fs.Float64("task-timeout", 0, "kill and retry task attempts stalled longer than this many simulated seconds (0 = disabled)")
+		traceFile   = fs.String("trace", "", "write structured engine trace events (JSON lines) to this file")
+		metricsFile = fs.String("metrics-out", "", "write the compute run's per-round metrics (versioned JSON) to this file")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof, /debug/runtime and /debug/serve on this address")
+		addr        = fs.String("addr", "localhost:8080", "serving address (use :0 for a free port)")
+		addrFile    = fs.String("addr-file", "", "write the resolved host:port to this file once listening")
+		cacheSize   = fs.Int("cache", 4096, "result-cache entries (negative disables caching)")
+		batchWindow = fs.Duration("batch-window", 100*time.Microsecond, "how long a forming batch waits for more queries")
+		maxBatch    = fs.Int("max-batch", 128, "max queries per batch")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	svc, store, counters, err := computeAndIndex(options{
+		in: *in, agg: *aggName, alg: *algName, workers: *workers, par: *par,
+		seed: *seed, minSup: *minSup, faults: *faults, maxAttempts: *maxAttempts,
+		specSlack: *specSlack, taskTimeout: *taskTimeout,
+		traceFile: *traceFile, metricsFile: *metricsFile,
+		cache: *cacheSize, batchWindow: *batchWindow, maxBatch: *maxBatch,
+	}, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "spserve:", err)
+		return 1
+	}
+	defer svc.Close()
+
+	if *pprofAddr != "" {
+		srv, err := obs.Start(*pprofAddr, obs.Route{
+			Pattern: "/debug/serve",
+			Handler: serve.StatsHandler(counters, store),
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "spserve:", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "spserve: profiling endpoint on http://%s/debug/pprof/\n", srv.Addr)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "spserve:", err)
+		return 1
+	}
+	resolved := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(resolved), 0o644); err != nil {
+			fmt.Fprintln(stderr, "spserve:", err)
+			return 1
+		}
+	}
+	fmt.Fprintf(stderr, "spserve: serving %d groups on http://%s/\n", store.Groups(), resolved)
+
+	httpSrv := &http.Server{Handler: serve.NewHandler(svc, store, counters)}
+	errs := make(chan error, 1)
+	go func() { errs <- httpSrv.Serve(ln) }()
+	select {
+	case <-stop:
+		_ = httpSrv.Close()
+		<-errs
+	case err := <-errs:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(stderr, "spserve:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// options carries one invocation's compute + index parameters.
+type options struct {
+	in, agg, alg           string
+	workers, par           int
+	seed                   int64
+	minSup                 int
+	faults                 string
+	maxAttempts            int
+	specSlack, taskTimeout float64
+	traceFile, metricsFile string
+	cache, maxBatch        int
+	batchWindow            time.Duration
+}
+
+// computeAndIndex runs the cube computation and builds the serving stack.
+func computeAndIndex(o options, stderr io.Writer) (serve.Service, *serve.Store, *serve.Counters, error) {
+	aggFn, err := agg.ByName(o.agg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	plan, err := mr.ParseFaultPlan(o.faults)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	var r io.Reader = os.Stdin
+	if o.in != "" {
+		f, err := os.Open(o.in)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	rel, err := readCSV(r)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	cfg := mr.Config{
+		Workers:          o.workers,
+		Seed:             uint64(o.seed),
+		Parallelism:      o.par,
+		Faults:           plan,
+		MaxAttempts:      o.maxAttempts,
+		SpeculativeSlack: o.specSlack,
+		TaskTimeout:      o.taskTimeout,
+	}
+	if o.traceFile != "" {
+		tf, err := os.Create(o.traceFile)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		defer tf.Close()
+		cfg.Tracer = mr.NewJSONLTracer(tf)
+	}
+	eng := mr.New(cfg, dfs.New(false))
+	spec := cube.Spec{Agg: aggFn, MinSup: o.minSup}
+
+	start := time.Now()
+	runRec, err := computeCube(eng, rel, o.alg, spec, o.seed)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%s failed: %w", o.alg, err)
+	}
+	res, err := cube.CollectDFS(eng, runRec.OutputPrefix, rel.D())
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("collecting output: %w", err)
+	}
+	if o.metricsFile != "" {
+		data, err := json.MarshalIndent(&runRec.Metrics, "", "  ")
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if err := os.WriteFile(o.metricsFile, append(data, '\n'), 0o644); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+
+	store, err := serve.Build(rel, res)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("indexing cube: %w", err)
+	}
+	counters := &serve.Counters{}
+	svc := serve.NewService(store, serve.Config{
+		CacheEntries: o.cache,
+		BatchWindow:  o.batchWindow,
+		MaxBatch:     o.maxBatch,
+		Counters:     counters,
+	})
+	fmt.Fprintf(stderr, "spserve: %s cubed %d rows into %d groups (%d cuboids) in %.2fs\n",
+		runRec.Algorithm, rel.N(), store.Groups(), len(store.Cuboids()), time.Since(start).Seconds())
+	return svc, store, counters, nil
+}
+
+// computeCube dispatches to the algorithm implementations the way the
+// public facade does.
+func computeCube(eng *mr.Engine, rel *relation.Relation, alg string, spec cube.Spec, seed int64) (*cube.Run, error) {
+	switch alg {
+	case "sp-cube", "spcube", "sp":
+		return spalgo.ComputeOpts(eng, rel, spec, spalgo.Options{Seed: seed})
+	case "naive":
+		return naive.Compute(eng, rel, spec)
+	case "mr-cube", "mrcube", "pig":
+		return mrcube.ComputeOpts(eng, rel, spec, mrcube.Options{Seed: seed})
+	case "hive":
+		return hivecube.Compute(eng, rel, spec)
+	case "pipesort":
+		return pipesort.Compute(eng, rel, spec)
+	}
+	return nil, fmt.Errorf("unknown algorithm %q (want sp-cube, naive, mr-cube, hive, pipesort)", alg)
+}
+
+// readCSV parses the spcube CSV shape (header row, last column the integer
+// measure) into a relation.
+func readCSV(r io.Reader) (*relation.Relation, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("reading header: %w", err)
+	}
+	if len(header) < 2 {
+		return nil, fmt.Errorf("need at least one dimension column and a measure column, got %d columns", len(header))
+	}
+	d := len(header) - 1
+	rel := relation.New(header[:d], header[d])
+	dims := make([]string, d)
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		line++
+		copy(dims, rec[:d])
+		m, err := strconv.ParseInt(rec[d], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: measure %q is not an integer: %w", line, rec[d], err)
+		}
+		rel.AppendStrings(dims, m)
+	}
+	if rel.N() == 0 {
+		return nil, fmt.Errorf("no data rows")
+	}
+	return rel, nil
+}

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+const fixtureCSV = `name,city,sales
+laptop,Rome,3
+laptop,Oslo,1
+phone,Rome,2
+phone,Rome,5
+`
+
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sales.csv")
+	if err := os.WriteFile(path, []byte(fixtureCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// startServer runs the full CLI against a free port and returns the base URL
+// plus a shutdown function that delivers the interrupt and waits for exit.
+func startServer(t *testing.T, extraArgs ...string) (string, func() int) {
+	t.Helper()
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	args := append([]string{
+		"-in", writeFixture(t),
+		"-addr", "127.0.0.1:0",
+		"-addr-file", addrFile,
+	}, extraArgs...)
+	stop := make(chan os.Signal, 1)
+	var stderr bytes.Buffer
+	done := make(chan int, 1)
+	go func() { done <- run(args, stop, &stderr) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	var addr string
+	for time.Now().Before(deadline) {
+		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+			addr = string(data)
+			break
+		}
+		select {
+		case code := <-done:
+			t.Fatalf("server exited early with %d: %s", code, stderr.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if addr == "" {
+		t.Fatalf("server never wrote its address; stderr: %s", stderr.String())
+	}
+	return "http://" + addr, func() int {
+		stop <- os.Interrupt
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Errorf("exit code %d; stderr: %s", code, stderr.String())
+			}
+			return code
+		case <-time.After(10 * time.Second):
+			t.Fatal("server did not stop")
+			return -1
+		}
+	}
+}
+
+func TestServeEndToEnd(t *testing.T) {
+	base, shutdown := startServer(t)
+	defer shutdown()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	// count aggregate: 2 laptop rows.
+	resp, err = http.Get(base + "/v1/query?op=point&group=laptop,*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ans struct {
+		Found bool    `json:"found"`
+		Value float64 `json:"value"`
+		Error string  `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ans)
+	resp.Body.Close()
+	if err != nil || !ans.Found || ans.Value != 2 || ans.Error != "" {
+		t.Fatalf("point query: %+v, %v", ans, err)
+	}
+
+	resp, err = http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]any
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil || stats["tool"] != "spserve" {
+		t.Fatalf("stats: %v, %v", stats, err)
+	}
+}
+
+func TestServeSumAggregateAndMetricsOut(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.json")
+	trace := filepath.Join(dir, "trace.jsonl")
+	base, shutdown := startServer(t, "-agg", "sum", "-algo", "naive",
+		"-metrics-out", metrics, "-trace", trace)
+	defer shutdown()
+
+	// sum aggregate: laptop sales 3+1.
+	resp, err := http.Get(base + "/v1/query?op=point&group=laptop,*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ans struct {
+		Value float64 `json:"value"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ans)
+	resp.Body.Close()
+	if err != nil || ans.Value != 4 {
+		t.Fatalf("sum query: %+v, %v", ans, err)
+	}
+
+	for _, f := range []string{metrics, trace} {
+		if data, err := os.ReadFile(f); err != nil || len(data) == 0 {
+			t.Errorf("%s not written: %v", f, err)
+		}
+	}
+	var doc map[string]any
+	data, _ := os.ReadFile(metrics)
+	if err := json.Unmarshal(data, &doc); err != nil || doc["schemaVersion"] == nil {
+		t.Errorf("metrics file is not a versioned JSON document: %v", err)
+	}
+}
+
+func TestServeBadInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+		want string
+	}{
+		{"bad flag", []string{"-definitely-not-a-flag"}, 2, ""},
+		{"missing file", []string{"-in", "/does/not/exist.csv"}, 1, "exist"},
+		{"bad algo", []string{"-algo", "quantum"}, 1, "quantum"},
+		{"bad agg", []string{"-agg", "mode"}, 1, "mode"},
+		{"bad faults", []string{"-faults", "nonsense"}, 1, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			args := c.args
+			if c.name != "missing file" && c.name != "bad flag" {
+				args = append([]string{"-in", writeFixture(t)}, args...)
+			}
+			stop := make(chan os.Signal, 1)
+			var stderr bytes.Buffer
+			if code := run(args, stop, &stderr); code != c.code {
+				t.Fatalf("exit = %d, want %d; stderr: %s", code, c.code, stderr.String())
+			}
+			if c.want != "" && !strings.Contains(stderr.String(), c.want) {
+				t.Errorf("stderr %q does not mention %q", stderr.String(), c.want)
+			}
+		})
+	}
+}
+
+func TestReadCSVRejectsBadShapes(t *testing.T) {
+	cases := []struct {
+		name, csv string
+	}{
+		{"one column", "just\na\n"},
+		{"bad measure", "a,m\nx,notanumber\n"},
+		{"no rows", "a,m\n"},
+		{"empty", ""},
+	}
+	for _, c := range cases {
+		if _, err := readCSV(strings.NewReader(c.csv)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	rel, err := readCSV(strings.NewReader(fixtureCSV))
+	if err != nil || rel.N() != 4 || rel.D() != 2 {
+		t.Fatalf("fixture: %v (n=%d d=%d)", err, rel.N(), rel.D())
+	}
+}
+
+func TestServeAddrConflict(t *testing.T) {
+	// Second server on the same resolved port must fail cleanly.
+	base, shutdown := startServer(t)
+	defer shutdown()
+	addr := strings.TrimPrefix(base, "http://")
+	stop := make(chan os.Signal, 1)
+	var stderr bytes.Buffer
+	if code := run([]string{"-in", writeFixture(t), "-addr", addr}, stop, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), addr) && !strings.Contains(stderr.String(), "address") {
+		t.Errorf("stderr does not explain the bind failure: %s", stderr.String())
+	}
+}

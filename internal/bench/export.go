@@ -118,7 +118,7 @@ func WriteMetricsDoc(w io.Writer, doc *MetricsDoc) error {
 func ValidateMetricsJSON(data []byte) error {
 	var doc map[string]any
 	if err := json.Unmarshal(data, &doc); err != nil {
-		return fmt.Errorf("bench: metrics document: %w", err)
+		return fmt.Errorf("bench: metrics document: %w", describeJSONError(data, err))
 	}
 	v, ok := doc["schemaVersion"].(float64)
 	if !ok {
@@ -215,6 +215,38 @@ func ValidateMetricsJSON(data []byte) error {
 		}
 	}
 	return nil
+}
+
+// describeJSONError rewrites a json.Unmarshal error into one that names
+// where in the document the problem is — line and column for syntax errors,
+// the Go field path for type mismatches — instead of the bare byte offset
+// (or no location at all) the standard error carries.
+func describeJSONError(data []byte, err error) error {
+	var offset int64 = -1
+	detail := err.Error()
+	switch e := err.(type) {
+	case *json.SyntaxError:
+		offset = e.Offset
+	case *json.UnmarshalTypeError:
+		offset = e.Offset
+		path := e.Type.String()
+		if e.Struct != "" || e.Field != "" {
+			path = e.Field
+		}
+		detail = fmt.Sprintf("field %s: cannot decode JSON %s", path, e.Value)
+	default:
+		return err
+	}
+	line, col := 1, 1
+	for i := int64(0); i < offset && i < int64(len(data)); i++ {
+		if data[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Errorf("line %d, column %d: %s", line, col, detail)
 }
 
 // VolatileMetricsKeys are the document fields excluded from the determinism

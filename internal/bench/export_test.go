@@ -95,6 +95,26 @@ func TestValidateMetricsJSONRejectsMalformed(t *testing.T) {
 	}
 }
 
+// TestValidateMetricsJSONSyntaxErrorNamesPosition pins the validator's error
+// quality: malformed JSON must be reported with the line and column of the
+// problem, not the bare byte offset of encoding/json's unmarshal error.
+func TestValidateMetricsJSONSyntaxErrorNamesPosition(t *testing.T) {
+	err := ValidateMetricsJSON([]byte("{\n  \"schemaVersion\": 2,\n  \"tool\": spbench\n}"))
+	if err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), "column") {
+		t.Fatalf("error %q does not carry line/column position", err)
+	}
+	// Documents that decode to the wrong top-level shape get the decoded
+	// type named instead of a position-less failure.
+	if err := ValidateMetricsJSON([]byte("[1, 2]")); err == nil {
+		t.Fatal("array document accepted")
+	} else if !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("error %q does not locate the type mismatch", err)
+	}
+}
+
 // TestMetricsDocDeterministicAcrossParallelism is the acceptance criterion:
 // the exported document is byte-identical across parallelism levels after
 // stripping the wall-clock and provenance fields — with and without an

@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// LatencySchemaVersion versions the load-generator latency document
+// (LatencyDoc). Bump on incompatible changes.
+const LatencySchemaVersion = 1
+
+// LatencyPercentiles summarizes a latency sample in milliseconds.
+type LatencyPercentiles struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+// OpLatency is one operation's share of a load-generation run.
+type OpLatency struct {
+	Requests int64              `json:"requests"`
+	Errors   int64              `json:"errors"`
+	Latency  LatencyPercentiles `json:"latency"`
+}
+
+// LatencyDoc is the machine-readable result of one sploadgen run: the
+// serving layer's user-facing numbers (QPS, latency percentiles), overall
+// and per operation. Unlike MetricsDoc it is inherently non-deterministic —
+// it measures real wall-clock behaviour of a real server.
+type LatencyDoc struct {
+	SchemaVersion int    `json:"schemaVersion"`
+	Tool          string `json:"tool"`
+	// Target is the URL the load was driven against.
+	Target string `json:"target"`
+	// DurationSeconds is the measured (not requested) run length.
+	DurationSeconds float64 `json:"durationSeconds"`
+	// Concurrency is the closed-loop worker count.
+	Concurrency int `json:"concurrency"`
+	// Distribution names the key-popularity model ("zipf", "uniform").
+	Distribution string `json:"distribution"`
+	Seed         int64  `json:"seed"`
+	Requests     int64  `json:"requests"`
+	Errors       int64  `json:"errors"`
+	// QPS is completed requests per measured second.
+	QPS     float64              `json:"qps"`
+	Latency LatencyPercentiles   `json:"latency"`
+	Ops     map[string]OpLatency `json:"ops"`
+	// Environment mirrors the metrics document's provenance block.
+	Environment Environment `json:"environment"`
+}
+
+// NewLatencyDoc assembles the document skeleton (schema version, tool,
+// environment); callers fill the measurements.
+func NewLatencyDoc(target string) *LatencyDoc {
+	return &LatencyDoc{
+		SchemaVersion: LatencySchemaVersion,
+		Tool:          "sploadgen",
+		Target:        target,
+		Ops:           map[string]OpLatency{},
+		Environment: Environment{
+			GoVersion:   runtime.Version(),
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		},
+	}
+}
+
+// Percentiles summarizes a sample of request latencies. The input is
+// reordered.
+func Percentiles(samples []time.Duration) LatencyPercentiles {
+	if len(samples) == 0 {
+		return LatencyPercentiles{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	at := func(q float64) float64 {
+		// Nearest-rank percentile: the ceil(q*n)-th smallest sample.
+		i := int(math.Ceil(q*float64(len(samples)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return ms(samples[i])
+	}
+	var sum time.Duration
+	for _, d := range samples {
+		sum += d
+	}
+	return LatencyPercentiles{
+		P50:  at(0.50),
+		P90:  at(0.90),
+		P95:  at(0.95),
+		P99:  at(0.99),
+		Max:  ms(samples[len(samples)-1]),
+		Mean: ms(sum) / float64(len(samples)),
+	}
+}
+
+// WriteLatencyDoc writes the document as indented JSON.
+func WriteLatencyDoc(w io.Writer, doc *LatencyDoc) error {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: write latency: %w", err)
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ValidateLatencyJSON structurally validates a serialized LatencyDoc,
+// naming the offending field (or, for malformed JSON, the line and column)
+// in every error. It is the check behind `sploadgen -validate` and the CI
+// serve-smoke leg.
+func ValidateLatencyJSON(data []byte) error {
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("bench: latency document: %w", describeJSONError(data, err))
+	}
+	bad := func(path, what string) error {
+		return fmt.Errorf("bench: latency document: %s: %s", path, what)
+	}
+	v, ok := doc["schemaVersion"].(float64)
+	if !ok {
+		return bad("schemaVersion", "missing numeric field")
+	}
+	if int(v) != LatencySchemaVersion {
+		return bad("schemaVersion", fmt.Sprintf("is %d, want %d", int(v), LatencySchemaVersion))
+	}
+	for _, key := range []string{"tool", "target", "distribution"} {
+		if s, ok := doc[key].(string); !ok || s == "" {
+			return bad(key, "missing non-empty string")
+		}
+	}
+	for _, key := range []string{"durationSeconds", "concurrency", "seed", "requests", "errors", "qps"} {
+		if _, ok := doc[key].(float64); !ok {
+			return bad(key, "missing numeric field")
+		}
+	}
+	if err := validatePercentiles("latency", doc["latency"]); err != nil {
+		return err
+	}
+	ops, ok := doc["ops"].(map[string]any)
+	if !ok {
+		return bad("ops", "missing object")
+	}
+	for name, o := range ops {
+		op, ok := o.(map[string]any)
+		if !ok {
+			return bad("ops."+name, "not an object")
+		}
+		for _, key := range []string{"requests", "errors"} {
+			if _, ok := op[key].(float64); !ok {
+				return bad("ops."+name+"."+key, "missing numeric field")
+			}
+		}
+		if err := validatePercentiles("ops."+name+".latency", op["latency"]); err != nil {
+			return err
+		}
+	}
+	env, ok := doc["environment"].(map[string]any)
+	if !ok {
+		return bad("environment", "missing object")
+	}
+	if s, ok := env["goVersion"].(string); !ok || s == "" {
+		return bad("environment.goVersion", "missing non-empty string")
+	}
+	return nil
+}
+
+func validatePercentiles(path string, v any) error {
+	p, ok := v.(map[string]any)
+	if !ok {
+		return fmt.Errorf("bench: latency document: %s: missing object", path)
+	}
+	for _, key := range []string{"p50", "p90", "p95", "p99", "max", "mean"} {
+		if _, ok := p[key].(float64); !ok {
+			return fmt.Errorf("bench: latency document: %s.%s: missing numeric field", path, key)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestPercentiles(t *testing.T) {
+	if p := Percentiles(nil); p != (LatencyPercentiles{}) {
+		t.Fatalf("empty sample: %+v", p)
+	}
+	// 100 samples of 1ms..100ms: nearest-rank percentiles are exact.
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = time.Duration(100-i) * time.Millisecond
+	}
+	p := Percentiles(samples)
+	want := LatencyPercentiles{P50: 50, P90: 90, P95: 95, P99: 99, Max: 100, Mean: 50.5}
+	if p != want {
+		t.Fatalf("percentiles = %+v, want %+v", p, want)
+	}
+	if one := Percentiles([]time.Duration{3 * time.Millisecond}); one.P50 != 3 || one.Max != 3 {
+		t.Fatalf("single sample: %+v", one)
+	}
+}
+
+func TestLatencyDocRoundTrip(t *testing.T) {
+	doc := NewLatencyDoc("http://localhost:1234")
+	doc.DurationSeconds = 2
+	doc.Concurrency = 4
+	doc.Distribution = "zipf"
+	doc.Requests = 100
+	doc.QPS = 50
+	doc.Latency = LatencyPercentiles{P50: 1, P90: 2, P95: 3, P99: 4, Max: 5, Mean: 2}
+	doc.Ops["point"] = OpLatency{Requests: 100, Latency: doc.Latency}
+
+	var buf bytes.Buffer
+	if err := WriteLatencyDoc(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateLatencyJSON(buf.Bytes()); err != nil {
+		t.Fatalf("round-tripped document invalid: %v", err)
+	}
+}
+
+// TestValidateLatencyJSONNamesOffendingField is the regression test for the
+// clear-validation-errors requirement: every rejection must name the field
+// path (or position) that failed, never a bare unmarshal error.
+func TestValidateLatencyJSONNamesOffendingField(t *testing.T) {
+	pct := func() map[string]any {
+		return map[string]any{"p50": 1.0, "p90": 1.0, "p95": 1.0, "p99": 1.0, "max": 1.0, "mean": 1.0}
+	}
+	valid := func() map[string]any {
+		return map[string]any{
+			"schemaVersion": 1, "tool": "sploadgen", "target": "t",
+			"durationSeconds": 1.0, "concurrency": 2, "distribution": "zipf",
+			"seed": 1, "requests": 10, "errors": 0, "qps": 10.0,
+			"latency": pct(),
+			"ops": map[string]any{
+				"point": map[string]any{"requests": 10, "errors": 0, "latency": pct()},
+			},
+			"environment": map[string]any{"goVersion": "go1.22"},
+		}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(map[string]any)
+		mention string
+	}{
+		{"missing schemaVersion", func(d map[string]any) { delete(d, "schemaVersion") }, "schemaVersion"},
+		{"wrong schemaVersion", func(d map[string]any) { d["schemaVersion"] = 99 }, "schemaVersion"},
+		{"missing tool", func(d map[string]any) { d["tool"] = "" }, "tool"},
+		{"string qps", func(d map[string]any) { d["qps"] = "fast" }, "qps"},
+		{"missing latency", func(d map[string]any) { delete(d, "latency") }, "latency"},
+		{"latency missing p99", func(d map[string]any) {
+			d["latency"].(map[string]any)["p99"] = nil
+		}, "latency.p99"},
+		{"ops not object", func(d map[string]any) { d["ops"] = []any{} }, "ops"},
+		{"op missing requests", func(d map[string]any) {
+			delete(d["ops"].(map[string]any)["point"].(map[string]any), "requests")
+		}, "ops.point.requests"},
+		{"op latency missing max", func(d map[string]any) {
+			delete(d["ops"].(map[string]any)["point"].(map[string]any)["latency"].(map[string]any), "max")
+		}, "ops.point.latency.max"},
+		{"missing environment", func(d map[string]any) { delete(d, "environment") }, "environment"},
+		{"environment missing goVersion", func(d map[string]any) {
+			d["environment"] = map[string]any{}
+		}, "environment.goVersion"},
+	}
+	for _, c := range cases {
+		doc := valid()
+		c.mutate(doc)
+		data := mustJSON(t, doc)
+		if err := ValidateLatencyJSON(data); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		} else if !strings.Contains(err.Error(), c.mention) {
+			t.Errorf("%s: error %q does not name %q", c.name, err, c.mention)
+		}
+	}
+	if err := ValidateLatencyJSON(mustJSON(t, valid())); err != nil {
+		t.Fatalf("valid fixture rejected: %v", err)
+	}
+}
+
+func TestValidateLatencyJSONSyntaxErrorsNamePosition(t *testing.T) {
+	err := ValidateLatencyJSON([]byte("{\n  \"schemaVersion\": 1,\n  \"tool\": oops\n}"))
+	if err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error %q does not name the offending line", err)
+	}
+}

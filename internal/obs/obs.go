@@ -19,10 +19,18 @@ import (
 	"strconv"
 )
 
+// Route is an extra path → handler pair mounted on the observability mux,
+// for subsystems that export their own diagnostics (e.g. the serving
+// layer's /debug/serve counters).
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // NewMux builds the observability handler: /debug/pprof/* (index, cmdline,
 // profile, symbol, trace and every runtime profile reachable from the
-// index) and /debug/runtime (runtime-metrics JSON).
-func NewMux() *http.ServeMux {
+// index), /debug/runtime (runtime-metrics JSON), plus any extra routes.
+func NewMux(extra ...Route) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -30,6 +38,9 @@ func NewMux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/debug/runtime", serveRuntimeMetrics)
+	for _, r := range extra {
+		mux.Handle(r.Pattern, r.Handler)
+	}
 	return mux
 }
 
@@ -80,15 +91,15 @@ type Server struct {
 	srv *http.Server
 }
 
-// Start serves the observability mux on addr ("localhost:6060", ":0", ...)
-// in a background goroutine. The returned server reports the resolved
-// address and stops serving on Close.
-func Start(addr string) (*Server, error) {
+// Start serves the observability mux (plus any extra routes) on addr
+// ("localhost:6060", ":0", ...) in a background goroutine. The returned
+// server reports the resolved address and stops serving on Close.
+func Start(addr string, extra ...Route) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: NewMux()}
+	srv := &http.Server{Handler: NewMux(extra...)}
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{Addr: ln.Addr().String(), srv: srv}, nil
 }

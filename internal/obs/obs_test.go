@@ -50,6 +50,38 @@ func TestStartServesPprofAndRuntime(t *testing.T) {
 	}
 }
 
+func TestStartMountsExtraRoutes(t *testing.T) {
+	extra := Route{
+		Pattern: "/debug/custom",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			io.WriteString(w, "custom-ok")
+		}),
+	}
+	srv, err := Start("127.0.0.1:0", extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr + "/debug/custom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || string(body) != "custom-ok" {
+		t.Fatalf("extra route: %d %q", resp.StatusCode, body)
+	}
+	// The standard routes must still be mounted alongside extras.
+	resp2, err := http.Get("http://" + srv.Addr + "/debug/runtime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("runtime route lost: %d", resp2.StatusCode)
+	}
+}
+
 func TestStartRejectsBadAddr(t *testing.T) {
 	if _, err := Start("256.256.256.256:99999"); err == nil {
 		t.Error("Start accepted an unusable address")

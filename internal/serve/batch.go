@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"github.com/spcube/spcube/internal/lattice"
+	"github.com/spcube/spcube/internal/relation"
+)
+
+// batcher coalesces concurrent queries into batches executed against the
+// store by a single dispatcher goroutine. Point queries that land in the
+// same batch and target the same cuboid are answered by one galloping pass
+// over that cuboid's sorted run (Store.PointBatch) — the index probe
+// thousands of concurrent clients degenerate to. Non-point queries (slice,
+// rollup, top-k) are already single range/multi probes and execute
+// individually within the batch.
+//
+// A batch forms when the dispatcher receives the first pending query: it
+// keeps accepting queries until window elapses or maxBatch queries are
+// buffered, then executes. Under light load the window is the only added
+// latency; under heavy load batches fill instantly and the window never
+// expires.
+type batcher struct {
+	store    *Store
+	window   time.Duration
+	maxBatch int
+	metrics  *Counters
+
+	mu     sync.RWMutex // guards closed; held shared around sends
+	closed bool
+	reqs   chan *request
+	wg     sync.WaitGroup
+}
+
+// request is one query in flight through the batcher.
+type request struct {
+	q    Query
+	resp chan response
+}
+
+type response struct {
+	res Result
+	err error
+}
+
+func newBatcher(store *Store, window time.Duration, maxBatch int, m *Counters) *batcher {
+	if window <= 0 {
+		window = 100 * time.Microsecond
+	}
+	if maxBatch <= 0 {
+		maxBatch = 128
+	}
+	b := &batcher{
+		store:    store,
+		window:   window,
+		maxBatch: maxBatch,
+		metrics:  m,
+		reqs:     make(chan *request, maxBatch),
+	}
+	b.wg.Add(1)
+	go b.dispatch()
+	return b
+}
+
+// do submits one query and waits for its batch to execute.
+func (b *batcher) do(q Query) (Result, error) {
+	r := &request{q: q, resp: make(chan response, 1)}
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return Result{}, ErrClosed
+	}
+	b.reqs <- r
+	b.mu.RUnlock()
+	resp := <-r.resp
+	return resp.res, resp.err
+}
+
+// close stops the dispatcher after draining every submitted query.
+func (b *batcher) close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	close(b.reqs)
+	b.mu.Unlock()
+	b.wg.Wait()
+}
+
+// dispatch is the batching loop: collect, execute, repeat.
+func (b *batcher) dispatch() {
+	defer b.wg.Done()
+	for {
+		first, ok := <-b.reqs
+		if !ok {
+			return
+		}
+		batch := b.collect(first)
+		b.execute(batch)
+	}
+}
+
+// collect gathers a batch starting from first: up to maxBatch requests or
+// until the batch window elapses, whichever comes first.
+func (b *batcher) collect(first *request) []*request {
+	batch := make([]*request, 1, b.maxBatch)
+	batch[0] = first
+	timer := time.NewTimer(b.window)
+	defer timer.Stop()
+	for len(batch) < b.maxBatch {
+		select {
+		case r, ok := <-b.reqs:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// execute answers every request of a batch. Point queries are grouped by
+// cuboid and answered with one PointBatch probe per cuboid; everything else
+// is one probe per query.
+func (b *batcher) execute(batch []*request) {
+	points := make(map[lattice.Mask][]*request)
+	probes, valid := 0, 0
+	for _, r := range batch {
+		if err := r.q.validate(b.store.d); err != nil {
+			r.resp <- response{err: err}
+			continue
+		}
+		valid++
+		if r.q.Op == OpPoint {
+			points[r.q.Mask] = append(points[r.q.Mask], r)
+			continue
+		}
+		res, err := b.store.Execute(r.q)
+		probes++
+		r.resp <- response{res: res, err: err}
+	}
+	for mask, reqs := range points {
+		keys := make([][]relation.Value, len(reqs))
+		for i, r := range reqs {
+			keys[i] = r.q.Packed
+		}
+		results := b.store.PointBatch(mask, keys)
+		probes++
+		for i, r := range reqs {
+			r.resp <- response{res: results[i]}
+		}
+	}
+	b.metrics.batch(valid, probes)
+}

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/spcube/spcube/internal/lattice"
+)
+
+func TestBatcherCoalescesSameCuboidPoints(t *testing.T) {
+	st, brute, rel := buildStore(t, 400, 3, 4)
+	full := lattice.Full(rel.D())
+	groups := brute.Cuboid(full)
+	m := &Counters{}
+	// A long window so concurrently submitted queries reliably share a batch.
+	b := newBatcher(st, 50*time.Millisecond, 64, m)
+	defer b.close()
+
+	const n = 8
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g := groups[i%len(groups)]
+			<-start
+			res, err := b.do(Query{Op: OpPoint, Mask: full, Packed: g.Packed})
+			if err != nil || !res.Found || res.Value != g.Value {
+				t.Errorf("point %v = %+v, %v (want %v)", g.Packed, res, err, g.Value)
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	if got := m.batchedQueries.Load(); got != n {
+		t.Fatalf("batchedQueries = %d, want %d", got, n)
+	}
+	// All n points target one cuboid: however the requests split into
+	// batches, each batch costs exactly one probe, and with the generous
+	// window they should land in far fewer batches than queries.
+	if probes, batches := m.probes.Load(), m.batches.Load(); probes != batches {
+		t.Fatalf("probes = %d, batches = %d: same-cuboid points did not share probes", probes, batches)
+	}
+	if m.Coalesced() == 0 {
+		t.Fatal("no queries were coalesced")
+	}
+}
+
+func TestBatcherMixedOps(t *testing.T) {
+	st, brute, rel := buildStore(t, 200, 3, 3)
+	full := lattice.Full(rel.D())
+	g := brute.Cuboid(full)[0]
+	m := &Counters{}
+	b := newBatcher(st, 20*time.Millisecond, 64, m)
+	defer b.close()
+
+	var wg sync.WaitGroup
+	run := func(q Query, check func(Result, error)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			check(b.do(q))
+		}()
+	}
+	run(Query{Op: OpSlice, Mask: full, Packed: g.Packed[:1]}, func(r Result, err error) {
+		if err != nil || len(r.Groups) == 0 {
+			t.Errorf("slice: %+v, %v", r, err)
+		}
+	})
+	run(Query{Op: OpRollup, Mask: full, Packed: g.Packed}, func(r Result, err error) {
+		if err != nil || len(r.Groups) != rel.D()+1 {
+			t.Errorf("rollup: %+v, %v", r, err)
+		}
+	})
+	run(Query{Op: OpTopK, Mask: full, K: 2}, func(r Result, err error) {
+		if err != nil || len(r.Groups) != 2 {
+			t.Errorf("topk: %+v, %v", r, err)
+		}
+	})
+	// Invalid queries are answered individually and not counted as batched.
+	run(Query{Op: OpPoint, Mask: lattice.Full(rel.D()) + 1}, func(r Result, err error) {
+		if err == nil {
+			t.Error("invalid mask accepted")
+		}
+	})
+	wg.Wait()
+	if got := m.batchedQueries.Load(); got != 3 {
+		t.Fatalf("batchedQueries = %d, want 3 (invalid query must not count)", got)
+	}
+}
+
+func TestBatcherClose(t *testing.T) {
+	st, _, _ := buildStore(t, 50, 2, 3)
+	b := newBatcher(st, time.Millisecond, 8, nil)
+	if _, err := b.do(Query{Op: OpTopK, Mask: 1, K: 1}); err != nil {
+		t.Fatalf("query before close: %v", err)
+	}
+	b.close()
+	b.close() // idempotent
+	if _, err := b.do(Query{Op: OpTopK, Mask: 1, K: 1}); err != ErrClosed {
+		t.Fatalf("query after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestBatcherMaxBatchBound(t *testing.T) {
+	st, brute, rel := buildStore(t, 200, 2, 4)
+	full := lattice.Full(rel.D())
+	groups := brute.Cuboid(full)
+	m := &Counters{}
+	b := newBatcher(st, time.Hour, 2, m) // only the size bound can release a batch
+	defer b.close()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g := groups[i%len(groups)]
+			if res, err := b.do(Query{Op: OpPoint, Mask: full, Packed: g.Packed}); err != nil || !res.Found {
+				t.Errorf("point: %+v, %v", res, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := m.batches.Load(); got != 2 {
+		t.Fatalf("batches = %d, want 2 with maxBatch=2", got)
+	}
+}

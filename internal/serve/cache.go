@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/binary"
+	"sync"
+)
+
+// cacheKey encodes a query as a compact byte-string cache key: op, k, mask,
+// value count, values. Results are deterministic functions of the query over
+// an immutable Store, so the key fully identifies the answer.
+func cacheKey(q Query) string {
+	buf := make([]byte, 0, 8+5*len(q.Packed))
+	buf = append(buf, byte(q.Op))
+	buf = binary.AppendUvarint(buf, uint64(q.K))
+	buf = binary.AppendUvarint(buf, uint64(q.Mask))
+	buf = binary.AppendUvarint(buf, uint64(len(q.Packed)))
+	for _, v := range q.Packed {
+		buf = binary.AppendUvarint(buf, uint64(uint32(v)))
+	}
+	return string(buf)
+}
+
+// flight is one cache slot: either a completed result or an in-flight
+// evaluation other callers can wait on (single-flight).
+type flight struct {
+	key  string
+	done chan struct{} // closed when res/err are set
+	res  Result
+	err  error
+}
+
+// cache is a single-flight LRU result cache. The first lookup of a key
+// starts the evaluation; concurrent lookups of the same key block on the
+// same flight instead of re-evaluating; later lookups hit the stored result
+// until the entry ages out of the LRU window. Failed evaluations are not
+// cached.
+type cache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recent; values are *flight
+	byKey   map[string]*list.Element
+	metrics *Counters
+}
+
+func newCache(max int, m *Counters) *cache {
+	if max <= 0 {
+		max = 4096
+	}
+	return &cache{max: max, ll: list.New(), byKey: make(map[string]*list.Element), metrics: m}
+}
+
+// do returns the cached result of key, joining an in-flight evaluation when
+// one exists, and otherwise evaluates fn (at most one evaluation per key at
+// a time).
+func (c *cache) do(key string, fn func() (Result, error)) (Result, error) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		f := el.Value.(*flight)
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			// Completed entry: a plain hit.
+			c.metrics.cacheHit()
+		default:
+			// In flight: wait for the evaluation we share.
+			c.metrics.flightShared()
+			<-f.done
+		}
+		return f.res, f.err
+	}
+	f := &flight{key: key, done: make(chan struct{})}
+	el := c.ll.PushFront(f)
+	c.byKey[key] = el
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*flight).key)
+	}
+	c.mu.Unlock()
+	c.metrics.cacheMiss()
+
+	f.res, f.err = fn()
+	close(f.done)
+	if f.err != nil {
+		// Errors are returned to every waiter of this flight but not
+		// retained: the next lookup re-evaluates.
+		c.mu.Lock()
+		if el2, ok := c.byKey[key]; ok && el2.Value.(*flight) == f {
+			c.ll.Remove(el2)
+			delete(c.byKey, key)
+		}
+		c.mu.Unlock()
+	}
+	return f.res, f.err
+}
+
+// len returns the number of resident entries (including in-flight ones).
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

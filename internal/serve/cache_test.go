@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/spcube/spcube/internal/relation"
+)
+
+func TestCacheSingleFlight(t *testing.T) {
+	m := &Counters{}
+	c := newCache(8, m)
+	const waiters = 7
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var evals atomic.Int32
+
+	var wg sync.WaitGroup
+	results := make([]Result, waiters+1)
+	errs := make([]error, waiters+1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[0], errs[0] = c.do("k", func() (Result, error) {
+			close(started)
+			evals.Add(1)
+			<-release
+			return Result{Found: true, Value: 42}, nil
+		})
+	}()
+	<-started
+	// Every lookup issued while the evaluation is in flight must join it.
+	joined := make(chan struct{}, waiters)
+	for i := 1; i <= waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			joined <- struct{}{}
+			results[i], errs[i] = c.do("k", func() (Result, error) {
+				evals.Add(1)
+				return Result{}, fmt.Errorf("re-evaluated")
+			})
+		}(i)
+	}
+	for i := 0; i < waiters; i++ {
+		<-joined
+	}
+	close(release)
+	wg.Wait()
+
+	if n := evals.Load(); n != 1 {
+		t.Fatalf("%d evaluations, want 1", n)
+	}
+	for i := range results {
+		if errs[i] != nil || !results[i].Found || results[i].Value != 42 {
+			t.Fatalf("caller %d got %+v, %v", i, results[i], errs[i])
+		}
+	}
+	if m.cacheMisses.Load() != 1 {
+		t.Fatalf("misses = %d, want 1", m.cacheMisses.Load())
+	}
+	if hits, shared := m.cacheHits.Load(), m.flightsShared.Load(); hits+shared != waiters {
+		t.Fatalf("hits=%d shared=%d, want total %d", hits, shared, waiters)
+	}
+	// A lookup after completion is a plain hit.
+	if res, err := c.do("k", func() (Result, error) { return Result{}, fmt.Errorf("no") }); err != nil || res.Value != 42 {
+		t.Fatalf("post-completion lookup: %+v, %v", res, err)
+	}
+	if m.CacheHits() != waiters+1 {
+		t.Fatalf("CacheHits = %d, want %d", m.CacheHits(), waiters+1)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	m := &Counters{}
+	c := newCache(2, m)
+	val := func(v float64) func() (Result, error) {
+		return func() (Result, error) { return Result{Found: true, Value: v}, nil }
+	}
+	c.do("a", val(1))
+	c.do("b", val(2))
+	c.do("c", val(3)) // evicts "a"
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.len())
+	}
+	misses := m.cacheMisses.Load()
+	if res, _ := c.do("a", val(10)); res.Value != 10 {
+		t.Fatalf("evicted key served stale value %v", res.Value)
+	}
+	if m.cacheMisses.Load() != misses+1 {
+		t.Fatal("evicted key did not re-evaluate")
+	}
+	// "b" was evicted by re-inserting "a"; "c" is still resident.
+	if res, _ := c.do("c", val(99)); res.Value != 3 {
+		t.Fatalf("resident key re-evaluated: %v", res.Value)
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := newCache(4, nil) // nil metrics must be safe
+	boom := fmt.Errorf("boom")
+	if _, err := c.do("k", func() (Result, error) { return Result{}, boom }); err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.len() != 0 {
+		t.Fatalf("failed evaluation retained (%d entries)", c.len())
+	}
+	if res, err := c.do("k", func() (Result, error) { return Result{Found: true, Value: 7}, nil }); err != nil || res.Value != 7 {
+		t.Fatalf("retry after error: %+v, %v", res, err)
+	}
+}
+
+func TestCacheKeyDistinguishesQueries(t *testing.T) {
+	pv := func(vs ...relation.Value) []relation.Value { return vs }
+	qs := []Query{
+		{Op: OpPoint, Mask: 3},
+		{Op: OpSlice, Mask: 3},
+		{Op: OpTopK, Mask: 3, K: 5},
+		{Op: OpTopK, Mask: 3, K: 6},
+		{Op: OpPoint, Mask: 3, Packed: pv(1, 2)},
+		{Op: OpPoint, Mask: 3, Packed: pv(2, 1)},
+		{Op: OpPoint, Mask: 5, Packed: pv(1, 2)},
+	}
+	seen := make(map[string]int)
+	for i, q := range qs {
+		k := cacheKey(q)
+		if j, dup := seen[k]; dup {
+			t.Fatalf("queries %d and %d share cache key %q", j, i, k)
+		}
+		seen[k] = i
+	}
+}

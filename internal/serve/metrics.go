@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+)
+
+// MetricsSchemaVersion versions the serving-metrics JSON document
+// (Counters.Snapshot). Bump it when fields change meaning or disappear;
+// adding fields is compatible.
+const MetricsSchemaVersion = 1
+
+// Counters is the serving layer's always-on metrics: cheap atomic counters
+// incremented on the query path, snapshotted into a versioned JSON document
+// for the /v1/stats endpoint and the obs /debug/serve route. The zero value
+// is ready to use; a nil *Counters is a valid no-op sink.
+type Counters struct {
+	queries [numOps]atomic.Int64
+	errors  atomic.Int64
+
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	flightsShared atomic.Int64
+
+	batches        atomic.Int64
+	batchedQueries atomic.Int64
+	coalesced      atomic.Int64
+	probes         atomic.Int64
+}
+
+func (c *Counters) query(op Op) {
+	if c != nil && int(op) < numOps {
+		c.queries[op].Add(1)
+	}
+}
+
+func (c *Counters) queryError() {
+	if c != nil {
+		c.errors.Add(1)
+	}
+}
+
+func (c *Counters) cacheHit() {
+	if c != nil {
+		c.cacheHits.Add(1)
+	}
+}
+
+func (c *Counters) cacheMiss() {
+	if c != nil {
+		c.cacheMisses.Add(1)
+	}
+}
+
+func (c *Counters) flightShared() {
+	if c != nil {
+		c.flightsShared.Add(1)
+	}
+}
+
+// batch records one executed batch: n queries answered with p index probes.
+func (c *Counters) batch(n, p int) {
+	if c != nil {
+		c.batches.Add(1)
+		c.batchedQueries.Add(int64(n))
+		c.coalesced.Add(int64(n - p))
+		c.probes.Add(int64(p))
+	}
+}
+
+// CacheHits returns the cache-hit count (hits on completed entries plus
+// single-flight waiters that shared an in-flight evaluation).
+func (c *Counters) CacheHits() int64 { return c.cacheHits.Load() + c.flightsShared.Load() }
+
+// Coalesced returns how many batched queries shared another query's index
+// probe (the batch size minus one probe per distinct cuboid key set).
+func (c *Counters) Coalesced() int64 { return c.coalesced.Load() }
+
+// Stats is the serving metrics document.
+type Stats struct {
+	SchemaVersion int              `json:"schemaVersion"`
+	Tool          string           `json:"tool"`
+	Queries       map[string]int64 `json:"queries"`
+	Errors        int64            `json:"errors"`
+	// CacheHits counts lookups answered from a completed cache entry;
+	// FlightsShared counts lookups that joined an in-flight evaluation of
+	// the same query (single-flight coalescing); CacheMisses counts
+	// evaluations actually started.
+	CacheHits     int64 `json:"cacheHits"`
+	CacheMisses   int64 `json:"cacheMisses"`
+	FlightsShared int64 `json:"flightsShared"`
+	// Batches counts executed batches, BatchedQueries the queries they
+	// carried, Probes the index probes they cost, and Coalesced the
+	// queries that rode along on another query's probe
+	// (BatchedQueries - Probes).
+	Batches        int64 `json:"batches"`
+	BatchedQueries int64 `json:"batchedQueries"`
+	Probes         int64 `json:"probes"`
+	Coalesced      int64 `json:"coalesced"`
+	// Groups and Cuboids describe the served snapshot (0 when the
+	// counters are not attached to a store).
+	Groups  int `json:"groups,omitempty"`
+	Cuboids int `json:"cuboids,omitempty"`
+}
+
+// Snapshot materializes the current counter values.
+func (c *Counters) Snapshot() Stats {
+	s := Stats{
+		SchemaVersion: MetricsSchemaVersion,
+		Tool:          "spserve",
+		Queries:       make(map[string]int64, numOps),
+	}
+	if c == nil {
+		return s
+	}
+	for op := Op(0); op < numOps; op++ {
+		s.Queries[op.String()] = c.queries[op].Load()
+	}
+	s.Errors = c.errors.Load()
+	s.CacheHits = c.cacheHits.Load()
+	s.CacheMisses = c.cacheMisses.Load()
+	s.FlightsShared = c.flightsShared.Load()
+	s.Batches = c.batches.Load()
+	s.BatchedQueries = c.batchedQueries.Load()
+	s.Probes = c.probes.Load()
+	s.Coalesced = c.coalesced.Load()
+	return s
+}
+
+// StatsHandler serves the counters as an indented JSON Stats document,
+// annotated with the store's snapshot shape. Either argument may be nil.
+func StatsHandler(c *Counters, store *Store) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s := c.Snapshot()
+		if store != nil {
+			s.Groups = store.Groups()
+			s.Cuboids = len(store.byMask)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s)
+	})
+}

@@ -1,0 +1,113 @@
+package serve
+
+import "time"
+
+// Config parameterizes a batched service.
+type Config struct {
+	// CacheEntries bounds the single-flight LRU result cache
+	// (default 4096). Set negative to disable caching.
+	CacheEntries int
+	// BatchWindow is how long a forming batch waits for more queries
+	// after its first (default 100µs). Under saturation batches fill to
+	// MaxBatch before the window expires, so the window only taxes idle
+	// traffic.
+	BatchWindow time.Duration
+	// MaxBatch bounds one batch (default 128).
+	MaxBatch int
+	// Counters receives the service's metrics; nil allocates a private
+	// set (reachable via Counters()).
+	Counters *Counters
+}
+
+// Batched is the production Service: a single-flight LRU cache in front of a
+// coalescing request batcher in front of the store. Identical concurrent
+// queries cost one evaluation; distinct concurrent point queries against the
+// same cuboid cost one index probe per batch.
+type Batched struct {
+	store   *Store
+	cache   *cache // nil when caching is disabled
+	batcher *batcher
+	metrics *Counters
+}
+
+var _ Service = (*Batched)(nil)
+
+// NewService builds a batched service over a store.
+func NewService(store *Store, cfg Config) *Batched {
+	m := cfg.Counters
+	if m == nil {
+		m = &Counters{}
+	}
+	s := &Batched{
+		store:   store,
+		batcher: newBatcher(store, cfg.BatchWindow, cfg.MaxBatch, m),
+		metrics: m,
+	}
+	if cfg.CacheEntries >= 0 {
+		s.cache = newCache(cfg.CacheEntries, m)
+	}
+	return s
+}
+
+// Counters returns the service's metrics.
+func (s *Batched) Counters() *Counters { return s.metrics }
+
+// Store returns the served snapshot.
+func (s *Batched) Store() *Store { return s.store }
+
+// Query answers one query through the cache and batcher.
+func (s *Batched) Query(q Query) (Result, error) {
+	if err := q.validate(s.store.d); err != nil {
+		s.metrics.queryError()
+		return Result{}, err
+	}
+	s.metrics.query(q.Op)
+	if q.Op == OpTopK && q.K == 0 {
+		q.K = DefaultTopK // canonicalize so k=0 and k=DefaultTopK share a cache entry
+	}
+	if s.cache == nil {
+		return s.batcher.do(q)
+	}
+	res, err := s.cache.do(cacheKey(q), func() (Result, error) {
+		return s.batcher.do(q)
+	})
+	if err != nil {
+		s.metrics.queryError()
+	}
+	return res, err
+}
+
+// Close stops the batcher; queries after Close return ErrClosed.
+func (s *Batched) Close() error {
+	s.batcher.close()
+	return nil
+}
+
+// Direct is the unbatched, uncached Service: every query is evaluated
+// immediately against the store. It exists as the baseline the batched
+// service is differentially tested (and benchmarked) against.
+type Direct struct {
+	store   *Store
+	metrics *Counters
+}
+
+var _ Service = (*Direct)(nil)
+
+// NewDirect builds a direct service over a store; m may be nil.
+func NewDirect(store *Store, m *Counters) *Direct {
+	return &Direct{store: store, metrics: m}
+}
+
+// Query evaluates one query immediately.
+func (s *Direct) Query(q Query) (Result, error) {
+	res, err := s.store.Execute(q)
+	if err != nil {
+		s.metrics.queryError()
+		return res, err
+	}
+	s.metrics.query(q.Op)
+	return res, nil
+}
+
+// Close is a no-op.
+func (s *Direct) Close() error { return nil }

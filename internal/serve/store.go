@@ -1,0 +1,341 @@
+package serve
+
+import (
+	"math/bits"
+	"sort"
+	"strconv"
+
+	"github.com/spcube/spcube/internal/cube"
+	"github.com/spcube/spcube/internal/lattice"
+	"github.com/spcube/spcube/internal/relation"
+)
+
+// Store is a read-optimized, immutable index over one computed cube. Each
+// cuboid's groups are held as a sorted run — packed values flattened
+// row-major into one array, ordered by relation.ComparePacked — probed by
+// binary search (range scans for slices, a shared galloping pass for batched
+// points), plus a small hash index from encoded group key to row for direct
+// point lookups. The group-key strings of the hash index alias the ingested
+// cube.Result's keys, so the index costs map overhead, not key copies.
+//
+// A Store is safe for unlimited concurrent readers; it is never mutated
+// after Build.
+type Store struct {
+	d      int
+	schema relation.Schema
+	dict   *relation.Dictionary
+	byMask map[lattice.Mask]*cuboid
+	point  map[string]rowRef
+	groups int
+}
+
+// rowRef locates one group: its cuboid and row within the sorted run.
+type rowRef struct {
+	mask lattice.Mask
+	row  int32
+}
+
+// cuboid is one cuboid's sorted run.
+type cuboid struct {
+	mask   lattice.Mask
+	stride int              // values per row (the mask's popcount)
+	packed []relation.Value // len = stride * rows, sorted by ComparePacked
+	vals   []float64
+}
+
+// rows returns the number of groups in the cuboid.
+func (c *cuboid) rows() int { return len(c.vals) }
+
+// row returns row i's packed values (aliasing the run).
+func (c *cuboid) row(i int) []relation.Value {
+	return c.packed[i*c.stride : (i+1)*c.stride]
+}
+
+// Build indexes a computed cube for serving. The relation supplies the
+// schema and dictionary used by the HTTP front end to translate between
+// strings and codes; the result supplies the groups. The result's key
+// strings are retained (aliased) by the point index.
+func Build(rel *relation.Relation, res *cube.Result) (*Store, error) {
+	st := &Store{
+		d:      res.D,
+		schema: rel.Schema,
+		dict:   rel.Dict,
+		byMask: make(map[lattice.Mask]*cuboid),
+		point:  make(map[string]rowRef, len(res.Groups)),
+		groups: len(res.Groups),
+	}
+	type entry struct {
+		key    string
+		packed []relation.Value
+	}
+	perMask := make(map[lattice.Mask][]entry)
+	for key := range res.Groups {
+		mask, packed, err := relation.DecodeGroupKey(key)
+		if err != nil {
+			return nil, err
+		}
+		perMask[lattice.Mask(mask)] = append(perMask[lattice.Mask(mask)], entry{key, packed})
+	}
+	for mask, entries := range perMask {
+		sort.Slice(entries, func(i, j int) bool {
+			return relation.ComparePacked(entries[i].packed, entries[j].packed) < 0
+		})
+		c := &cuboid{
+			mask:   mask,
+			stride: mask.Level(),
+			packed: make([]relation.Value, 0, len(entries)*mask.Level()),
+			vals:   make([]float64, 0, len(entries)),
+		}
+		for i, e := range entries {
+			c.packed = append(c.packed, e.packed...)
+			c.vals = append(c.vals, res.Groups[e.key])
+			st.point[e.key] = rowRef{mask: mask, row: int32(i)}
+		}
+		st.byMask[mask] = c
+	}
+	return st, nil
+}
+
+// D returns the cube's dimension count.
+func (s *Store) D() int { return s.d }
+
+// Schema returns the served relation's schema.
+func (s *Store) Schema() relation.Schema { return s.schema }
+
+// Groups returns the total number of groups across all cuboids.
+func (s *Store) Groups() int { return s.groups }
+
+// Cuboids returns the materialized cuboid masks in canonical BFS order,
+// with their group counts.
+func (s *Store) Cuboids() []CuboidInfo {
+	out := make([]CuboidInfo, 0, len(s.byMask))
+	for mask, c := range s.byMask {
+		out = append(out, CuboidInfo{Mask: mask, Size: c.rows()})
+	}
+	sort.Slice(out, func(i, j int) bool { return lattice.BFSLess(out[i].Mask, out[j].Mask) })
+	return out
+}
+
+// CuboidInfo describes one materialized cuboid.
+type CuboidInfo struct {
+	Mask lattice.Mask
+	Size int
+}
+
+// DimString renders an encoded dimension value for display, falling back to
+// the numeric form when the relation carried no dictionary.
+func (s *Store) DimString(col int, v relation.Value) string {
+	if s.dict != nil {
+		if str, ok := s.dict.Decode(col, v); ok {
+			return str
+		}
+	}
+	return relationValueString(v)
+}
+
+// DimCode resolves a dimension value string to its code: through the
+// dictionary when one exists, else as a literal integer.
+func (s *Store) DimCode(col int, str string) (relation.Value, bool) {
+	if s.dict != nil {
+		if v, ok := s.dict.Code(col, str); ok {
+			return v, true
+		}
+	}
+	return parseRelationValue(str)
+}
+
+// DimValues returns up to max distinct served values of dimension col (as
+// display strings), read from the single-attribute cuboid's sorted run. With
+// an iceberg cube this can under-report rare values; it exists to give load
+// generators and UIs a realistic key population, not an exact domain.
+func (s *Store) DimValues(col, max int) []string {
+	c, ok := s.byMask[lattice.Mask(1)<<uint(col)]
+	if !ok {
+		return nil
+	}
+	n := c.rows()
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.DimString(col, c.row(i)[0])
+	}
+	return out
+}
+
+// Point looks up one group through the hash index.
+func (s *Store) Point(mask lattice.Mask, packed []relation.Value) (float64, bool) {
+	ref, ok := s.point[relation.GroupKeyPacked(uint32(mask), packed)]
+	if !ok {
+		return 0, false
+	}
+	return s.byMask[ref.mask].vals[ref.row], true
+}
+
+// PointQuery locates one point query's row in the sorted runs by binary
+// search (the non-batched fallback path; Execute and tests use it to
+// cross-check the hash index).
+func (s *Store) pointSearch(mask lattice.Mask, packed []relation.Value) (float64, bool) {
+	c, ok := s.byMask[mask]
+	if !ok {
+		return 0, false
+	}
+	i := sort.Search(c.rows(), func(i int) bool {
+		return relation.ComparePacked(c.row(i), packed) >= 0
+	})
+	if i < c.rows() && relation.ComparePacked(c.row(i), packed) == 0 {
+		return c.vals[i], true
+	}
+	return 0, false
+}
+
+// PointBatch answers many point queries against one cuboid in a single
+// galloping pass over its sorted run: the requested keys are visited in
+// sorted order and each binary search is restricted to the run's remaining
+// suffix. Results are returned in the input order. This is the probe the
+// request batcher coalesces concurrent same-cuboid queries into.
+func (s *Store) PointBatch(mask lattice.Mask, keys [][]relation.Value) []Result {
+	out := make([]Result, len(keys))
+	c, ok := s.byMask[mask]
+	if !ok {
+		return out
+	}
+	order := make([]int, len(keys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return relation.ComparePacked(keys[order[i]], keys[order[j]]) < 0
+	})
+	lo, n := 0, c.rows()
+	for _, qi := range order {
+		key := keys[qi]
+		i := lo + sort.Search(n-lo, func(i int) bool {
+			return relation.ComparePacked(c.row(lo+i), key) >= 0
+		})
+		if i < n && relation.ComparePacked(c.row(i), key) == 0 {
+			out[qi] = Result{Found: true, Value: c.vals[i]}
+		}
+		lo = i
+	}
+	return out
+}
+
+// Slice returns every group of the cuboid whose packed values start with
+// prefix, in sorted order. An empty prefix returns the whole cuboid.
+func (s *Store) Slice(mask lattice.Mask, prefix []relation.Value) []Group {
+	c, ok := s.byMask[mask]
+	if !ok {
+		return nil
+	}
+	p := len(prefix)
+	cmp := func(i int) int { return relation.ComparePacked(c.row(i)[:p], prefix) }
+	lo := sort.Search(c.rows(), func(i int) bool { return cmp(i) >= 0 })
+	hi := lo + sort.Search(c.rows()-lo, func(i int) bool { return cmp(lo+i) > 0 })
+	if lo == hi {
+		return nil
+	}
+	out := make([]Group, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, s.group(c, i))
+	}
+	return out
+}
+
+// Rollup returns the chain from the queried group up to the apex, dropping
+// the highest grouped attribute at each step (the classic ROLLUP shape over
+// ascending attribute order). Groups absent from the cube (e.g. pruned by an
+// iceberg threshold) are skipped.
+func (s *Store) Rollup(mask lattice.Mask, packed []relation.Value) []Group {
+	out := make([]Group, 0, mask.Level()+1)
+	for {
+		if v, ok := s.Point(mask, packed); ok {
+			cp := make([]relation.Value, len(packed))
+			copy(cp, packed)
+			out = append(out, Group{Mask: mask, Packed: cp, Value: v})
+		}
+		if mask == 0 {
+			return out
+		}
+		// Drop the highest set bit (the last packed value).
+		top := 31 - bits.LeadingZeros32(uint32(mask))
+		mask &^= lattice.Mask(1) << uint(top)
+		packed = packed[:len(packed)-1]
+	}
+}
+
+// TopK returns the cuboid's k largest groups by aggregate value, ties broken
+// by ascending packed values so the answer is deterministic.
+func (s *Store) TopK(mask lattice.Mask, k int) []Group {
+	c, ok := s.byMask[mask]
+	if !ok || k <= 0 {
+		return nil
+	}
+	order := make([]int, c.rows())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if c.vals[a] != c.vals[b] {
+			return c.vals[a] > c.vals[b]
+		}
+		return a < b // rows are already in ascending packed order
+	})
+	if k > len(order) {
+		k = len(order)
+	}
+	out := make([]Group, k)
+	for i := 0; i < k; i++ {
+		out[i] = s.group(c, order[i])
+	}
+	return out
+}
+
+// group materializes row i of a cuboid as a Group (copying the packed
+// values, so results never alias the run).
+func (s *Store) group(c *cuboid, i int) Group {
+	r := c.row(i)
+	cp := make([]relation.Value, len(r))
+	copy(cp, r)
+	return Group{Mask: c.mask, Packed: cp, Value: c.vals[i]}
+}
+
+// Execute evaluates one query directly against the index, with no batching
+// or caching. It is the evaluation core the Service implementations share.
+func (s *Store) Execute(q Query) (Result, error) {
+	if err := q.validate(s.d); err != nil {
+		return Result{}, err
+	}
+	switch q.Op {
+	case OpPoint:
+		v, ok := s.Point(q.Mask, q.Packed)
+		return Result{Found: ok, Value: v}, nil
+	case OpSlice:
+		return Result{Groups: s.Slice(q.Mask, q.Packed)}, nil
+	case OpRollup:
+		return Result{Groups: s.Rollup(q.Mask, q.Packed)}, nil
+	default: // OpTopK; validate rejected everything else
+		k := q.K
+		if k == 0 {
+			k = DefaultTopK
+		}
+		return Result{Groups: s.TopK(q.Mask, k)}, nil
+	}
+}
+
+// relationValueString renders an encoded value with no dictionary.
+func relationValueString(v relation.Value) string {
+	return strconv.FormatInt(int64(v), 10)
+}
+
+// parseRelationValue parses a literal integer dimension value (the encoding
+// used by relations populated without a dictionary).
+func parseRelationValue(s string) (relation.Value, bool) {
+	n, err := strconv.ParseInt(s, 10, 32)
+	if err != nil {
+		return 0, false
+	}
+	return relation.Value(n), true
+}
