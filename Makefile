@@ -3,10 +3,10 @@
 GO ?= go
 
 .PHONY: check fmt vet build test race retry-race fuzz-smoke chaos bench \
-	bench-json bench-hotpath bench-hotpath-json bench-compare \
-	serve-smoke cover-serve lint
+	bench-json bench-delta bench-hotpath bench-hotpath-json bench-compare \
+	serve-smoke cover-serve cover-delta delta-soak lint
 
-check: fmt vet race fuzz-smoke chaos serve-smoke cover-serve
+check: fmt vet race fuzz-smoke chaos serve-smoke cover-serve cover-delta delta-soak
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -32,9 +32,11 @@ retry-race:
 	$(GO) test -race -count=2 -run 'Fault|Differential' ./...
 
 # Short fuzz of the cube-equivalence oracle (relation shape x fault
-# coordinate vs brute force).
+# coordinate vs brute force) and of the delta-maintenance oracle (batch
+# composition x aggregate x rebuild threshold vs recompute).
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzCubeEquivalence -fuzztime=10s ./internal/integration
+	$(GO) test -run=NONE -fuzz=FuzzDeltaEquivalence -fuzztime=10s ./internal/integration
 
 # Randomized fault-plan soak: deterministically generated multi-fault plans
 # (every task-fault kind, whole-node crashes, speculation, task timeouts)
@@ -50,6 +52,21 @@ bench:
 bench-json:
 	$(GO) run ./cmd/spbench -exp fig6 -scale 0.05 -metrics-out BENCH_fig6.json > /dev/null
 	$(GO) run ./cmd/spbench -validate BENCH_fig6.json
+
+# Delta-maintenance benchmark artifact: a 1% batch applied by delta-merge
+# (delta job + serving-layer patch + swap) against a full rebuild, with a
+# committed >= 5x speedup floor enforced by the validator.
+bench-delta:
+	$(GO) run ./cmd/spbench -delta-out BENCH_delta.json
+	$(GO) run ./cmd/spbench -validate-delta BENCH_delta.json
+
+# Randomized incremental-maintenance soak: chaos-faulted delta cycles with
+# appends and deletes feeding the serving store through patch + swap, each
+# cycle verified exactly against brute force; failing cycles must leave the
+# served cube untouched.
+SOAK_CYCLES ?= 40
+delta-soak:
+	SPCUBE_SOAK_CYCLES=$(SOAK_CYCLES) $(GO) test -count=1 -run TestDeltaSoak ./internal/integration
 
 # Hot-path micro-benchmarks of the MR engine's data plane (shuffle merge,
 # partitioner, combiner, end-to-end naive cube). BENCH_COUNT runs each.
@@ -99,6 +116,20 @@ cover-serve:
 	awk -v got="$$pct" -v min="$(COVER_SERVE_MIN)" \
 		'BEGIN { if (got + 0 < min + 0) { exit 1 } }' \
 		|| { echo "internal/serve coverage $$pct% is below $(COVER_SERVE_MIN)%" >&2; exit 1; }
+
+# Coverage gate for the maintenance layer: the delta/rebuild decision logic
+# and merge paths must stay above 80% statement coverage.
+COVER_DELTA_MIN ?= 80.0
+cover-delta:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) test -count=1 -coverprofile="$$tmp/delta.out" ./internal/delta/; \
+	pct=$$($(GO) tool cover -func="$$tmp/delta.out" | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "internal/delta coverage: $$pct% (minimum $(COVER_DELTA_MIN)%)"; \
+	awk -v got="$$pct" -v min="$(COVER_DELTA_MIN)" \
+		'BEGIN { if (got + 0 < min + 0) { exit 1 } }' \
+		|| { echo "internal/delta coverage $$pct% is below $(COVER_DELTA_MIN)%" >&2; exit 1; }
 
 # Static analysis and known-vulnerability scan, pinned so CI and local runs
 # agree. Both tools are fetched by `go run`, so the first run needs network.

@@ -67,9 +67,55 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceFile  = fs.String("trace", "", "write structured engine trace events (JSON lines) to this file")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof and /debug/runtime on this address (e.g. localhost:6060)")
 		validate   = fs.String("validate", "", "validate a metrics JSON document and exit (no experiments are run)")
+		deltaOut   = fs.String("delta-out", "", "run the delta-maintenance benchmark (1% batch: delta-merge vs full rebuild) and write its JSON document to this file")
+		valDelta   = fs.String("validate-delta", "", "validate a delta-benchmark JSON document (including the speedup floor) and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *valDelta != "" {
+		data, err := os.ReadFile(*valDelta)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := bench.ValidateDeltaJSON(data); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%s: valid delta-benchmark document (schema version %d, speedup floor %.0fx)\n",
+			*valDelta, bench.DeltaSchemaVersion, bench.MinDeltaSpeedup)
+		return 0
+	}
+
+	if *deltaOut != "" {
+		doc, err := bench.RunDeltaBench(bench.DeltaConfig{
+			BaseTuples:  int(20000 * *scale),
+			Workers:     *workers,
+			Seed:        *seed,
+			Parallelism: *par,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		f, err := os.Create(*deltaOut)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		werr := bench.WriteDeltaDoc(f, doc)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, werr)
+			return 1
+		}
+		fmt.Fprintf(stdout, "delta-merge %.4fs vs rebuild %.4fs: %.1fx speedup (%d-tuple batch over %d base tuples)\n",
+			doc.DeltaSeconds, doc.RebuildSeconds, doc.Speedup, doc.DeltaTuples, doc.BaseTuples)
+		return 0
 	}
 
 	if *validate != "" {

@@ -40,6 +40,18 @@
 //
 //	spcube -in sales.csv -trace trace.jsonl -metrics-out metrics.json
 //	spcube -in big.csv -pprof localhost:6060 &
+//
+// Incremental maintenance: -delta FILE applies the rows of FILE (same CSV
+// shape as the base input) as an append batch AFTER the initial cube is
+// built, through the delta-cube maintenance layer — a small cube job over
+// the batch merged into the base cube, or a full rebuild when the batch's
+// SP-Sketch drift exceeds -rebuild-threshold. -delta-delete FILE deletes its
+// rows instead (they must exist in the base input). The emitted cube is the
+// maintained (post-batch) cube and the stats line reports the chosen mode
+// and measured drift:
+//
+//	spcube -in sales.csv -delta monday.csv -o cube.csv
+//	spcube -in sales.csv -delta-delete returns.csv -rebuild-threshold 0.3
 package main
 
 import (
@@ -48,10 +60,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 
 	"github.com/spcube/spcube"
+	"github.com/spcube/spcube/internal/agg"
+	"github.com/spcube/spcube/internal/cube"
+	"github.com/spcube/spcube/internal/delta"
+	"github.com/spcube/spcube/internal/lattice"
+	"github.com/spcube/spcube/internal/mr"
 	"github.com/spcube/spcube/internal/obs"
+	"github.com/spcube/spcube/internal/relation"
 )
 
 func main() {
@@ -71,6 +90,9 @@ func main() {
 	flag.Float64Var(&o.taskTimeout, "task-timeout", 0, "kill and retry task attempts stalled longer than this many simulated seconds (0 = disabled)")
 	flag.StringVar(&o.traceFile, "trace", "", "write structured engine trace events (JSON lines) to this file")
 	flag.StringVar(&o.metricsFile, "metrics-out", "", "write the run's per-round metrics (versioned JSON) to this file")
+	flag.StringVar(&o.deltaFile, "delta", "", "CSV of rows to append as an incremental-maintenance batch after the initial build")
+	flag.StringVar(&o.deltaDeleteFile, "delta-delete", "", "CSV of rows to delete as part of the maintenance batch (rows must exist in the base input)")
+	flag.Float64Var(&o.rebuildThr, "rebuild-threshold", 0, "sketch-drift level above which the batch is applied by full rebuild (0 = default, negative = always rebuild)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/runtime on this address (e.g. localhost:6060)")
 	flag.Parse()
 
@@ -103,9 +125,15 @@ type options struct {
 	taskTimeout      float64
 	traceFile        string
 	metricsFile      string
+	deltaFile        string
+	deltaDeleteFile  string
+	rebuildThr       float64
 }
 
 func run(o options, stderr io.Writer) error {
+	if o.deltaFile != "" || o.deltaDeleteFile != "" {
+		return runDelta(o, stderr)
+	}
 	aggFn, err := spcube.AggByName(o.aggName)
 	if err != nil {
 		return err
@@ -202,6 +230,247 @@ func run(o options, stderr io.Writer) error {
 		fmt.Fprintln(stderr)
 	}
 	return nil
+}
+
+// runDelta is the incremental-maintenance batch mode: build the base cube
+// through the delta maintainer (cycle 0), apply the -delta / -delta-delete
+// rows as one maintenance batch, and emit the maintained cube.
+func runDelta(o options, stderr io.Writer) error {
+	aggFn, err := agg.ByName(o.aggName)
+	if err != nil {
+		return err
+	}
+	plan, err := mr.ParseFaultPlan(o.faults)
+	if err != nil {
+		return err
+	}
+
+	if o.in == "" {
+		return fmt.Errorf("-delta mode needs -in (the base relation cannot come from stdin alongside the batch)")
+	}
+	rel, schema, err := readCSVRel(o.in)
+	if err != nil {
+		return err
+	}
+
+	cfg := delta.Config{
+		Algorithm:        o.algName,
+		Agg:              aggFn,
+		MinSup:           o.minSup,
+		Workers:          o.workers,
+		Parallelism:      o.par,
+		Seed:             o.seed,
+		Faults:           plan,
+		MaxAttempts:      o.maxAttempts,
+		SpeculativeSlack: o.specSlack,
+		TaskTimeout:      o.taskTimeout,
+		RebuildThreshold: o.rebuildThr,
+	}
+	if o.traceFile != "" {
+		tf, err := os.Create(o.traceFile)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		cfg.Tracer = mr.NewJSONLTracer(tf)
+	}
+
+	maint, err := delta.New(rel, cfg)
+	if err != nil {
+		return err
+	}
+	appends, err := readDeltaRows(o.deltaFile, schema)
+	if err != nil {
+		return err
+	}
+	deletes, err := readDeltaRows(o.deltaDeleteFile, schema)
+	if err != nil {
+		return err
+	}
+	rnd, err := maint.ApplyStrings(appends, deletes)
+	if err != nil {
+		return err
+	}
+
+	var w io.Writer = os.Stdout
+	if o.out != "" {
+		f, err := os.Create(o.out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := writeResultCSV(w, maint.Relation(), maint.Result(), o.aggName); err != nil {
+		return err
+	}
+	if o.metricsFile != "" {
+		mf, err := os.Create(o.metricsFile)
+		if err != nil {
+			return err
+		}
+		defer mf.Close()
+		metrics := maint.Metrics()
+		if err := mr.ExportMetrics(mf, &metrics); err != nil {
+			return err
+		}
+	}
+	if o.stats {
+		changes := "full cube"
+		if rnd.Changes != nil {
+			changes = fmt.Sprintf("%d changed groups", len(rnd.Changes))
+		}
+		fmt.Fprintf(stderr,
+			"%s+delta: %d rows -> %d c-groups | cycle %d %s (%s, drift %.3f): +%d/-%d tuples, %s\n",
+			o.algName, maint.N(), maint.Result().Len(), rnd.Round, rnd.Mode, rnd.Reason,
+			rnd.Drift, rnd.Appended, rnd.Deleted, changes)
+	}
+	return nil
+}
+
+// readCSVRel reads the spcube CSV shape into an internal dictionary-encoded
+// relation, returning the header too (delta files must match it).
+func readCSVRel(path string) (*relation.Relation, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	cr := csv.NewReader(f)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: reading header: %w", path, err)
+	}
+	if len(header) < 2 {
+		return nil, nil, fmt.Errorf("%s: need at least one dimension column and a measure column, got %d columns", path, len(header))
+	}
+	d := len(header) - 1
+	if d > spcube.MaxDims {
+		return nil, nil, fmt.Errorf("%s: %d dimensions exceed the supported maximum %d", path, d, spcube.MaxDims)
+	}
+	headerCopy := append([]string(nil), header...)
+	rel := relation.New(headerCopy[:d], headerCopy[d])
+	dims := make([]string, d)
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		line++
+		copy(dims, rec[:d])
+		m, err := strconv.ParseInt(rec[d], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s line %d: measure %q is not an integer: %w", path, line, rec[d], err)
+		}
+		rel.AppendStrings(dims, m)
+	}
+	if rel.N() == 0 {
+		return nil, nil, fmt.Errorf("%s: no data rows", path)
+	}
+	return rel, headerCopy, nil
+}
+
+// readDeltaRows reads a maintenance batch file (same CSV shape and header as
+// the base input) into string rows; an empty path yields no rows.
+func readDeltaRows(path string, schema []string) ([]delta.Row, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cr := csv.NewReader(f)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("%s: reading header: %w", path, err)
+	}
+	if len(header) != len(schema) {
+		return nil, fmt.Errorf("%s: %d columns, base input has %d", path, len(header), len(schema))
+	}
+	for i := range header {
+		if header[i] != schema[i] {
+			return nil, fmt.Errorf("%s: column %d is %q, base input has %q", path, i, header[i], schema[i])
+		}
+	}
+	d := len(schema) - 1
+	var rows []delta.Row
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		line++
+		m, err := strconv.ParseInt(rec[d], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s line %d: measure %q is not an integer: %w", path, line, rec[d], err)
+		}
+		rows = append(rows, delta.Row{Dims: append([]string(nil), rec[:d]...), Measure: m})
+	}
+	return rows, nil
+}
+
+// writeResultCSV renders an internal cube result the way writeCSV renders a
+// facade cube: one row per c-group, "*" in aggregated-away dimensions, in
+// deterministic cuboid-then-values order.
+func writeResultCSV(w io.Writer, rel *relation.Relation, res *cube.Result, aggName string) error {
+	cw := csv.NewWriter(w)
+	header := append(append([]string(nil), rel.Schema.DimNames...), aggName)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	d := res.D
+	type row struct {
+		mask   lattice.Mask
+		packed []relation.Value
+		value  float64
+	}
+	rows := make([]row, 0, len(res.Groups))
+	for key, v := range res.Groups {
+		mask, packed, err := relation.DecodeGroupKey(key)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row{lattice.Mask(mask), packed, v})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].mask != rows[j].mask {
+			return lattice.BFSLess(rows[i].mask, rows[j].mask)
+		}
+		return relation.ComparePacked(rows[i].packed, rows[j].packed) < 0
+	})
+	out := make([]string, d+1)
+	for _, r := range rows {
+		j := 0
+		for i := 0; i < d; i++ {
+			if !r.mask.Has(i) {
+				out[i] = "*"
+				continue
+			}
+			if s, ok := rel.Dict.Decode(i, r.packed[j]); ok {
+				out[i] = s
+			} else {
+				out[i] = strconv.FormatInt(int64(r.packed[j]), 10)
+			}
+			j++
+		}
+		out[d] = strconv.FormatFloat(r.value, 'g', -1, 64)
+		if err := cw.Write(out); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 func readCSV(r io.Reader) (*spcube.Relation, error) {

@@ -154,7 +154,7 @@ func TestRunTraceAndMetricsOut(t *testing.T) {
 	if err := json.Unmarshal(metricsData, &doc); err != nil {
 		t.Fatalf("metrics file is not JSON: %v", err)
 	}
-	if v, ok := doc["schemaVersion"].(float64); !ok || int(v) != 2 {
+	if v, ok := doc["schemaVersion"].(float64); !ok || int(v) != 3 {
 		t.Errorf("metrics schemaVersion = %v", doc["schemaVersion"])
 	}
 	if rounds, ok := doc["rounds"].([]any); !ok || len(rounds) != 2 {
@@ -225,6 +225,193 @@ func TestRunNodeCrashAndSpeculationStats(t *testing.T) {
 			}
 			if v, _ := doc[tc.counter].(float64); v <= 0 {
 				t.Errorf("metrics %s = %v, want > 0", tc.counter, doc[tc.counter])
+			}
+		})
+	}
+}
+
+// writeTemp writes content to a fresh file under dir and returns its path.
+func writeTemp(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// cubeLines runs the CLI with the given options and returns the output CSV's
+// header plus the body rows as a set (delta mode and plain mode may order
+// cuboids identically, but the set comparison keeps the test format-agnostic).
+func cubeLines(t *testing.T, o options) (string, map[string]bool) {
+	t.Helper()
+	dir := t.TempDir()
+	o.out = filepath.Join(dir, "out.csv")
+	if err := run(o, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(o.out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	set := make(map[string]bool, len(lines)-1)
+	for _, l := range lines[1:] {
+		set[l] = true
+	}
+	return lines[0], set
+}
+
+// TestRunDeltaAppendAndDelete drives the incremental-maintenance batch mode
+// end to end: the maintained cube emitted by `-delta`/`-delta-delete` must
+// equal a from-scratch run over the edited relation, and the stats line must
+// report the maintenance cycle.
+func TestRunDeltaAppendAndDelete(t *testing.T) {
+	dir := t.TempDir()
+	base := writeTemp(t, dir, "base.csv", sampleCSV)
+	appendCSV := "name,city,year,sales\nlaptop,Berlin,2013,700\nprinter,Paris,2012,100\n"
+	deleteCSV := "name,city,year,sales\nprinter,Rome,2013,300\n"
+	deltaF := writeTemp(t, dir, "delta.csv", appendCSV)
+	delF := writeTemp(t, dir, "del.csv", deleteCSV)
+
+	// The edited relation: base minus the deleted row plus the two appends.
+	edited := `name,city,year,sales
+laptop,Rome,2012,2000
+laptop,Paris,2012,1500
+laptop,Rome,2013,900
+laptop,Berlin,2013,700
+printer,Paris,2012,100
+`
+	editedF := writeTemp(t, dir, "edited.csv", edited)
+
+	for _, aggName := range []string{"count", "sum"} {
+		o := options{aggName: aggName, algName: "sp-cube", workers: 3, seed: 1}
+		wo := o
+		wo.in = editedF
+		wantHeader, want := cubeLines(t, wo)
+
+		var stderr strings.Builder
+		g := o
+		g.in = base
+		g.deltaFile = deltaF
+		g.deltaDeleteFile = delF
+		g.stats = true
+		g.out = filepath.Join(dir, aggName+".csv")
+		if err := run(g, &stderr); err != nil {
+			t.Fatalf("%s: delta run: %v", aggName, err)
+		}
+		data, err := os.ReadFile(g.out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if lines[0] != wantHeader {
+			t.Errorf("%s: header %q, want %q", aggName, lines[0], wantHeader)
+		}
+		got := make(map[string]bool, len(lines)-1)
+		for _, l := range lines[1:] {
+			got[l] = true
+		}
+		if len(got) != len(want) {
+			t.Errorf("%s: %d groups, want %d", aggName, len(got), len(want))
+		}
+		for l := range want {
+			if !got[l] {
+				t.Errorf("%s: maintained cube is missing %q", aggName, l)
+			}
+		}
+		st := stderr.String()
+		if !strings.Contains(st, "cycle 1") || !strings.Contains(st, "drift") {
+			t.Errorf("%s: stats line does not report the maintenance cycle: %q", aggName, st)
+		}
+		// sum supports deletes via inversion, so the batch must have gone
+		// through the delta path, not a rebuild.
+		if aggName == "sum" && !strings.Contains(st, "cycle 1 delta") {
+			t.Errorf("sum: expected a delta-mode cycle, stats: %q", st)
+		}
+	}
+}
+
+// TestRunDeltaRebuildAndMetrics checks the forced-rebuild escape hatch and
+// that a maintenance run's metrics document is schema v3 with per-round
+// maintenance annotations.
+func TestRunDeltaRebuildAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	base := writeTemp(t, dir, "base.csv", sampleCSV)
+	deltaF := writeTemp(t, dir, "delta.csv", "name,city,year,sales\nlaptop,Oslo,2014,50\n")
+	metrics := filepath.Join(dir, "metrics.json")
+
+	var stderr strings.Builder
+	o := options{in: base, aggName: "count", algName: "sp-cube", workers: 2, seed: 1,
+		deltaFile: deltaF, rebuildThr: -1, stats: true, metricsFile: metrics,
+		out: filepath.Join(dir, "out.csv")}
+	if err := run(o, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if st := stderr.String(); !strings.Contains(st, "rebuild") || !strings.Contains(st, "forced") {
+		t.Errorf("stats line does not report the forced rebuild: %q", st)
+	}
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := doc["schemaVersion"].(float64); !ok || int(v) != 3 {
+		t.Errorf("maintenance metrics schemaVersion = %v, want 3", doc["schemaVersion"])
+	}
+	rounds, _ := doc["rounds"].([]any)
+	foundMaint := false
+	for _, r := range rounds {
+		if m, ok := r.(map[string]any); ok && m["maint"] != nil {
+			foundMaint = true
+		}
+	}
+	if !foundMaint {
+		t.Errorf("no round carries a maint annotation:\n%s", data)
+	}
+}
+
+// TestRunDeltaErrors exercises the batch-mode input validation.
+func TestRunDeltaErrors(t *testing.T) {
+	dir := t.TempDir()
+	base := writeTemp(t, dir, "base.csv", sampleCSV)
+	cases := []struct {
+		name string
+		o    options
+		want string
+	}{
+		{"no base input",
+			options{aggName: "count", algName: "sp-cube", workers: 2,
+				deltaFile: writeTemp(t, dir, "d1.csv", "name,city,year,sales\na,b,2000,1\n")},
+			"-in"},
+		{"mismatched header",
+			options{in: base, aggName: "count", algName: "sp-cube", workers: 2,
+				deltaFile: writeTemp(t, dir, "d2.csv", "name,town,year,sales\na,b,2000,1\n")},
+			"town"},
+		{"wrong column count",
+			options{in: base, aggName: "count", algName: "sp-cube", workers: 2,
+				deltaFile: writeTemp(t, dir, "d3.csv", "name,sales\na,1\n")},
+			"columns"},
+		{"bad measure",
+			options{in: base, aggName: "count", algName: "sp-cube", workers: 2,
+				deltaFile: writeTemp(t, dir, "d4.csv", "name,city,year,sales\na,b,2000,many\n")},
+			"integer"},
+		{"unknown delete",
+			options{in: base, aggName: "count", algName: "sp-cube", workers: 2,
+				deltaDeleteFile: writeTemp(t, dir, "d5.csv", "name,city,year,sales\ntablet,Rome,2012,1\n")},
+			""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := run(c.o, io.Discard)
+			if err == nil {
+				t.Fatal("accepted")
+			}
+			if c.want != "" && !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
 			}
 		})
 	}

@@ -13,6 +13,21 @@
 //	curl localhost:8080/v1/schema     # dims, served values, cuboid sizes
 //	curl localhost:8080/v1/stats      # queries, cache hits, batch coalescing
 //
+// The served cube is maintainable online: POST /v1/ingest applies a batch of
+// appended and/or deleted rows through the incremental-maintenance layer
+// (internal/delta) — delta-cube MR jobs merged into the serving index as a
+// copy-on-write patch, or a full rebuild when the batch's sketch drift says
+// the base partitioning no longer fits — and atomically swaps the new
+// snapshot in. In-flight queries keep reading the old snapshot; no request
+// ever sees a half-updated cube.
+//
+//	curl -d '{"append":[{"dims":["laptop","Rome","2013"],"measure":5}],
+//	          "delete":[{"dims":["laptop","Rome","2012"],"measure":3}]}' \
+//	     localhost:8080/v1/ingest
+//
+// -rebuild-threshold tunes the drift level that forces a rebuild (0 =
+// default, negative = always rebuild).
+//
 // -addr :0 binds a free port; -addr-file writes the resolved host:port to a
 // file once the server is listening (how the CI smoke test finds it). With
 // -pprof, the serving counters are also exported on the observability
@@ -31,16 +46,11 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"sync"
 	"time"
 
 	"github.com/spcube/spcube/internal/agg"
-	"github.com/spcube/spcube/internal/algo/hivecube"
-	"github.com/spcube/spcube/internal/algo/mrcube"
-	"github.com/spcube/spcube/internal/algo/naive"
-	"github.com/spcube/spcube/internal/algo/pipesort"
-	spalgo "github.com/spcube/spcube/internal/algo/spcube"
-	"github.com/spcube/spcube/internal/cube"
-	"github.com/spcube/spcube/internal/dfs"
+	"github.com/spcube/spcube/internal/delta"
 	"github.com/spcube/spcube/internal/mr"
 	"github.com/spcube/spcube/internal/obs"
 	"github.com/spcube/spcube/internal/relation"
@@ -70,6 +80,7 @@ func run(args []string, stop <-chan os.Signal, stderr io.Writer) int {
 		maxAttempts = fs.Int("max-attempts", 0, "task attempts before an injected failure becomes permanent (0 = engine default)")
 		specSlack   = fs.Float64("spec-slack", 0, "speculative-execution slack in simulated seconds (0 = disabled)")
 		taskTimeout = fs.Float64("task-timeout", 0, "kill and retry task attempts stalled longer than this many simulated seconds (0 = disabled)")
+		rebuildThr  = fs.Float64("rebuild-threshold", 0, "sketch-drift level forcing ingest batches to rebuild (0 = default, negative = always rebuild)")
 		traceFile   = fs.String("trace", "", "write structured engine trace events (JSON lines) to this file")
 		metricsFile = fs.String("metrics-out", "", "write the compute run's per-round metrics (versioned JSON) to this file")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof, /debug/runtime and /debug/serve on this address")
@@ -83,10 +94,10 @@ func run(args []string, stop <-chan os.Signal, stderr io.Writer) int {
 		return 2
 	}
 
-	svc, store, counters, err := computeAndIndex(options{
+	svc, maint, counters, err := computeAndIndex(options{
 		in: *in, agg: *aggName, alg: *algName, workers: *workers, par: *par,
 		seed: *seed, minSup: *minSup, faults: *faults, maxAttempts: *maxAttempts,
-		specSlack: *specSlack, taskTimeout: *taskTimeout,
+		specSlack: *specSlack, taskTimeout: *taskTimeout, rebuildThr: *rebuildThr,
 		traceFile: *traceFile, metricsFile: *metricsFile,
 		cache: *cacheSize, batchWindow: *batchWindow, maxBatch: *maxBatch,
 	}, stderr)
@@ -99,7 +110,7 @@ func run(args []string, stop <-chan os.Signal, stderr io.Writer) int {
 	if *pprofAddr != "" {
 		srv, err := obs.Start(*pprofAddr, obs.Route{
 			Pattern: "/debug/serve",
-			Handler: serve.StatsHandler(counters, store),
+			Handler: serve.StatsHandler(counters, svc),
 		})
 		if err != nil {
 			fmt.Fprintln(stderr, "spserve:", err)
@@ -121,9 +132,12 @@ func run(args []string, stop <-chan os.Signal, stderr io.Writer) int {
 			return 1
 		}
 	}
-	fmt.Fprintf(stderr, "spserve: serving %d groups on http://%s/\n", store.Groups(), resolved)
+	fmt.Fprintf(stderr, "spserve: serving %d groups on http://%s/\n", svc.Store().Groups(), resolved)
 
-	httpSrv := &http.Server{Handler: serve.NewHandler(svc, store, counters)}
+	mux := http.NewServeMux()
+	mux.Handle("/", serve.NewHandler(svc, svc, counters))
+	mux.Handle("/v1/ingest", ingestHandler(svc, maint))
+	httpSrv := &http.Server{Handler: mux}
 	errs := make(chan error, 1)
 	go func() { errs <- httpSrv.Serve(ln) }()
 	select {
@@ -148,13 +162,15 @@ type options struct {
 	faults                 string
 	maxAttempts            int
 	specSlack, taskTimeout float64
+	rebuildThr             float64
 	traceFile, metricsFile string
 	cache, maxBatch        int
 	batchWindow            time.Duration
 }
 
-// computeAndIndex runs the cube computation and builds the serving stack.
-func computeAndIndex(o options, stderr io.Writer) (serve.Service, *serve.Store, *serve.Counters, error) {
+// computeAndIndex builds the maintained cube (cycle 0 of the incremental
+// maintainer is the full initial build) and the serving stack over it.
+func computeAndIndex(o options, stderr io.Writer) (*serve.Batched, *delta.Maintainer, *serve.Counters, error) {
 	aggFn, err := agg.ByName(o.agg)
 	if err != nil {
 		return nil, nil, nil, err
@@ -178,14 +194,18 @@ func computeAndIndex(o options, stderr io.Writer) (serve.Service, *serve.Store, 
 		return nil, nil, nil, err
 	}
 
-	cfg := mr.Config{
+	cfg := delta.Config{
+		Algorithm:        o.alg,
+		Agg:              aggFn,
+		MinSup:           o.minSup,
 		Workers:          o.workers,
-		Seed:             uint64(o.seed),
 		Parallelism:      o.par,
+		Seed:             o.seed,
 		Faults:           plan,
 		MaxAttempts:      o.maxAttempts,
 		SpeculativeSlack: o.specSlack,
 		TaskTimeout:      o.taskTimeout,
+		RebuildThreshold: o.rebuildThr,
 	}
 	if o.traceFile != "" {
 		tf, err := os.Create(o.traceFile)
@@ -195,20 +215,15 @@ func computeAndIndex(o options, stderr io.Writer) (serve.Service, *serve.Store, 
 		defer tf.Close()
 		cfg.Tracer = mr.NewJSONLTracer(tf)
 	}
-	eng := mr.New(cfg, dfs.New(false))
-	spec := cube.Spec{Agg: aggFn, MinSup: o.minSup}
 
 	start := time.Now()
-	runRec, err := computeCube(eng, rel, o.alg, spec, o.seed)
+	maint, err := delta.New(rel, cfg)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("%s failed: %w", o.alg, err)
 	}
-	res, err := cube.CollectDFS(eng, runRec.OutputPrefix, rel.D())
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("collecting output: %w", err)
-	}
 	if o.metricsFile != "" {
-		data, err := json.MarshalIndent(&runRec.Metrics, "", "  ")
+		metrics := maint.Metrics()
+		data, err := json.MarshalIndent(&metrics, "", "  ")
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -217,7 +232,7 @@ func computeAndIndex(o options, stderr io.Writer) (serve.Service, *serve.Store, 
 		}
 	}
 
-	store, err := serve.Build(rel, res)
+	store, err := serve.Build(maint.Relation(), maint.Result())
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("indexing cube: %w", err)
 	}
@@ -229,26 +244,106 @@ func computeAndIndex(o options, stderr io.Writer) (serve.Service, *serve.Store, 
 		Counters:     counters,
 	})
 	fmt.Fprintf(stderr, "spserve: %s cubed %d rows into %d groups (%d cuboids) in %.2fs\n",
-		runRec.Algorithm, rel.N(), store.Groups(), len(store.Cuboids()), time.Since(start).Seconds())
-	return svc, store, counters, nil
+		o.alg, rel.N(), store.Groups(), len(store.Cuboids()), time.Since(start).Seconds())
+	return svc, maint, counters, nil
 }
 
-// computeCube dispatches to the algorithm implementations the way the
-// public facade does.
-func computeCube(eng *mr.Engine, rel *relation.Relation, alg string, spec cube.Spec, seed int64) (*cube.Run, error) {
-	switch alg {
-	case "sp-cube", "spcube", "sp":
-		return spalgo.ComputeOpts(eng, rel, spec, spalgo.Options{Seed: seed})
-	case "naive":
-		return naive.Compute(eng, rel, spec)
-	case "mr-cube", "mrcube", "pig":
-		return mrcube.ComputeOpts(eng, rel, spec, mrcube.Options{Seed: seed})
-	case "hive":
-		return hivecube.Compute(eng, rel, spec)
-	case "pipesort":
-		return pipesort.Compute(eng, rel, spec)
-	}
-	return nil, fmt.Errorf("unknown algorithm %q (want sp-cube, naive, mr-cube, hive, pipesort)", alg)
+// IngestRow is one string-valued row in an ingest request.
+type IngestRow struct {
+	Dims    []string `json:"dims"`
+	Measure int64    `json:"measure"`
+}
+
+// IngestRequest is the wire form of one maintenance batch.
+type IngestRequest struct {
+	Append []IngestRow `json:"append,omitempty"`
+	Delete []IngestRow `json:"delete,omitempty"`
+}
+
+// IngestResponse reports one applied maintenance cycle.
+type IngestResponse struct {
+	Round    int     `json:"round,omitempty"`
+	Mode     string  `json:"mode,omitempty"`
+	Reason   string  `json:"reason,omitempty"`
+	Drift    float64 `json:"drift"`
+	Appended int     `json:"appended"`
+	Deleted  int     `json:"deleted"`
+	Groups   int     `json:"groups"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// ingestHandler applies maintenance batches: run the delta (or rebuild)
+// cycle, turn its change list into a serving patch, and atomically swap the
+// new snapshot in. A handler-level mutex serializes the cycle + swap pair so
+// patches always apply to the snapshot their change list was computed
+// against. A failed cycle (e.g. injected faults) mutates nothing: the old
+// snapshot keeps serving.
+func ingestHandler(svc *serve.Batched, maint *delta.Maintainer) http.Handler {
+	var mu sync.Mutex
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, IngestResponse{Error: "ingest requires POST"})
+			return
+		}
+		var req IngestRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, IngestResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+			return
+		}
+		toRows := func(in []IngestRow) []delta.Row {
+			out := make([]delta.Row, len(in))
+			for i, r := range in {
+				out[i] = delta.Row{Dims: r.Dims, Measure: r.Measure}
+			}
+			return out
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		rnd, err := maint.ApplyStrings(toRows(req.Append), toRows(req.Delete))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, IngestResponse{Error: err.Error()})
+			return
+		}
+		var next *serve.Store
+		if rnd.Mode == "delta" {
+			p := serve.NewPatch()
+			for _, ch := range rnd.Changes {
+				if ch.Delete {
+					err = p.Delete(ch.Key)
+				} else {
+					err = p.Set(ch.Key, ch.Value)
+				}
+				if err != nil {
+					break
+				}
+			}
+			if err == nil {
+				next, err = svc.Store().ApplyPatch(p, maint.Relation().Dict)
+			}
+		} else {
+			next, err = serve.Build(maint.Relation(), maint.Result())
+		}
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, IngestResponse{Error: err.Error()})
+			return
+		}
+		svc.Swap(next)
+		writeJSON(w, http.StatusOK, IngestResponse{
+			Round:    rnd.Round,
+			Mode:     rnd.Mode,
+			Reason:   rnd.Reason,
+			Drift:    rnd.Drift,
+			Appended: rnd.Appended,
+			Deleted:  rnd.Deleted,
+			Groups:   next.Groups(),
+		})
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 // readCSV parses the spcube CSV shape (header row, last column the integer

@@ -149,6 +149,130 @@ func TestServeSumAggregateAndMetricsOut(t *testing.T) {
 	}
 }
 
+// postIngest sends one ingest batch and decodes the response.
+func postIngest(t *testing.T, base string, req IngestRequest) (IngestResponse, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out IngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out, resp.StatusCode
+}
+
+// pointValue queries one point group and returns (value, found).
+func pointValue(t *testing.T, base, group string) (float64, bool) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/query?op=point&group=" + group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ans struct {
+		Found bool    `json:"found"`
+		Value float64 `json:"value"`
+		Error string  `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ans); err != nil || ans.Error != "" {
+		t.Fatalf("point %s: %+v, %v", group, ans, err)
+	}
+	return ans.Value, ans.Found
+}
+
+func TestServeIngestEndToEnd(t *testing.T) {
+	base, shutdown := startServer(t)
+	defer shutdown()
+
+	if v, ok := pointValue(t, base, "laptop,*"); !ok || v != 2 {
+		t.Fatalf("initial laptop count = %v,%v want 2", v, ok)
+	}
+
+	// Append two laptop rows (one in a brand-new city) and delete one
+	// existing phone row: counts must move on the very next query.
+	res, code := postIngest(t, base, IngestRequest{
+		Append: []IngestRow{
+			{Dims: []string{"laptop", "Rome"}, Measure: 9},
+			{Dims: []string{"laptop", "Berlin"}, Measure: 4},
+		},
+		Delete: []IngestRow{{Dims: []string{"phone", "Rome"}, Measure: 2}},
+	})
+	if code != http.StatusOK || res.Error != "" {
+		t.Fatalf("ingest: %d %+v", code, res)
+	}
+	if res.Round != 1 || res.Mode == "" || res.Appended != 2 || res.Deleted != 1 {
+		t.Fatalf("ingest response: %+v", res)
+	}
+	if v, ok := pointValue(t, base, "laptop,*"); !ok || v != 4 {
+		t.Fatalf("post-ingest laptop count = %v,%v want 4", v, ok)
+	}
+	if v, ok := pointValue(t, base, "phone,*"); !ok || v != 1 {
+		t.Fatalf("post-ingest phone count = %v,%v want 1", v, ok)
+	}
+	if v, ok := pointValue(t, base, "laptop,Berlin"); !ok || v != 1 {
+		t.Fatalf("new-city count = %v,%v want 1", v, ok)
+	}
+
+	// The stats document reports the swap.
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Swaps int64 `json:"swaps"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil || stats.Swaps != 1 {
+		t.Fatalf("stats swaps = %d, %v (want 1)", stats.Swaps, err)
+	}
+
+	// Bad batches are rejected without disturbing the served cube: a
+	// delete of a never-seen row, an empty batch, a GET.
+	if res, code := postIngest(t, base, IngestRequest{
+		Delete: []IngestRow{{Dims: []string{"tablet", "Rome"}, Measure: 1}},
+	}); code != http.StatusBadRequest || res.Error == "" {
+		t.Fatalf("unknown delete accepted: %d %+v", code, res)
+	}
+	if res, code := postIngest(t, base, IngestRequest{}); code != http.StatusBadRequest || res.Error == "" {
+		t.Fatalf("empty batch accepted: %d %+v", code, res)
+	}
+	if resp, err := http.Get(base + "/v1/ingest"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET ingest: %d", resp.StatusCode)
+		}
+	}
+	if v, ok := pointValue(t, base, "laptop,*"); !ok || v != 4 {
+		t.Fatalf("rejected batches disturbed the cube: laptop = %v,%v", v, ok)
+	}
+}
+
+func TestServeIngestRebuildPath(t *testing.T) {
+	// A negative rebuild threshold forces every ingest cycle down the
+	// full-rebuild + reindex path.
+	base, shutdown := startServer(t, "-rebuild-threshold", "-1")
+	defer shutdown()
+	res, code := postIngest(t, base, IngestRequest{
+		Append: []IngestRow{{Dims: []string{"phone", "Oslo"}, Measure: 7}},
+	})
+	if code != http.StatusOK || res.Mode != "rebuild" || res.Reason != "forced" {
+		t.Fatalf("ingest: %d %+v (want forced rebuild)", code, res)
+	}
+	if v, ok := pointValue(t, base, "phone,Oslo"); !ok || v != 1 {
+		t.Fatalf("post-rebuild count = %v,%v want 1", v, ok)
+	}
+}
+
 func TestServeBadInputs(t *testing.T) {
 	cases := []struct {
 		name string

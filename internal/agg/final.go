@@ -1,0 +1,57 @@
+package agg
+
+// Incremental cube maintenance merges *final* aggregate values of the same
+// c-group computed over disjoint tuple sets (a base cube and a delta cube),
+// without access to the partial states that produced them. That is sound
+// only for functions whose final value is itself a distributive aggregate:
+// count and sum finals add, min and max finals combine by extreme. Deletes
+// additionally need the merge to be invertible, which holds for count and
+// sum but not min/max (removing the minimum reveals an unknown runner-up).
+// Algebraic and holistic functions (avg, var, stddev, distinct) expose only
+// a quotient or cardinality as their final and support neither; maintenance
+// falls back to a full rebuild for them.
+
+// FinalMerger returns a commutative, associative merge over final values of
+// f for disjoint inputs, or ok=false when finals of f cannot be merged.
+// Both arguments must come from non-empty groups.
+func FinalMerger(f Func) (merge func(base, delta float64) float64, ok bool) {
+	switch unwrapCounted(f).(type) {
+	case countFunc, sumFunc:
+		return func(base, delta float64) float64 { return base + delta }, true
+	case minFunc:
+		return func(base, delta float64) float64 {
+			if delta < base {
+				return delta
+			}
+			return base
+		}, true
+	case maxFunc:
+		return func(base, delta float64) float64 {
+			if delta > base {
+				return delta
+			}
+			return base
+		}, true
+	}
+	return nil, false
+}
+
+// FinalInverter returns the inverse of FinalMerger's merge — it removes a
+// deleted part's final from a total — or ok=false when f's finals are not
+// invertible (min/max) or not mergeable at all.
+func FinalInverter(f Func) (invert func(total, part float64) float64, ok bool) {
+	switch unwrapCounted(f).(type) {
+	case countFunc, sumFunc:
+		return func(total, part float64) float64 { return total - part }, true
+	}
+	return nil, false
+}
+
+// unwrapCounted strips a WithCount wrapper: the counted state's final is the
+// inner function's final, so mergeability is the inner function's.
+func unwrapCounted(f Func) Func {
+	if cf, ok := f.(countedFunc); ok {
+		return cf.inner
+	}
+	return f
+}

@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"github.com/spcube/spcube/internal/data"
+	"github.com/spcube/spcube/internal/delta"
+	"github.com/spcube/spcube/internal/relation"
+	"github.com/spcube/spcube/internal/serve"
+)
+
+// DeltaSchemaVersion versions the delta-maintenance benchmark document
+// (BENCH_delta.json). Bump on any field change.
+const DeltaSchemaVersion = 1
+
+// MinDeltaSpeedup is the committed performance floor: applying a 1% batch by
+// delta-merge must beat a from-scratch rebuild by at least this factor
+// (ValidateDeltaJSON enforces it; `make bench-delta` regenerates the
+// artifact and re-checks it).
+const MinDeltaSpeedup = 5.0
+
+// DeltaDoc is the machine-readable result of one delta-maintenance
+// benchmark: the measured wall time of applying one small batch through the
+// delta-merge path (delta cube job + merge + serving-layer patch + swap)
+// against the full-rebuild path (recompute over base∪delta + index rebuild
+// + swap) on identical inputs. Wall times are the best of Repetitions runs;
+// everything else is deterministic in Seed.
+type DeltaDoc struct {
+	SchemaVersion int    `json:"schemaVersion"`
+	Tool          string `json:"tool"`
+	Algo          string `json:"algo"`
+	// BaseTuples is the relation size the maintained cube was built over;
+	// DeltaTuples (DeltaPercent% of it) is the appended batch size.
+	BaseTuples   int     `json:"baseTuples"`
+	DeltaTuples  int     `json:"deltaTuples"`
+	DeltaPercent float64 `json:"deltaPercent"`
+	Workers      int     `json:"workers"`
+	Seed         int64   `json:"seed"`
+	Repetitions  int     `json:"repetitions"`
+	// Mode is the maintenance mode the batch actually took; the benchmark
+	// is only meaningful when it is "delta".
+	Mode string `json:"mode"`
+	// DeltaSeconds and RebuildSeconds are the measured wall times;
+	// Speedup is their ratio (rebuild / delta).
+	DeltaSeconds   float64 `json:"deltaSeconds"`
+	RebuildSeconds float64 `json:"rebuildSeconds"`
+	Speedup        float64 `json:"speedup"`
+	GoVersion      string  `json:"goVersion"`
+	GeneratedAt    string  `json:"generatedAt"`
+}
+
+// DeltaConfig parameterizes RunDeltaBench. The zero value benchmarks a 1%
+// batch over 20k uniform tuples with sp-cube on 20 simulated workers.
+type DeltaConfig struct {
+	BaseTuples   int     // default 20000
+	DeltaPercent float64 // default 1
+	Workers      int     // default 20
+	Seed         int64   // default 2016
+	Parallelism  int     // engine parallelism (0 = all cores)
+	Repetitions  int     // timing repetitions, best-of (default 3)
+	Algorithm    string  // default "sp-cube"
+}
+
+func (c *DeltaConfig) defaults() {
+	if c.BaseTuples <= 0 {
+		c.BaseTuples = 20000
+	}
+	if c.DeltaPercent <= 0 {
+		c.DeltaPercent = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 2016
+	}
+	if c.Repetitions <= 0 {
+		c.Repetitions = 3
+	}
+	if c.Algorithm == "" {
+		c.Algorithm = "sp-cube"
+	}
+}
+
+// RunDeltaBench measures delta-merge against full rebuild for one small
+// append batch. Both paths start from an identical pre-built maintainer and
+// serving store (setup is untimed) and end with the new snapshot swapped
+// into a serving handle, so each measured interval covers everything a
+// server does between receiving a batch and serving its results.
+func RunDeltaBench(cfg DeltaConfig) (*DeltaDoc, error) {
+	cfg.defaults()
+	nd := int(float64(cfg.BaseTuples) * cfg.DeltaPercent / 100)
+	if nd < 1 {
+		nd = 1
+	}
+	base := data.Uniform(cfg.BaseTuples, 4, 25, cfg.Seed)
+	// The batch comes from the same distribution as the base, so its
+	// sketch drift is small and the maintainer chooses the delta path.
+	deltaRel := data.Uniform(nd, 4, 25, cfg.Seed+1)
+	batch := make([]relation.Tuple, nd)
+	for i := 0; i < nd; i++ {
+		batch[i] = deltaRel.Tuples[i].Clone()
+	}
+
+	mcfg := delta.Config{
+		Algorithm:   cfg.Algorithm,
+		Workers:     cfg.Workers,
+		Parallelism: cfg.Parallelism,
+		Seed:        cfg.Seed,
+	}
+	doc := &DeltaDoc{
+		SchemaVersion: DeltaSchemaVersion,
+		Tool:          "spbench",
+		Algo:          cfg.Algorithm,
+		BaseTuples:    cfg.BaseTuples,
+		DeltaTuples:   nd,
+		DeltaPercent:  cfg.DeltaPercent,
+		Workers:       cfg.Workers,
+		Seed:          cfg.Seed,
+		Repetitions:   cfg.Repetitions,
+		GoVersion:     runtime.Version(),
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+	}
+
+	for rep := 0; rep < cfg.Repetitions; rep++ {
+		// Fresh maintainers per repetition: Apply mutates their state.
+		dm, err := delta.New(base, mcfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: delta maintainer: %w", err)
+		}
+		rcfg := mcfg
+		rcfg.RebuildThreshold = -1 // force the rebuild path
+		rm, err := delta.New(base, rcfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: rebuild maintainer: %w", err)
+		}
+		dst, err := serve.Build(dm.Relation(), dm.Result())
+		if err != nil {
+			return nil, fmt.Errorf("bench: build delta store: %w", err)
+		}
+		rst, err := serve.Build(rm.Relation(), rm.Result())
+		if err != nil {
+			return nil, fmt.Errorf("bench: build rebuild store: %w", err)
+		}
+		dsvc := serve.NewDirect(dst, nil)
+		rsvc := serve.NewDirect(rst, nil)
+
+		dBatch := cloneBatch(batch)
+		t0 := time.Now()
+		rnd, err := dm.Apply(delta.Batch{Append: dBatch})
+		if err != nil {
+			return nil, fmt.Errorf("bench: delta apply: %w", err)
+		}
+		if rnd.Mode != "delta" {
+			return nil, fmt.Errorf("bench: batch took mode %q (reason %s, drift %.3f), want delta — the benchmark would compare rebuild against rebuild", rnd.Mode, rnd.Reason, rnd.Drift)
+		}
+		p := serve.NewPatch()
+		for _, ch := range rnd.Changes {
+			if ch.Delete {
+				err = p.Delete(ch.Key)
+			} else {
+				err = p.Set(ch.Key, ch.Value)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("bench: patch: %w", err)
+			}
+		}
+		next, err := dsvc.Store().ApplyPatch(p, dm.Relation().Dict)
+		if err != nil {
+			return nil, fmt.Errorf("bench: apply patch: %w", err)
+		}
+		dsvc.Swap(next)
+		dSec := time.Since(t0).Seconds()
+
+		rBatch := cloneBatch(batch)
+		t0 = time.Now()
+		rrnd, err := rm.Apply(delta.Batch{Append: rBatch})
+		if err != nil {
+			return nil, fmt.Errorf("bench: rebuild apply: %w", err)
+		}
+		rebuilt, err := serve.Build(rm.Relation(), rm.Result())
+		if err != nil {
+			return nil, fmt.Errorf("bench: rebuild store: %w", err)
+		}
+		rsvc.Swap(rebuilt)
+		rSec := time.Since(t0).Seconds()
+
+		if rep == 0 || dSec < doc.DeltaSeconds {
+			doc.DeltaSeconds = dSec
+		}
+		if rep == 0 || rSec < doc.RebuildSeconds {
+			doc.RebuildSeconds = rSec
+		}
+		doc.Mode = rnd.Mode
+		_ = rrnd
+	}
+	if doc.DeltaSeconds > 0 {
+		doc.Speedup = doc.RebuildSeconds / doc.DeltaSeconds
+	}
+	return doc, nil
+}
+
+func cloneBatch(ts []relation.Tuple) []relation.Tuple {
+	out := make([]relation.Tuple, len(ts))
+	for i, t := range ts {
+		out[i] = t.Clone()
+	}
+	return out
+}
+
+// WriteDeltaDoc writes the document as indented JSON.
+func WriteDeltaDoc(w io.Writer, doc *DeltaDoc) error {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: write delta doc: %w", err)
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ValidateDeltaJSON structurally validates a serialized DeltaDoc and
+// enforces the committed performance floor: the batch must have taken the
+// delta path and its measured speedup must be at least MinDeltaSpeedup. It
+// is the check behind `spbench -validate-delta` and the CI bench-delta leg.
+func ValidateDeltaJSON(raw []byte) error {
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("bench: delta document: %w", describeJSONError(raw, err))
+	}
+	v, ok := doc["schemaVersion"].(float64)
+	if !ok {
+		return fmt.Errorf("bench: delta document: missing numeric schemaVersion")
+	}
+	if int(v) != DeltaSchemaVersion {
+		return fmt.Errorf("bench: delta document: schemaVersion %d, want %d", int(v), DeltaSchemaVersion)
+	}
+	if s, _ := doc["tool"].(string); s != "spbench" {
+		return fmt.Errorf("bench: delta document: tool %q, want %q", doc["tool"], "spbench")
+	}
+	if s, _ := doc["algo"].(string); s == "" {
+		return fmt.Errorf("bench: delta document: missing algo")
+	}
+	if s, _ := doc["mode"].(string); s != "delta" {
+		return fmt.Errorf("bench: delta document: mode %q — the measured batch did not take the delta-merge path", doc["mode"])
+	}
+	for _, key := range []string{"baseTuples", "deltaTuples", "deltaPercent", "workers", "repetitions", "deltaSeconds", "rebuildSeconds", "speedup"} {
+		f, ok := doc[key].(float64)
+		if !ok {
+			return fmt.Errorf("bench: delta document: missing numeric %s", key)
+		}
+		if f <= 0 {
+			return fmt.Errorf("bench: delta document: %s = %v, want > 0", key, f)
+		}
+	}
+	if sp := doc["speedup"].(float64); sp < MinDeltaSpeedup {
+		return fmt.Errorf("bench: delta document: speedup %.2fx is below the committed floor %.0fx (delta %.4fs vs rebuild %.4fs)",
+			sp, MinDeltaSpeedup, doc["deltaSeconds"], doc["rebuildSeconds"])
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunDeltaBenchProducesValidDoc runs the benchmark at a small scale and
+// checks the document's shape. The committed 5x floor is asserted only on
+// the full-scale artifact (BENCH_delta.json via `make bench-delta`), not
+// here: at test scale the fixed per-job overheads dominate both paths.
+func TestRunDeltaBenchProducesValidDoc(t *testing.T) {
+	doc, err := RunDeltaBench(DeltaConfig{BaseTuples: 2000, Repetitions: 1, Workers: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.SchemaVersion != DeltaSchemaVersion || doc.Tool != "spbench" || doc.Algo != "sp-cube" {
+		t.Errorf("doc header: %+v", doc)
+	}
+	if doc.Mode != "delta" {
+		t.Fatalf("batch took mode %q, want delta", doc.Mode)
+	}
+	if doc.DeltaTuples != 20 || doc.BaseTuples != 2000 {
+		t.Errorf("sizes: %d over %d, want 20 over 2000", doc.DeltaTuples, doc.BaseTuples)
+	}
+	if doc.DeltaSeconds <= 0 || doc.RebuildSeconds <= 0 || doc.Speedup <= 0 {
+		t.Errorf("timings not measured: %+v", doc)
+	}
+	var buf bytes.Buffer
+	if err := WriteDeltaDoc(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	// Structural validation must pass; only the speedup floor may trip at
+	// this scale, and its error must name the measured value.
+	if err := ValidateDeltaJSON(buf.Bytes()); err != nil &&
+		!strings.Contains(err.Error(), "below the committed floor") {
+		t.Fatalf("generated document fails structural validation: %v", err)
+	}
+}
+
+func TestValidateDeltaJSON(t *testing.T) {
+	good := map[string]any{
+		"schemaVersion": 1, "tool": "spbench", "algo": "sp-cube", "mode": "delta",
+		"baseTuples": 20000, "deltaTuples": 200, "deltaPercent": 1.0,
+		"workers": 20, "seed": 2016, "repetitions": 3,
+		"deltaSeconds": 0.01, "rebuildSeconds": 0.35, "speedup": 35.0,
+	}
+	enc := func(mut func(map[string]any)) []byte {
+		d := make(map[string]any, len(good))
+		for k, v := range good {
+			d[k] = v
+		}
+		if mut != nil {
+			mut(d)
+		}
+		data, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if err := ValidateDeltaJSON(enc(nil)); err != nil {
+		t.Fatalf("good document rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(map[string]any)
+		want string
+	}{
+		{"missing version", func(d map[string]any) { delete(d, "schemaVersion") }, "schemaVersion"},
+		{"wrong version", func(d map[string]any) { d["schemaVersion"] = 9 }, "schemaVersion 9"},
+		{"wrong tool", func(d map[string]any) { d["tool"] = "other" }, "tool"},
+		{"missing algo", func(d map[string]any) { delete(d, "algo") }, "algo"},
+		{"rebuild mode", func(d map[string]any) { d["mode"] = "rebuild" }, "delta-merge path"},
+		{"missing timing", func(d map[string]any) { delete(d, "deltaSeconds") }, "deltaSeconds"},
+		{"zero timing", func(d map[string]any) { d["rebuildSeconds"] = 0 }, "rebuildSeconds"},
+		{"below floor", func(d map[string]any) { d["speedup"] = 4.2 }, "4.20x is below the committed floor 5x"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateDeltaJSON(enc(tc.mut))
+			if err == nil {
+				t.Fatal("accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	if err := ValidateDeltaJSON([]byte("{nope")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}

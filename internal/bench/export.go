@@ -111,10 +111,29 @@ func WriteMetricsDoc(w io.Writer, doc *MetricsDoc) error {
 	return err
 }
 
+// MinMetricsSchemaVersion is the oldest metrics schema version the validator
+// still accepts. v2 documents predate the maintenance annotations added in
+// v3; they carry a strict subset of the v3 fields, so every structural check
+// below applies to both.
+const MinMetricsSchemaVersion = 2
+
+// acceptSchemaVersion reports whether v is within the accepted metrics
+// schema range, returning an error that names both the offending version and
+// the accepted range.
+func acceptSchemaVersion(v int, where string) error {
+	if v < MinMetricsSchemaVersion || v > mr.MetricsSchemaVersion {
+		return fmt.Errorf("bench: metrics document: %s schemaVersion %d, accepted range %d..%d",
+			where, v, MinMetricsSchemaVersion, mr.MetricsSchemaVersion)
+	}
+	return nil
+}
+
 // ValidateMetricsJSON structurally validates a serialized MetricsDoc: the
-// schema version, the presence and types of every required top-level field,
-// and the shape of each figure and run. It is the check behind `spbench
-// -validate` and the CI bench-json smoke leg.
+// schema version (any version in MinMetricsSchemaVersion..
+// mr.MetricsSchemaVersion is accepted, both at the top level and inside each
+// run's embedded engine metrics), the presence and types of every required
+// top-level field, and the shape of each figure and run. It is the check
+// behind `spbench -validate` and the CI bench-json smoke leg.
 func ValidateMetricsJSON(data []byte) error {
 	var doc map[string]any
 	if err := json.Unmarshal(data, &doc); err != nil {
@@ -124,8 +143,8 @@ func ValidateMetricsJSON(data []byte) error {
 	if !ok {
 		return fmt.Errorf("bench: metrics document: missing numeric schemaVersion")
 	}
-	if int(v) != mr.MetricsSchemaVersion {
-		return fmt.Errorf("bench: metrics document: schemaVersion %d, want %d", int(v), mr.MetricsSchemaVersion)
+	if err := acceptSchemaVersion(int(v), "top-level"); err != nil {
+		return err
 	}
 	for _, key := range []string{"tool", "experiment"} {
 		if s, ok := doc[key].(string); !ok || s == "" {
@@ -207,8 +226,11 @@ func ValidateMetricsJSON(data []byte) error {
 			return fmt.Errorf("bench: metrics document: run %d metrics is not an object", i)
 		}
 		mv, ok := metrics["schemaVersion"].(float64)
-		if !ok || int(mv) != mr.MetricsSchemaVersion {
-			return fmt.Errorf("bench: metrics document: run %d metrics schemaVersion %v, want %d", i, metrics["schemaVersion"], mr.MetricsSchemaVersion)
+		if !ok {
+			return fmt.Errorf("bench: metrics document: run %d metrics has no numeric schemaVersion", i)
+		}
+		if err := acceptSchemaVersion(int(mv), fmt.Sprintf("run %d metrics", i)); err != nil {
+			return err
 		}
 		if _, ok := metrics["rounds"].([]any); !ok {
 			return fmt.Errorf("bench: metrics document: run %d metrics has no rounds array", i)

@@ -3,6 +3,7 @@ package bench
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -63,6 +64,36 @@ func TestMetricsDocValidates(t *testing.T) {
 	}
 	if doc.Environment.GoVersion == "" || doc.Environment.GeneratedAt == "" {
 		t.Errorf("environment incomplete: %+v", doc.Environment)
+	}
+}
+
+// TestValidateMetricsJSONAcceptsVersionRange pins the compatibility window:
+// v2 documents (pre-maintenance) and v3 documents (with per-round maint
+// annotations) must both validate, at the top level and inside embedded run
+// metrics, including mixed top-level/run versions from re-exported archives.
+func TestValidateMetricsJSONAcceptsVersionRange(t *testing.T) {
+	const shell = `{"schemaVersion":%d,"tool":"x","experiment":"y","workers":1,"seed":1,"scale":1,` +
+		`"environment":{"goVersion":"go"},"figures":[],` +
+		`"runs":[{"algo":"a","inputTuples":1,"metrics":{"schemaVersion":%d,"rounds":[]}}]}`
+	cases := []struct{ top, run int }{{2, 2}, {3, 3}, {3, 2}, {2, 3}}
+	for _, c := range cases {
+		doc := fmt.Sprintf(shell, c.top, c.run)
+		if err := ValidateMetricsJSON([]byte(doc)); err != nil {
+			t.Errorf("top-level v%d with run v%d rejected: %v", c.top, c.run, err)
+		}
+	}
+	// Out-of-range versions are named together with the accepted range.
+	for _, bad := range []int{1, 4} {
+		err := ValidateMetricsJSON([]byte(fmt.Sprintf(shell, bad, 2)))
+		if err == nil || !strings.Contains(err.Error(), fmt.Sprintf("schemaVersion %d", bad)) ||
+			!strings.Contains(err.Error(), "accepted range 2..3") {
+			t.Errorf("top-level v%d: error %v does not name version and range", bad, err)
+		}
+		err = ValidateMetricsJSON([]byte(fmt.Sprintf(shell, 3, bad)))
+		if err == nil || !strings.Contains(err.Error(), fmt.Sprintf("schemaVersion %d", bad)) ||
+			!strings.Contains(err.Error(), "accepted range 2..3") {
+			t.Errorf("run v%d: error %v does not name version and range", bad, err)
+		}
 	}
 }
 

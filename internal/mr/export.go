@@ -22,8 +22,11 @@ import (
 // that differ between a faulted and a fault-free run of the same job.
 //
 // Version history: v2 added the node-failure and speculation recovery
-// counters at every level (task, round, job).
-const MetricsSchemaVersion = 2
+// counters at every level (task, round, job); v3 added the optional
+// per-round "maint" annotation describing incremental-maintenance cycles
+// (cycle ordinal, delta-vs-rebuild mode, decision reason, sketch drift,
+// batch sizes).
+const MetricsSchemaVersion = 3
 
 // LoadBalance summarizes how evenly a byte quantity is spread over a
 // round's reduce tasks — the paper's §6.2 closing claim is that SP-Cube's
@@ -152,20 +155,42 @@ type roundMetricsJSON struct {
 	RetryWallSeconds float64 `json:"retryWallSeconds"`
 	WastedBytes      int64   `json:"wastedBytes"`
 	// Schema v2 recovery counters (node failures and speculation).
-	MapReexecutions        int64             `json:"mapReexecutions"`
-	FetchFailures          int64             `json:"fetchFailures"`
-	SpeculativeLaunched    int64             `json:"speculativeLaunched"`
-	SpeculativeWon         int64             `json:"speculativeWon"`
-	SpeculativeKilled      int64             `json:"speculativeKilled"`
-	SpeculativeWallSeconds float64           `json:"speculativeWallSeconds"`
-	Failed                 bool              `json:"failed,omitempty"`
-	FailReason             string            `json:"failReason,omitempty"`
-	Mappers                []taskMetricsJSON `json:"mappers"`
-	Reducers               []taskMetricsJSON `json:"reducers"`
+	MapReexecutions        int64   `json:"mapReexecutions"`
+	FetchFailures          int64   `json:"fetchFailures"`
+	SpeculativeLaunched    int64   `json:"speculativeLaunched"`
+	SpeculativeWon         int64   `json:"speculativeWon"`
+	SpeculativeKilled      int64   `json:"speculativeKilled"`
+	SpeculativeWallSeconds float64 `json:"speculativeWallSeconds"`
+	Failed                 bool    `json:"failed,omitempty"`
+	FailReason             string  `json:"failReason,omitempty"`
+	// Schema v3 maintenance annotation (nil for ordinary rounds).
+	Maint    *maintInfoJSON    `json:"maint,omitempty"`
+	Mappers  []taskMetricsJSON `json:"mappers"`
+	Reducers []taskMetricsJSON `json:"reducers"`
 	// ReducerInputBalance/ReducerOutputBalance summarize how evenly the
 	// shuffle and the output were spread over the round's reducers.
 	ReducerInputBalance  *LoadBalance `json:"reducerInputBalance,omitempty"`
 	ReducerOutputBalance *LoadBalance `json:"reducerOutputBalance,omitempty"`
+}
+
+// maintInfoJSON is the wire form of MaintInfo.
+type maintInfoJSON struct {
+	Round    int     `json:"round"`
+	Mode     string  `json:"mode"`
+	Reason   string  `json:"reason,omitempty"`
+	Drift    float64 `json:"drift"`
+	Appended int     `json:"appended"`
+	Deleted  int     `json:"deleted"`
+}
+
+func maintJSON(m *MaintInfo) *maintInfoJSON {
+	if m == nil {
+		return nil
+	}
+	return &maintInfoJSON{
+		Round: m.Round, Mode: m.Mode, Reason: m.Reason,
+		Drift: m.Drift, Appended: m.Appended, Deleted: m.Deleted,
+	}
 }
 
 func roundJSON(r *RoundMetrics) roundMetricsJSON {
@@ -187,6 +212,7 @@ func roundJSON(r *RoundMetrics) roundMetricsJSON {
 		SpeculativeLaunched: r.SpeculativeLaunched, SpeculativeWon: r.SpeculativeWon,
 		SpeculativeKilled: r.SpeculativeKilled, SpeculativeWallSeconds: r.SpeculativeWallSeconds,
 		Failed: r.Failed, FailReason: r.FailReason,
+		Maint:                maintJSON(r.Maint),
 		Mappers:              tasksJSON(r.Mappers),
 		Reducers:             tasksJSON(r.Reducers),
 		ReducerInputBalance:  NewLoadBalance(in),

@@ -92,36 +92,117 @@ func mergeInto(dst, a, b []Pair) {
 	}
 }
 
-// runMerger streams the pairs of k sorted runs in globally sorted order
-// through a loser tree: each next() replays one leaf-to-root path — log k
-// key comparisons — instead of re-scanning all run heads. Key ties go to
-// the lower run index, which, with runs ordered by map task, reproduces
-// the stable task-ordered concatenation sort exactly.
+// LoserTree is a k-way tournament over run indices 0..k-1 with a
+// caller-supplied ordering. It is the generic core of the reduce-side
+// shuffle merge, exported so other sorted-run consumers (the serving
+// layer's in-place cube patching, external merges) reuse the exact same
+// structure.
 //
 // The tree is the classic 2k-slot tournament layout: leaf j sits at node
 // k+j, internal node i holds the loser of the match between its subtrees,
-// and the overall winner is kept at slot 0. Exhausted runs act as +∞
-// sentinels, so no special casing is needed as runs drain.
-type runMerger struct {
-	runs  [][]Pair
-	pos   []int // per-run cursor
+// and the overall winner is kept at slot 0. The caller's beats(a, b) must
+// report whether run a's current head precedes run b's; the convention for
+// drained runs is to make them lose to live ones (acting as +∞ sentinels),
+// so no special casing is needed as runs drain. After consuming the
+// winner's head element the caller advances that run's cursor and calls
+// Replay, which replays one leaf-to-root path — log k comparisons.
+type LoserTree struct {
+	beats func(a, b int) bool
 	loser []int // loser[0] = overall winner; loser[1..k-1] = match losers
-	win   []int // build() scratch, kept so reset() does not allocate
+	win   []int // build() scratch, kept so Reset() does not allocate
 	k     int
+}
+
+// NewLoserTree builds a tree over k runs and plays the initial tournament.
+// beats reports whether run a's current head precedes run b's.
+func NewLoserTree(k int, beats func(a, b int) bool) *LoserTree {
+	t := &LoserTree{
+		beats: beats,
+		loser: make([]int, max(k, 1)),
+		win:   make([]int, 2*k),
+		k:     k,
+	}
+	t.build()
+	return t
+}
+
+// Reset replays the initial tournament, for reuse after the caller rewound
+// its run cursors.
+func (t *LoserTree) Reset() { t.build() }
+
+// Len returns the number of runs the tree was built over.
+func (t *LoserTree) Len() int { return t.k }
+
+// Winner returns the index of the run whose head currently wins the
+// tournament, or -1 for an empty tree. Whether that run still has elements
+// is the caller's to check — a drained winner means every run is drained.
+func (t *LoserTree) Winner() int {
+	if t.k == 0 {
+		return -1
+	}
+	return t.loser[0]
+}
+
+// Replay re-seats the winner after the caller advanced its run's cursor,
+// replaying the winner's leaf-to-root path against the stored losers.
+func (t *LoserTree) Replay() {
+	if t.k == 0 {
+		return
+	}
+	w := t.loser[0]
+	for i := (t.k + w) / 2; i >= 1; i /= 2 {
+		if t.beats(t.loser[i], w) {
+			t.loser[i], w = w, t.loser[i]
+		}
+	}
+	t.loser[0] = w
+}
+
+// build plays the initial tournament bottom-up.
+func (t *LoserTree) build() {
+	if t.k == 0 {
+		return
+	}
+	if t.k == 1 {
+		t.loser[0] = 0
+		return
+	}
+	// win[i] is the winner of the subtree rooted at node i; leaves k..2k-1
+	// hold the runs themselves.
+	win := t.win
+	for j := 0; j < t.k; j++ {
+		win[t.k+j] = j
+	}
+	for i := t.k - 1; i >= 1; i-- {
+		a, b := win[2*i], win[2*i+1]
+		if t.beats(a, b) {
+			win[i], t.loser[i] = a, b
+		} else {
+			win[i], t.loser[i] = b, a
+		}
+	}
+	t.loser[0] = win[1]
+}
+
+// runMerger streams the pairs of k sorted runs in globally sorted order
+// through a LoserTree: each next() replays one leaf-to-root path — log k
+// key comparisons — instead of re-scanning all run heads. Key ties go to
+// the lower run index, which, with runs ordered by map task, reproduces
+// the stable task-ordered concatenation sort exactly.
+type runMerger struct {
+	runs [][]Pair
+	pos  []int // per-run cursor
+	tree *LoserTree
 }
 
 // newRunMerger builds a merger over the given runs (empty runs are
 // allowed). The runs are read, never modified.
 func newRunMerger(runs [][]Pair) *runMerger {
-	k := len(runs)
 	m := &runMerger{
-		runs:  runs,
-		pos:   make([]int, k),
-		loser: make([]int, max(k, 1)),
-		win:   make([]int, 2*k),
-		k:     k,
+		runs: runs,
+		pos:  make([]int, len(runs)),
 	}
-	m.build()
+	m.tree = NewLoserTree(len(runs), m.beats)
 	return m
 }
 
@@ -131,33 +212,7 @@ func (m *runMerger) reset() {
 	for i := range m.pos {
 		m.pos[i] = 0
 	}
-	m.build()
-}
-
-// build plays the initial tournament bottom-up.
-func (m *runMerger) build() {
-	if m.k == 0 {
-		return
-	}
-	if m.k == 1 {
-		m.loser[0] = 0
-		return
-	}
-	// win[i] is the winner of the subtree rooted at node i; leaves k..2k-1
-	// hold the runs themselves.
-	win := m.win
-	for j := 0; j < m.k; j++ {
-		win[m.k+j] = j
-	}
-	for i := m.k - 1; i >= 1; i-- {
-		a, b := win[2*i], win[2*i+1]
-		if m.beats(a, b) {
-			win[i], m.loser[i] = a, b
-		} else {
-			win[i], m.loser[i] = b, a
-		}
-	}
-	m.loser[0] = win[1]
+	m.tree.Reset()
 }
 
 // beats reports whether run a's head precedes run b's head: exhausted runs
@@ -183,21 +238,12 @@ func (m *runMerger) beats(a, b int) bool {
 // is exhausted. The pointed-to Pair lives in its run's backing array and
 // must not be modified.
 func (m *runMerger) next() *Pair {
-	if m.k == 0 {
-		return nil
-	}
-	w := m.loser[0]
-	if m.pos[w] >= len(m.runs[w]) {
+	w := m.tree.Winner()
+	if w < 0 || m.pos[w] >= len(m.runs[w]) {
 		return nil // winner exhausted: all runs drained
 	}
 	p := &m.runs[w][m.pos[w]]
 	m.pos[w]++
-	// Replay the winner's leaf-to-root path against the stored losers.
-	for i := (m.k + w) / 2; i >= 1; i /= 2 {
-		if m.beats(m.loser[i], w) {
-			m.loser[i], w = w, m.loser[i]
-		}
-	}
-	m.loser[0] = w
+	m.tree.Replay()
 	return p
 }

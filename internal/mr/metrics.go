@@ -118,6 +118,28 @@ type RoundMetrics struct {
 
 	Failed     bool
 	FailReason string
+
+	// Maint annotates rounds that belong to an incremental-maintenance
+	// cycle (schema v3). Nil for ordinary cube-computation rounds.
+	Maint *MaintInfo
+}
+
+// MaintInfo describes the maintenance cycle a round was executed for: the
+// cycle's ordinal, whether the cycle merged a delta cube or rebuilt from
+// scratch, why, and the sketch drift that informed the decision.
+type MaintInfo struct {
+	// Round is the 1-based maintenance-cycle ordinal (0 = initial build).
+	Round int
+	// Mode is "delta" or "rebuild".
+	Mode string
+	// Reason explains the mode choice ("mergeable", "drift", "deletes",
+	// "aggregate", "forced", ...).
+	Reason string
+	// Drift is the sketch drift of the batch vs. the base sketch in [0,1].
+	Drift float64
+	// Appended/Deleted count the batch's tuples.
+	Appended int
+	Deleted  int
 }
 
 func (r *RoundMetrics) finalize(cost CostModel) {

@@ -64,6 +64,16 @@ const (
 	// EvRoundEnd closes a round: output Records/Bytes, simulated
 	// SimSeconds, and the failure flag.
 	EvRoundEnd = "round-end"
+
+	// EvMaintStart opens an incremental-maintenance cycle (Round is the
+	// cycle ordinal; Records/Bytes carry the batch's appended/deleted tuple
+	// counts; Mode and Drift carry the delta-vs-rebuild decision). It is
+	// emitted by the maintainer, not the engine, around the cycle's MR
+	// rounds; the maintainer numbers these events with its own Seq counter.
+	EvMaintStart = "maint-start"
+	// EvMaintEnd closes a maintenance cycle: Records carries the number of
+	// changed c-groups, Failed whether the cycle was rolled back.
+	EvMaintEnd = "maint-end"
 )
 
 // TraceEvent is one structured engine lifecycle event. Numeric fields are
@@ -110,6 +120,10 @@ type TraceEvent struct {
 	Err string `json:"err,omitempty"`
 	// Failed marks a failed round's round-end event.
 	Failed bool `json:"failed,omitempty"`
+	// Mode and Drift describe a maintenance cycle's delta-vs-rebuild
+	// decision (maint-start only).
+	Mode  string  `json:"mode,omitempty"`
+	Drift float64 `json:"drift,omitempty"`
 }
 
 // JSONLTracer writes one JSON object per event (JSON Lines) to an

@@ -180,6 +180,25 @@ func (d *Dictionary) Decode(col int, v Value) (string, bool) {
 // Cardinality returns the number of distinct values seen in column col.
 func (d *Dictionary) Cardinality(col int) int { return len(d.toStr[col]) }
 
+// Clone returns a deep copy of the dictionary. Incremental ingestion uses
+// it for copy-on-write: readers holding the old dictionary (a published
+// cube index) never observe new codes being assigned.
+func (d *Dictionary) Clone() *Dictionary {
+	out := &Dictionary{
+		toCode: make([]map[string]Value, len(d.toCode)),
+		toStr:  make([][]string, len(d.toStr)),
+	}
+	for i, m := range d.toCode {
+		cp := make(map[string]Value, len(m))
+		for k, v := range m {
+			cp[k] = v
+		}
+		out.toCode[i] = cp
+		out.toStr[i] = append([]string(nil), d.toStr[i]...)
+	}
+	return out
+}
+
 // Restrict returns a dictionary containing only the listed columns.
 func (d *Dictionary) Restrict(cols []int) *Dictionary {
 	out := &Dictionary{

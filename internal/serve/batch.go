@@ -2,6 +2,7 @@ package serve
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/spcube/spcube/internal/lattice"
@@ -21,8 +22,12 @@ import (
 // buffered, then executes. Under light load the window is the only added
 // latency; under heavy load batches fill instantly and the window never
 // expires.
+//
+// The batcher holds the service's swappable store pointer and loads it ONCE
+// per executed batch, so every query of a batch is answered from the same
+// immutable snapshot even if a maintenance swap lands mid-batch.
 type batcher struct {
-	store    *Store
+	store    *atomic.Pointer[Store]
 	window   time.Duration
 	maxBatch int
 	metrics  *Counters
@@ -44,7 +49,7 @@ type response struct {
 	err error
 }
 
-func newBatcher(store *Store, window time.Duration, maxBatch int, m *Counters) *batcher {
+func newBatcher(store *atomic.Pointer[Store], window time.Duration, maxBatch int, m *Counters) *batcher {
 	if window <= 0 {
 		window = 100 * time.Microsecond
 	}
@@ -128,10 +133,11 @@ func (b *batcher) collect(first *request) []*request {
 // cuboid and answered with one PointBatch probe per cuboid; everything else
 // is one probe per query.
 func (b *batcher) execute(batch []*request) {
+	store := b.store.Load() // one snapshot for the whole batch
 	points := make(map[lattice.Mask][]*request)
 	probes, valid := 0, 0
 	for _, r := range batch {
-		if err := r.q.validate(b.store.d); err != nil {
+		if err := r.q.validate(store.d); err != nil {
 			r.resp <- response{err: err}
 			continue
 		}
@@ -140,7 +146,7 @@ func (b *batcher) execute(batch []*request) {
 			points[r.q.Mask] = append(points[r.q.Mask], r)
 			continue
 		}
-		res, err := b.store.Execute(r.q)
+		res, err := store.Execute(r.q)
 		probes++
 		r.resp <- response{res: res, err: err}
 	}
@@ -149,7 +155,7 @@ func (b *batcher) execute(batch []*request) {
 		for i, r := range reqs {
 			keys[i] = r.q.Packed
 		}
-		results := b.store.PointBatch(mask, keys)
+		results := store.PointBatch(mask, keys)
 		probes++
 		for i, r := range reqs {
 			r.resp <- response{res: results[i]}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -14,7 +15,7 @@ func TestBatcherCoalescesSameCuboidPoints(t *testing.T) {
 	groups := brute.Cuboid(full)
 	m := &Counters{}
 	// A long window so concurrently submitted queries reliably share a batch.
-	b := newBatcher(st, 50*time.Millisecond, 64, m)
+	b := newBatcher(storePtr(st), 50*time.Millisecond, 64, m)
 	defer b.close()
 
 	const n = 8
@@ -54,7 +55,7 @@ func TestBatcherMixedOps(t *testing.T) {
 	full := lattice.Full(rel.D())
 	g := brute.Cuboid(full)[0]
 	m := &Counters{}
-	b := newBatcher(st, 20*time.Millisecond, 64, m)
+	b := newBatcher(storePtr(st), 20*time.Millisecond, 64, m)
 	defer b.close()
 
 	var wg sync.WaitGroup
@@ -94,7 +95,7 @@ func TestBatcherMixedOps(t *testing.T) {
 
 func TestBatcherClose(t *testing.T) {
 	st, _, _ := buildStore(t, 50, 2, 3)
-	b := newBatcher(st, time.Millisecond, 8, nil)
+	b := newBatcher(storePtr(st), time.Millisecond, 8, nil)
 	if _, err := b.do(Query{Op: OpTopK, Mask: 1, K: 1}); err != nil {
 		t.Fatalf("query before close: %v", err)
 	}
@@ -110,7 +111,7 @@ func TestBatcherMaxBatchBound(t *testing.T) {
 	full := lattice.Full(rel.D())
 	groups := brute.Cuboid(full)
 	m := &Counters{}
-	b := newBatcher(st, time.Hour, 2, m) // only the size bound can release a batch
+	b := newBatcher(storePtr(st), time.Hour, 2, m) // only the size bound can release a batch
 	defer b.close()
 	var wg sync.WaitGroup
 	for i := 0; i < 4; i++ {
@@ -127,4 +128,11 @@ func TestBatcherMaxBatchBound(t *testing.T) {
 	if got := m.batches.Load(); got != 2 {
 		t.Fatalf("batches = %d, want 2 with maxBatch=2", got)
 	}
+}
+
+// storePtr wraps a store in the swappable pointer the batcher takes.
+func storePtr(st *Store) *atomic.Pointer[Store] {
+	var p atomic.Pointer[Store]
+	p.Store(st)
+	return &p
 }

@@ -96,6 +96,17 @@ func (c *cache) do(key string, fn func() (Result, error)) (Result, error) {
 	return f.res, f.err
 }
 
+// reset flushes every entry, resident and in flight. Removed in-flight
+// flights still complete and answer their waiters; they are simply no longer
+// reachable for new lookups, so the next lookup of their key re-evaluates
+// against whatever store is then current.
+func (c *cache) reset() {
+	c.mu.Lock()
+	c.ll = list.New()
+	c.byKey = make(map[string]*list.Element)
+	c.mu.Unlock()
+}
+
 // len returns the number of resident entries (including in-flight ones).
 func (c *cache) len() int {
 	c.mu.Lock()

@@ -76,25 +76,28 @@ type CuboidDoc struct {
 const SchemaValueCap = 1024
 
 // NewHandler builds the HTTP front end over a service: POST|GET /v1/query,
-// GET /v1/schema, GET /v1/stats, GET /healthz. The store must be the one the
-// service serves; m may be nil.
-func NewHandler(svc Service, store *Store, m *Counters) http.Handler {
+// GET /v1/schema, GET /v1/stats, GET /healthz. src must yield the snapshot
+// the service serves — pass the Batched/Direct service itself so the
+// handlers follow maintenance swaps, or a bare *Store for a static cube; m
+// may be nil. Each request loads the snapshot once and uses it for parsing
+// and rendering, so one response never mixes snapshots.
+func NewHandler(svc Service, src StoreSource, m *Counters) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/v1/schema", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, schemaDoc(store))
+		writeJSON(w, http.StatusOK, schemaDoc(src.Store()))
 	})
-	mux.Handle("/v1/stats", StatsHandler(m, store))
+	mux.Handle("/v1/stats", StatsHandler(m, src))
 	mux.HandleFunc("/v1/query", func(w http.ResponseWriter, r *http.Request) {
 		req, err := decodeQueryRequest(r)
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, QueryResponse{Error: err.Error()})
 			return
 		}
-		handleQuery(w, svc, store, req)
+		handleQuery(w, svc, src.Store(), req)
 	})
 	return mux
 }

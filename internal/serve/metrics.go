@@ -27,6 +27,8 @@ type Counters struct {
 	batchedQueries atomic.Int64
 	coalesced      atomic.Int64
 	probes         atomic.Int64
+
+	swaps atomic.Int64
 }
 
 func (c *Counters) query(op Op) {
@@ -69,6 +71,16 @@ func (c *Counters) batch(n, p int) {
 	}
 }
 
+// swap records one snapshot swap (a maintenance round going live).
+func (c *Counters) swap() {
+	if c != nil {
+		c.swaps.Add(1)
+	}
+}
+
+// Swaps returns how many snapshot swaps the service has served.
+func (c *Counters) Swaps() int64 { return c.swaps.Load() }
+
 // CacheHits returns the cache-hit count (hits on completed entries plus
 // single-flight waiters that shared an in-flight evaluation).
 func (c *Counters) CacheHits() int64 { return c.cacheHits.Load() + c.flightsShared.Load() }
@@ -98,6 +110,8 @@ type Stats struct {
 	BatchedQueries int64 `json:"batchedQueries"`
 	Probes         int64 `json:"probes"`
 	Coalesced      int64 `json:"coalesced"`
+	// Swaps counts snapshot swaps (maintenance rounds gone live).
+	Swaps int64 `json:"swaps"`
 	// Groups and Cuboids describe the served snapshot (0 when the
 	// counters are not attached to a store).
 	Groups  int `json:"groups,omitempty"`
@@ -125,17 +139,22 @@ func (c *Counters) Snapshot() Stats {
 	s.BatchedQueries = c.batchedQueries.Load()
 	s.Probes = c.probes.Load()
 	s.Coalesced = c.coalesced.Load()
+	s.Swaps = c.swaps.Load()
 	return s
 }
 
 // StatsHandler serves the counters as an indented JSON Stats document,
-// annotated with the store's snapshot shape. Either argument may be nil.
-func StatsHandler(c *Counters, store *Store) http.Handler {
+// annotated with the current snapshot's shape (loaded from src per request,
+// so a long-lived server reports the post-swap store). Either argument may
+// be nil.
+func StatsHandler(c *Counters, src StoreSource) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s := c.Snapshot()
-		if store != nil {
-			s.Groups = store.Groups()
-			s.Cuboids = len(store.byMask)
+		if src != nil {
+			if store := src.Store(); store != nil {
+				s.Groups = store.Groups()
+				s.Cuboids = len(store.byMask)
+			}
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

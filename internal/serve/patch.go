@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/spcube/spcube/internal/lattice"
+	"github.com/spcube/spcube/internal/mr"
+	"github.com/spcube/spcube/internal/relation"
+)
+
+// Patch is a batch of group-level edits — upserts and removals keyed by
+// encoded group key — produced by one incremental-maintenance round
+// (delta.Round.Changes) and applied to a Store with ApplyPatch. Entries are
+// grouped by cuboid; order of addition is irrelevant except that a later
+// entry for the same key supersedes an earlier one.
+type Patch struct {
+	perMask map[lattice.Mask][]patchEntry
+	n       int
+}
+
+// patchEntry is one edit in decoded form.
+type patchEntry struct {
+	seq    int // addition order, for last-wins dedup of equal keys
+	packed []relation.Value
+	val    float64
+	del    bool
+}
+
+// NewPatch returns an empty patch.
+func NewPatch() *Patch {
+	return &Patch{perMask: make(map[lattice.Mask][]patchEntry)}
+}
+
+// Len returns the number of edits added.
+func (p *Patch) Len() int { return p.n }
+
+// Set records that the group with the given encoded key now has value v
+// (inserting the group if the store lacks it).
+func (p *Patch) Set(key string, v float64) error {
+	return p.add(key, v, false)
+}
+
+// Delete records that the group with the given encoded key is gone. Deleting
+// a group the store does not hold is a no-op at apply time.
+func (p *Patch) Delete(key string) error {
+	return p.add(key, 0, true)
+}
+
+func (p *Patch) add(key string, v float64, del bool) error {
+	mask, packed, err := relation.DecodeGroupKey(key)
+	if err != nil {
+		return err
+	}
+	m := lattice.Mask(mask)
+	p.perMask[m] = append(p.perMask[m], patchEntry{seq: p.n, packed: packed, val: v, del: del})
+	p.n++
+	return nil
+}
+
+// ApplyPatch merges a patch into the store, returning a NEW immutable
+// snapshot; the receiver is untouched and stays fully servable. Cuboids the
+// patch does not touch are shared between the two snapshots (copy-on-write);
+// each touched cuboid is rebuilt by a two-run mr.LoserTree merge of its old
+// sorted run against the sorted patch entries — the same tournament merge
+// the engine's reduce-side shuffle uses. A cuboid emptied by deletions is
+// dropped; a cuboid the store never held is created.
+//
+// dict, when non-nil, replaces the store's dictionary in the new snapshot
+// (appends can mint codes the old dictionary lacks; the maintainer's
+// copy-on-write dictionary keeps the old snapshot's codes valid forever).
+func (s *Store) ApplyPatch(p *Patch, dict *relation.Dictionary) (*Store, error) {
+	ns := &Store{
+		d:      s.d,
+		schema: s.schema,
+		dict:   s.dict,
+		byMask: make(map[lattice.Mask]*cuboid, len(s.byMask)),
+	}
+	if dict != nil {
+		ns.dict = dict
+	}
+	for mask, c := range s.byMask {
+		ns.byMask[mask] = c // shared until the patch says otherwise
+	}
+	for mask, entries := range p.perMask {
+		if mask > lattice.Full(s.d) {
+			return nil, fmt.Errorf("serve: patch cuboid %b out of range for %d dimensions", uint32(mask), s.d)
+		}
+		merged := patchCuboid(s.byMask[mask], mask, entries)
+		if merged == nil {
+			delete(ns.byMask, mask)
+		} else {
+			ns.byMask[mask] = merged
+		}
+	}
+	for _, c := range ns.byMask {
+		ns.groups += c.rows()
+	}
+	return ns, nil
+}
+
+// patchCuboid merges one cuboid's sorted run (old may be nil) with its patch
+// entries through a two-run loser tree: run 0 is the old run, run 1 the
+// sorted patch. On equal keys the patch wins and the old row is consumed
+// silently — a Set replaces it, a Delete drops it. Returns nil when the
+// merge leaves no rows.
+func patchCuboid(old *cuboid, mask lattice.Mask, entries []patchEntry) *cuboid {
+	entries = dedupEntries(entries)
+	stride := mask.Level()
+	oldN := 0
+	if old != nil {
+		oldN = old.rows()
+	}
+
+	oi, pi := 0, 0
+	head := func(run int) []relation.Value {
+		if run == 0 {
+			return old.row(oi)
+		}
+		return entries[pi].packed
+	}
+	beats := func(a, b int) bool {
+		ea := (a == 0 && oi >= oldN) || (a == 1 && pi >= len(entries))
+		eb := (b == 0 && oi >= oldN) || (b == 1 && pi >= len(entries))
+		switch { // drained runs lose to live ones (+∞ sentinels)
+		case ea && eb:
+			return a < b
+		case ea:
+			return false
+		case eb:
+			return true
+		}
+		if c := relation.ComparePacked(head(a), head(b)); c != 0 {
+			return c < 0
+		}
+		return a == 1 // equal keys: the patch entry supersedes the old row
+	}
+	tree := mr.NewLoserTree(2, beats)
+
+	nc := &cuboid{
+		mask:   mask,
+		stride: stride,
+		packed: make([]relation.Value, 0, (oldN+len(entries))*stride),
+		vals:   make([]float64, 0, oldN+len(entries)),
+	}
+	for oi < oldN || pi < len(entries) {
+		if tree.Winner() == 0 {
+			nc.packed = append(nc.packed, old.row(oi)...)
+			nc.vals = append(nc.vals, old.vals[oi])
+			oi++
+			tree.Replay()
+			continue
+		}
+		e := entries[pi]
+		pi++
+		if !e.del {
+			nc.packed = append(nc.packed, e.packed...)
+			nc.vals = append(nc.vals, e.val)
+		}
+		if oi < oldN && relation.ComparePacked(old.row(oi), e.packed) == 0 {
+			// The patch superseded this old row: consume it too. Both
+			// cursors moved, so replay the whole (two-leaf) tournament.
+			oi++
+			tree.Reset()
+		} else {
+			tree.Replay()
+		}
+	}
+	if nc.rows() == 0 {
+		return nil
+	}
+	nc.point = make(map[string]int32, nc.rows())
+	for i := 0; i < nc.rows(); i++ {
+		nc.point[relation.GroupKeyPacked(uint32(mask), nc.row(i))] = int32(i)
+	}
+	return nc
+}
+
+// dedupEntries sorts a cuboid's patch entries by packed key and collapses
+// duplicates to the last-added entry, returning a fresh slice (the patch
+// stays reusable).
+func dedupEntries(entries []patchEntry) []patchEntry {
+	sorted := make([]patchEntry, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if c := relation.ComparePacked(sorted[i].packed, sorted[j].packed); c != 0 {
+			return c < 0
+		}
+		return sorted[i].seq < sorted[j].seq
+	})
+	out := sorted[:0]
+	for i, e := range sorted {
+		if i+1 < len(sorted) && relation.ComparePacked(e.packed, sorted[i+1].packed) == 0 {
+			continue // a later entry for the same key supersedes this one
+		}
+		out = append(out, e)
+	}
+	return out
+}

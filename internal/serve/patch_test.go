@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/spcube/spcube/internal/agg"
+	"github.com/spcube/spcube/internal/cube"
+	"github.com/spcube/spcube/internal/lattice"
+	"github.com/spcube/spcube/internal/relation"
+)
+
+// tupleList is a mutable relation draft: patch tests evolve one through
+// appends and deletes and materialize each version as a dictionary-free
+// relation, so packed codes (the raw values) are stable across versions.
+type tupleList struct {
+	d    int
+	rows [][]relation.Value
+}
+
+func newTupleList(rng *rand.Rand, n, d, card int) *tupleList {
+	tl := &tupleList{d: d}
+	for i := 0; i < n; i++ {
+		row := make([]relation.Value, d)
+		for j := range row {
+			row[j] = relation.Value(rng.Intn(card))
+		}
+		tl.rows = append(tl.rows, row)
+	}
+	return tl
+}
+
+func (tl *tupleList) relation() *relation.Relation {
+	names := make([]string, tl.d)
+	for i := range names {
+		names[i] = fmt.Sprintf("a%d", i)
+	}
+	rel := &relation.Relation{Schema: relation.Schema{DimNames: names, MeasureName: "m"}}
+	for _, row := range tl.rows {
+		rel.Append(row, 1)
+	}
+	return rel
+}
+
+// diffPatch turns the difference between two brute cubes into a Patch: a Set
+// for every changed or new group, a Delete for every vanished one.
+func diffPatch(t *testing.T, old, new *cube.Result) *Patch {
+	t.Helper()
+	p := NewPatch()
+	for key, v := range new.Groups {
+		if ov, ok := old.Groups[key]; !ok || ov != v {
+			if err := p.Set(key, v); err != nil {
+				t.Fatalf("Patch.Set: %v", err)
+			}
+		}
+	}
+	for key := range old.Groups {
+		if _, ok := new.Groups[key]; !ok {
+			if err := p.Delete(key); err != nil {
+				t.Fatalf("Patch.Delete: %v", err)
+			}
+		}
+	}
+	return p
+}
+
+// checkStoreMatches verifies a store serves exactly the groups of a brute
+// cube: group count, cuboid inventory, every point through both the hash
+// index and the binary search, and full-cuboid slices (ordering).
+func checkStoreMatches(t *testing.T, st *Store, brute *cube.Result) {
+	t.Helper()
+	if st.Groups() != brute.Len() {
+		t.Fatalf("store has %d groups, brute %d", st.Groups(), brute.Len())
+	}
+	for key, want := range brute.Groups {
+		mask, packed, err := relation.DecodeGroupKey(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := st.Point(lattice.Mask(mask), packed); !ok || got != want {
+			t.Fatalf("Point(%b, %v) = %v,%v want %v", mask, packed, got, ok, want)
+		}
+		if got, ok := st.pointSearch(lattice.Mask(mask), packed); !ok || got != want {
+			t.Fatalf("pointSearch(%b, %v) = %v,%v want %v", mask, packed, got, ok, want)
+		}
+	}
+	for _, ci := range st.Cuboids() {
+		want := brute.Cuboid(ci.Mask)
+		got := st.Slice(ci.Mask, nil)
+		if len(got) != len(want) || ci.Size != len(want) {
+			t.Fatalf("cuboid %b: %d/%d rows, brute %d", ci.Mask, len(got), ci.Size, len(want))
+		}
+		for i := range got {
+			if relation.ComparePacked(got[i].Packed, want[i].Packed) != 0 || got[i].Value != want[i].Value {
+				t.Fatalf("cuboid %b row %d = %v/%v, want %v/%v",
+					ci.Mask, i, got[i].Packed, got[i].Value, want[i].Packed, want[i].Value)
+			}
+		}
+	}
+}
+
+// TestApplyPatchMatchesRebuild is the patch path's differential gate: evolve
+// a relation through rounds of random appends and deletes, apply the diff of
+// each round as a Patch, and require the patched store to serve exactly what
+// a store built from scratch over the evolved relation would — every point,
+// every cuboid, every ordering.
+func TestApplyPatchMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tl := newTupleList(rng, 300, 3, 4)
+	brute := cube.Brute(tl.relation(), agg.Count)
+	st, err := Build(tl.relation(), brute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 6; round++ {
+		// Random churn: delete some rows, append some new ones.
+		for i := 0; i < 20 && len(tl.rows) > 1; i++ {
+			j := rng.Intn(len(tl.rows))
+			tl.rows = append(tl.rows[:j], tl.rows[j+1:]...)
+		}
+		for i := 0; i < 25; i++ {
+			row := make([]relation.Value, tl.d)
+			for j := range row {
+				row[j] = relation.Value(rng.Intn(5)) // slightly wider domain: new groups appear
+			}
+			tl.rows = append(tl.rows, row)
+		}
+		next := cube.Brute(tl.relation(), agg.Count)
+		patched, err := st.ApplyPatch(diffPatch(t, brute, next), nil)
+		if err != nil {
+			t.Fatalf("round %d: ApplyPatch: %v", round, err)
+		}
+		checkStoreMatches(t, patched, next)
+		// The old snapshot still serves the old cube (copy-on-write).
+		checkStoreMatches(t, st, brute)
+		st, brute = patched, next
+	}
+}
+
+// TestApplyPatchSharesUntouchedCuboids pins the copy-on-write contract: a
+// patch touching one cuboid must alias every other cuboid of the old store
+// and replace the touched one.
+func TestApplyPatchSharesUntouchedCuboids(t *testing.T) {
+	st, brute, rel := buildStore(t, 200, 3, 3)
+	full := lattice.Full(rel.D())
+	g := brute.Cuboid(full)[0]
+	p := NewPatch()
+	key := relation.GroupKeyPacked(uint32(full), g.Packed)
+	if err := p.Set(key, g.Value+7); err != nil {
+		t.Fatal(err)
+	}
+	ns, err := st.ApplyPatch(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mask, c := range st.byMask {
+		nc := ns.byMask[mask]
+		if mask == full {
+			if nc == c {
+				t.Fatalf("patched cuboid %b was not replaced", mask)
+			}
+			continue
+		}
+		if nc != c {
+			t.Fatalf("untouched cuboid %b was rebuilt instead of shared", mask)
+		}
+	}
+	if v, ok := ns.Point(full, g.Packed); !ok || v != g.Value+7 {
+		t.Fatalf("patched point = %v,%v want %v", v, ok, g.Value+7)
+	}
+	if v, ok := st.Point(full, g.Packed); !ok || v != g.Value {
+		t.Fatalf("old snapshot mutated: point = %v,%v want %v", v, ok, g.Value)
+	}
+}
+
+// TestApplyPatchCreatesAndDropsCuboids: setting groups of a mask the store
+// never held creates the cuboid; deleting a cuboid's every group drops it.
+func TestApplyPatchCreatesAndDropsCuboids(t *testing.T) {
+	st, brute, rel := buildStore(t, 100, 2, 3)
+	full := lattice.Full(rel.D())
+
+	// Drop: delete every full-cuboid group.
+	p := NewPatch()
+	for _, g := range brute.Cuboid(full) {
+		if err := p.Delete(relation.GroupKeyPacked(uint32(full), g.Packed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ns, err := st.ApplyPatch(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ns.byMask[full]; ok {
+		t.Fatal("emptied cuboid was not dropped")
+	}
+	if want := st.Groups() - len(brute.Cuboid(full)); ns.Groups() != want {
+		t.Fatalf("groups = %d, want %d", ns.Groups(), want)
+	}
+
+	// Create: patch the full cuboid back into the dropped store.
+	p2 := NewPatch()
+	for _, g := range brute.Cuboid(full) {
+		if err := p2.Set(relation.GroupKeyPacked(uint32(full), g.Packed), g.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ns2, err := ns.ApplyPatch(p2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStoreMatches(t, ns2, brute)
+
+	// Deleting an absent group is a no-op; a patch cuboid beyond the
+	// store's dimensionality is an error.
+	p3 := NewPatch()
+	if err := p3.Delete(relation.GroupKeyPacked(uint32(full), []relation.Value{99, 99})); err != nil {
+		t.Fatal(err)
+	}
+	ns3, err := ns2.ApplyPatch(p3, nil)
+	if err != nil || ns3.Groups() != ns2.Groups() {
+		t.Fatalf("no-op delete: %v, groups %d want %d", err, ns3.Groups(), ns2.Groups())
+	}
+	bad := NewPatch()
+	overMask := uint32(lattice.Full(rel.D())) + 1 // one bit beyond the store's dimensions
+	if err := bad.Set(relation.GroupKeyPacked(overMask, []relation.Value{1}), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ns2.ApplyPatch(bad, nil); err == nil {
+		t.Fatal("out-of-range patch cuboid accepted")
+	}
+}
+
+// TestPatchLastEntryWins: multiple entries for one key collapse to the last
+// added, both Set-after-Set and Delete-after-Set.
+func TestPatchLastEntryWins(t *testing.T) {
+	st, brute, rel := buildStore(t, 100, 2, 3)
+	full := lattice.Full(rel.D())
+	groups := brute.Cuboid(full)
+	g0, g1 := groups[0], groups[1]
+	k0 := relation.GroupKeyPacked(uint32(full), g0.Packed)
+	k1 := relation.GroupKeyPacked(uint32(full), g1.Packed)
+
+	p := NewPatch()
+	for _, step := range []func() error{
+		func() error { return p.Set(k0, 111) },
+		func() error { return p.Set(k0, 222) }, // supersedes 111
+		func() error { return p.Set(k1, 333) },
+		func() error { return p.Delete(k1) }, // supersedes 333
+	} {
+		if err := step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", p.Len())
+	}
+	ns, err := st.ApplyPatch(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := ns.Point(full, g0.Packed); !ok || v != 222 {
+		t.Fatalf("k0 = %v,%v want 222", v, ok)
+	}
+	if _, ok := ns.Point(full, g1.Packed); ok {
+		t.Fatal("k1 survived its delete")
+	}
+	// Corrupt keys are rejected at Patch build time.
+	if err := NewPatch().Set("\xff\xff\xff\xff\xff\xff", 1); err == nil {
+		t.Fatal("corrupt patch key accepted")
+	}
+}

@@ -13,9 +13,16 @@
 //
 // The Store is an immutable snapshot: queries against it are deterministic,
 // which is what makes results cacheable without an invalidation protocol.
-// Updating a served cube means building a new Store from the recomputed (or
-// delta-merged) cube and swapping it in behind a new Service; the cache dies
-// with the Service it fronts, so no stale entry can outlive its snapshot.
+// Updating a served cube is a snapshot swap, not a mutation: incremental
+// maintenance turns a delta round's changes into a Patch, Store.ApplyPatch
+// merges it into a NEW store (sharing untouched cuboids with the old one),
+// and Service.Swap publishes the new snapshot — pointer first, then a full
+// cache flush. That ordering is the whole read-while-update story: entries
+// computed against the old store were necessarily inserted before the flush
+// and die in it, entries inserted after the flush were evaluated by batches
+// that loaded the store after the pointer moved, and the batcher reads the
+// pointer once per batch, so every reader sees exactly one snapshot and no
+// cache entry outlives the snapshot it was computed on.
 package serve
 
 import (

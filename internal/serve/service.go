@@ -1,6 +1,9 @@
 package serve
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Config parameterizes a batched service.
 type Config struct {
@@ -19,18 +22,35 @@ type Config struct {
 	Counters *Counters
 }
 
+// StoreSource yields the current store snapshot. A bare *Store is its own
+// (static) source; the Service implementations are live sources that follow
+// Swap. HTTP handlers take a StoreSource so a long-lived server observes
+// maintenance swaps without being rebuilt.
+type StoreSource interface {
+	Store() *Store
+}
+
+// Store returns the store itself: a *Store is a static StoreSource.
+func (s *Store) Store() *Store { return s }
+
 // Batched is the production Service: a single-flight LRU cache in front of a
 // coalescing request batcher in front of the store. Identical concurrent
 // queries cost one evaluation; distinct concurrent point queries against the
 // same cuboid cost one index probe per batch.
+//
+// The served snapshot is swappable: Swap publishes a new store for all
+// subsequent evaluations and then flushes the result cache, so no entry
+// computed against the old snapshot outlives it (see Swap for the ordering
+// argument).
 type Batched struct {
-	store   *Store
+	store   atomic.Pointer[Store]
 	cache   *cache // nil when caching is disabled
 	batcher *batcher
 	metrics *Counters
 }
 
 var _ Service = (*Batched)(nil)
+var _ StoreSource = (*Batched)(nil)
 
 // NewService builds a batched service over a store.
 func NewService(store *Store, cfg Config) *Batched {
@@ -38,11 +58,9 @@ func NewService(store *Store, cfg Config) *Batched {
 	if m == nil {
 		m = &Counters{}
 	}
-	s := &Batched{
-		store:   store,
-		batcher: newBatcher(store, cfg.BatchWindow, cfg.MaxBatch, m),
-		metrics: m,
-	}
+	s := &Batched{metrics: m}
+	s.store.Store(store)
+	s.batcher = newBatcher(&s.store, cfg.BatchWindow, cfg.MaxBatch, m)
 	if cfg.CacheEntries >= 0 {
 		s.cache = newCache(cfg.CacheEntries, m)
 	}
@@ -52,12 +70,29 @@ func NewService(store *Store, cfg Config) *Batched {
 // Counters returns the service's metrics.
 func (s *Batched) Counters() *Counters { return s.metrics }
 
-// Store returns the served snapshot.
-func (s *Batched) Store() *Store { return s.store }
+// Store returns the currently served snapshot.
+func (s *Batched) Store() *Store { return s.store.Load() }
+
+// Swap atomically publishes a new snapshot and invalidates the result
+// cache. The pointer is set BEFORE the flush, which makes stale entries
+// impossible: every cache entry computed against the old store was inserted
+// before the flush (insertion precedes evaluation, the batcher loads the
+// store only after the query is in the cache) and is therefore removed by
+// it, while any entry inserted after the flush was evaluated by a batch that
+// loaded the store after the pointer moved. Post-Swap the cache can only
+// hold new-snapshot results; readers in flight see one consistent snapshot
+// or the other, never a mix.
+func (s *Batched) Swap(store *Store) {
+	s.store.Store(store)
+	if s.cache != nil {
+		s.cache.reset()
+	}
+	s.metrics.swap()
+}
 
 // Query answers one query through the cache and batcher.
 func (s *Batched) Query(q Query) (Result, error) {
-	if err := q.validate(s.store.d); err != nil {
+	if err := q.validate(s.store.Load().d); err != nil {
 		s.metrics.queryError()
 		return Result{}, err
 	}
@@ -85,22 +120,35 @@ func (s *Batched) Close() error {
 
 // Direct is the unbatched, uncached Service: every query is evaluated
 // immediately against the store. It exists as the baseline the batched
-// service is differentially tested (and benchmarked) against.
+// service is differentially tested (and benchmarked) against. Like Batched
+// it is swappable; with no cache to flush, Swap is just the pointer move.
 type Direct struct {
-	store   *Store
+	store   atomic.Pointer[Store]
 	metrics *Counters
 }
 
 var _ Service = (*Direct)(nil)
+var _ StoreSource = (*Direct)(nil)
 
 // NewDirect builds a direct service over a store; m may be nil.
 func NewDirect(store *Store, m *Counters) *Direct {
-	return &Direct{store: store, metrics: m}
+	s := &Direct{metrics: m}
+	s.store.Store(store)
+	return s
+}
+
+// Store returns the currently served snapshot.
+func (s *Direct) Store() *Store { return s.store.Load() }
+
+// Swap atomically publishes a new snapshot.
+func (s *Direct) Swap(store *Store) {
+	s.store.Store(store)
+	s.metrics.swap()
 }
 
 // Query evaluates one query immediately.
 func (s *Direct) Query(q Query) (Result, error) {
-	res, err := s.store.Execute(q)
+	res, err := s.store.Load().Execute(q)
 	if err != nil {
 		s.metrics.queryError()
 		return res, err

@@ -14,33 +14,33 @@ import (
 // cuboid's groups are held as a sorted run — packed values flattened
 // row-major into one array, ordered by relation.ComparePacked — probed by
 // binary search (range scans for slices, a shared galloping pass for batched
-// points), plus a small hash index from encoded group key to row for direct
-// point lookups. The group-key strings of the hash index alias the ingested
-// cube.Result's keys, so the index costs map overhead, not key copies.
+// points), plus a per-cuboid hash index from encoded group key to row for
+// direct point lookups. The group-key strings of the hash index alias the
+// ingested cube.Result's keys, so the index costs map overhead, not key
+// copies.
 //
 // A Store is safe for unlimited concurrent readers; it is never mutated
-// after Build.
+// after Build. Incremental maintenance produces a NEW store from an old one
+// via ApplyPatch — untouched cuboids are shared between the two snapshots
+// (copy-on-write), which is why the point index is per cuboid rather than
+// store-wide: patching one cuboid must not force rebuilding every other
+// cuboid's index.
 type Store struct {
 	d      int
 	schema relation.Schema
 	dict   *relation.Dictionary
 	byMask map[lattice.Mask]*cuboid
-	point  map[string]rowRef
 	groups int
 }
 
-// rowRef locates one group: its cuboid and row within the sorted run.
-type rowRef struct {
-	mask lattice.Mask
-	row  int32
-}
-
-// cuboid is one cuboid's sorted run.
+// cuboid is one cuboid's sorted run plus its point index. Cuboids are
+// immutable and may be shared by several Store snapshots.
 type cuboid struct {
 	mask   lattice.Mask
 	stride int              // values per row (the mask's popcount)
 	packed []relation.Value // len = stride * rows, sorted by ComparePacked
 	vals   []float64
+	point  map[string]int32 // encoded group key -> row
 }
 
 // rows returns the number of groups in the cuboid.
@@ -61,7 +61,6 @@ func Build(rel *relation.Relation, res *cube.Result) (*Store, error) {
 		schema: rel.Schema,
 		dict:   rel.Dict,
 		byMask: make(map[lattice.Mask]*cuboid),
-		point:  make(map[string]rowRef, len(res.Groups)),
 		groups: len(res.Groups),
 	}
 	type entry struct {
@@ -85,11 +84,12 @@ func Build(rel *relation.Relation, res *cube.Result) (*Store, error) {
 			stride: mask.Level(),
 			packed: make([]relation.Value, 0, len(entries)*mask.Level()),
 			vals:   make([]float64, 0, len(entries)),
+			point:  make(map[string]int32, len(entries)),
 		}
 		for i, e := range entries {
 			c.packed = append(c.packed, e.packed...)
 			c.vals = append(c.vals, res.Groups[e.key])
-			st.point[e.key] = rowRef{mask: mask, row: int32(i)}
+			c.point[e.key] = int32(i)
 		}
 		st.byMask[mask] = c
 	}
@@ -164,13 +164,17 @@ func (s *Store) DimValues(col, max int) []string {
 	return out
 }
 
-// Point looks up one group through the hash index.
+// Point looks up one group through its cuboid's hash index.
 func (s *Store) Point(mask lattice.Mask, packed []relation.Value) (float64, bool) {
-	ref, ok := s.point[relation.GroupKeyPacked(uint32(mask), packed)]
+	c, ok := s.byMask[mask]
 	if !ok {
 		return 0, false
 	}
-	return s.byMask[ref.mask].vals[ref.row], true
+	row, ok := c.point[relation.GroupKeyPacked(uint32(mask), packed)]
+	if !ok {
+		return 0, false
+	}
+	return c.vals[row], true
 }
 
 // PointQuery locates one point query's row in the sorted runs by binary

@@ -1,0 +1,91 @@
+package sketch
+
+import "github.com/spcube/spcube/internal/lattice"
+
+// Drift quantifies how far a delta batch's distribution has moved from the
+// distribution the base sketch was built on, in [0, 1]. Incremental
+// maintenance uses it as the rebuild signal: the base cube's partitioning
+// decisions (skew set, range boundaries) were taken from the base sketch,
+// and a drifting delta means those decisions — and with them the paper's
+// load-balance guarantees — no longer describe the merged relation.
+//
+// Two components are combined by max:
+//
+//   - Skew drift: the fraction of the combined skew set that is new in the
+//     delta, |S_delta \ S_base| / |S_delta ∪ S_base| over all cuboids. A
+//     delta concentrated on groups the base never saw as skewed scores
+//     high; a delta that only thickens known heavy groups scores 0.
+//
+//   - Partition drift: for every cuboid, each delta partition element sits
+//     at a known quantile of the delta; looking it up in the base cuboid's
+//     range partition gives the quantile the base assigns it. The average
+//     absolute quantile displacement measures how far the delta's value
+//     distribution has slid along each cuboid's sort order.
+//
+// Sketches over different dimensionalities are incomparable and score 1.
+func Drift(base, delta *Sketch) float64 {
+	if base == nil || delta == nil || base.D != delta.D {
+		return 1
+	}
+
+	// Skew drift.
+	var fresh, union int
+	for mask := range delta.skews {
+		baseSet := base.skews[mask]
+		for key := range delta.skews[mask] {
+			union++
+			if _, ok := baseSet[key]; !ok {
+				fresh++
+			}
+		}
+		for key := range baseSet {
+			if _, ok := delta.skews[mask][key]; !ok {
+				union++
+			}
+		}
+	}
+	skewDrift := 0.0
+	if union > 0 {
+		skewDrift = float64(fresh) / float64(union)
+	}
+
+	// Partition drift.
+	var dispSum float64
+	var dispN int
+	for mask := range delta.parts {
+		dElems := delta.parts[mask]
+		bElems := base.parts[mask]
+		if len(dElems) == 0 || len(bElems) == 0 {
+			continue
+		}
+		for j, e := range dElems {
+			deltaQ := float64(j+1) / float64(len(dElems)+1)
+			// Partition ranks e among the base boundaries: rank r means
+			// e_{r-1} < e ≤ e_r, and cut point e_r sits at base quantile
+			// (r+1)/(len+1) — so an identical distribution (delta cut j
+			// landing exactly on base cut j) scores zero displacement.
+			r := base.Partition(lattice.Mask(mask), e)
+			baseQ := float64(r+1) / float64(len(bElems)+1)
+			if r >= len(bElems) {
+				// Past every base cut point: the base has no upper bound
+				// for it, count it as the far end.
+				baseQ = 1
+			}
+			d := baseQ - deltaQ
+			if d < 0 {
+				d = -d
+			}
+			dispSum += d
+			dispN++
+		}
+	}
+	partDrift := 0.0
+	if dispN > 0 {
+		partDrift = dispSum / float64(dispN)
+	}
+
+	if skewDrift > partDrift {
+		return skewDrift
+	}
+	return partDrift
+}
