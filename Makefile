@@ -4,7 +4,7 @@ GO ?= go
 
 .PHONY: check fmt vet build test race retry-race fuzz-smoke chaos bench \
 	bench-json bench-delta bench-hotpath bench-hotpath-json bench-compare \
-	serve-smoke cover-serve cover-delta delta-soak lint
+	serve-smoke cover-serve cover-delta delta-soak soak-scale lint
 
 check: fmt vet race fuzz-smoke chaos serve-smoke cover-serve cover-delta delta-soak
 
@@ -67,6 +67,18 @@ bench-delta:
 SOAK_CYCLES ?= 40
 delta-soak:
 	SPCUBE_SOAK_CYCLES=$(SOAK_CYCLES) $(GO) test -count=1 -run TestDeltaSoak ./internal/integration
+
+# Out-of-core scale soak: a 10M-row uniform relation through sp-cube with an
+# 8 MiB spill budget inside a GOMEMLIMIT-bounded process. The test asserts
+# the budget fired, peak runtime memory stayed within 1.25x the limit, a
+# subsampled prefix is byte-identical spilled vs. in memory, and no run
+# files leak.
+SOAK_SCALE_ROWS ?= 10000000
+SOAK_SCALE_MEMLIMIT ?= 3GiB
+soak-scale:
+	SPCUBE_SOAK_SCALE=1 SPCUBE_SOAK_SCALE_ROWS=$(SOAK_SCALE_ROWS) \
+		GOMEMLIMIT=$(SOAK_SCALE_MEMLIMIT) \
+		$(GO) test -count=1 -timeout 45m -run TestSoakScale -v ./internal/integration
 
 # Hot-path micro-benchmarks of the MR engine's data plane (shuffle merge,
 # partitioner, combiner, end-to-end naive cube). BENCH_COUNT runs each.

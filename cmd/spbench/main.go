@@ -63,6 +63,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxAtt     = fs.Int("max-attempts", 0, "task attempts before an injected failure becomes permanent (0 = engine default, 4)")
 		specSlack  = fs.Float64("spec-slack", 0, "speculative-execution slack in simulated seconds: race a backup attempt against tasks stalled longer than this (0 = disabled)")
 		taskTO     = fs.Float64("task-timeout", 0, "kill and retry task attempts stalled longer than this many simulated seconds (0 = disabled)")
+		spillB     = fs.Int64("spill-budget", -1, "map-side in-memory emit budget in bytes before spilling to disk: -1 = never spill, 0 = spill every record, N > 0 = spill past N bytes (figures are identical at any setting)")
+		spillDir   = fs.String("spill-dir", "", "directory for spill run files (default: the system temp dir)")
 		metricsOut = fs.String("metrics-out", "", "write figures and per-run metrics (versioned JSON) to this file")
 		traceFile  = fs.String("trace", "", "write structured engine trace events (JSON lines) to this file")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof and /debug/runtime on this address (e.g. localhost:6060)")
@@ -155,9 +157,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "spbench: profiling endpoint on http://%s/debug/pprof/\n", srv.Addr)
 	}
 
+	budget := *spillB
+	switch {
+	case budget < -1:
+		fmt.Fprintf(stderr, "-spill-budget %d: want -1 (never), 0 (every record) or a positive byte count\n", budget)
+		return 2
+	case budget == -1:
+		budget = 0 // engine 0 = spilling disabled
+	case budget == 0:
+		budget = 1 // any emit exceeds one byte: spill every record
+	}
+
 	cfg := bench.Config{Workers: *workers, Seed: *seed, Scale: *scale, Parallelism: *par,
 		Faults: plan, MaxAttempts: *maxAtt,
-		SpeculativeSlack: *specSlack, TaskTimeout: *taskTO}
+		SpeculativeSlack: *specSlack, TaskTimeout: *taskTO,
+		SpillBudgetBytes: budget, SpillDir: *spillDir}
 
 	var col bench.Collector
 	if *metricsOut != "" {

@@ -33,6 +33,18 @@
 //
 //	spcube -in sales.csv -faults '*:map:2:slow@40' -spec-slack 0.01
 //
+// Out-of-core shuffle: -spill-budget N caps each map task's in-memory emit
+// buffer at N bytes — past the budget the task sorts and flushes its output
+// to a compact on-disk run file, and reducers stream a k-way merge over the
+// runs, so reduce memory is bounded by the run count rather than the input
+// size. -spill-budget 0 spills every record, -1 (the default) never spills;
+// the cube is byte-identical at any setting. -spill-dir picks where the
+// per-run temp directory is created (default: the system temp dir); it is
+// removed on exit even when the run fails:
+//
+//	spcube -in big.csv -spill-budget 8388608    # spill past 8 MiB per task
+//	spcube -in big.csv -spill-budget 0 -spill-dir /mnt/scratch
+//
 // Observability: -trace FILE streams the simulated cluster's structured
 // lifecycle events as JSON lines, -metrics-out FILE writes the run's full
 // per-round metrics as a versioned JSON document, and -pprof ADDR serves
@@ -56,6 +68,7 @@ package main
 
 import (
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -73,7 +86,16 @@ import (
 	"github.com/spcube/spcube/internal/relation"
 )
 
+// Exit codes: 0 on success, 1 on runtime errors (I/O, compute), 2 on usage
+// errors (unknown flag values, contradictory options) — matching the code
+// flag.ExitOnError uses for malformed flags. All error paths return through
+// run so deferred cleanup (output flush, trace close, pprof shutdown, spill
+// temp removal) always executes before the process exits.
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var o options
 	flag.StringVar(&o.in, "in", "", "input CSV path (default stdin)")
 	flag.StringVar(&o.out, "o", "", "output CSV path (default stdout)")
@@ -93,23 +115,48 @@ func main() {
 	flag.StringVar(&o.deltaFile, "delta", "", "CSV of rows to append as an incremental-maintenance batch after the initial build")
 	flag.StringVar(&o.deltaDeleteFile, "delta-delete", "", "CSV of rows to delete as part of the maintenance batch (rows must exist in the base input)")
 	flag.Float64Var(&o.rebuildThr, "rebuild-threshold", 0, "sketch-drift level above which the batch is applied by full rebuild (0 = default, negative = always rebuild)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/runtime on this address (e.g. localhost:6060)")
+	flag.Int64Var(&o.spillBudget, "spill-budget", -1, "map-side in-memory emit budget in bytes before sorting and spilling to an on-disk run file: -1 = never spill (default), 0 = spill every record, N > 0 = spill past N bytes; the cube is identical at any setting")
+	flag.StringVar(&o.spillDir, "spill-dir", "", "directory for spill run files (default: the system temp dir); a per-run subdirectory is created and removed on exit")
+	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof and /debug/runtime on this address (e.g. localhost:6060)")
 	flag.Parse()
 
-	if *pprofAddr != "" {
-		srv, err := obs.Start(*pprofAddr)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "spcube:", err)
-			os.Exit(1)
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "spcube: profiling endpoint on http://%s/debug/pprof/\n", srv.Addr)
+	// Map the flag's surface to the engine's: -1 = never spill (engine 0),
+	// 0 = spill every record (engine budget of one byte — any emit exceeds
+	// it). Inside options, spillBudget always carries the engine value, so
+	// the zero value means "disabled".
+	switch {
+	case o.spillBudget < -1:
+		fmt.Fprintf(os.Stderr, "spcube: -spill-budget %d: want -1 (never), 0 (every record) or a positive byte count\n", o.spillBudget)
+		return 2
+	case o.spillBudget == -1:
+		o.spillBudget = 0
+	case o.spillBudget == 0:
+		o.spillBudget = 1
 	}
+
 	if err := run(o, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "spcube:", err)
-		os.Exit(1)
+		return exitCode(err)
 	}
+	return 0
 }
+
+// exitCode maps a run error to the process exit status: 2 for usage errors
+// (matching flag.ExitOnError), 1 for everything else.
+func exitCode(err error) int {
+	var ue usageError
+	if errors.As(err, &ue) {
+		return 2
+	}
+	return 1
+}
+
+// usageError marks an error as the caller's fault (a bad flag value rather
+// than a failure while computing), mapping it to exit code 2.
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
 
 // options carries one invocation's parameters (the parsed flags).
 type options struct {
@@ -128,19 +175,30 @@ type options struct {
 	deltaFile        string
 	deltaDeleteFile  string
 	rebuildThr       float64
+	spillBudget      int64
+	spillDir         string
+	pprofAddr        string
 }
 
 func run(o options, stderr io.Writer) error {
+	if o.pprofAddr != "" {
+		srv, err := obs.Start(o.pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "spcube: profiling endpoint on http://%s/debug/pprof/\n", srv.Addr)
+	}
 	if o.deltaFile != "" || o.deltaDeleteFile != "" {
 		return runDelta(o, stderr)
 	}
 	aggFn, err := spcube.AggByName(o.aggName)
 	if err != nil {
-		return err
+		return usageError{err}
 	}
 	alg, err := spcube.AlgByName(o.algName)
 	if err != nil {
-		return err
+		return usageError{err}
 	}
 
 	var r io.Reader = os.Stdin
@@ -168,6 +226,8 @@ func run(o options, stderr io.Writer) error {
 		spcube.MaxAttempts(o.maxAttempts),
 		spcube.SpeculativeSlack(o.specSlack),
 		spcube.TaskTimeout(o.taskTimeout),
+		spcube.SpillBudget(o.spillBudget),
+		spcube.SpillDir(o.spillDir),
 	}
 	if o.traceFile != "" {
 		tf, err := os.Create(o.traceFile)
@@ -215,6 +275,9 @@ func run(o options, stderr io.Writer) error {
 		if st.SketchBytes > 0 {
 			fmt.Fprintf(stderr, " | sketch %d B, %d skewed groups", st.SketchBytes, st.SkewedGroups)
 		}
+		if st.Spills > 0 {
+			fmt.Fprintf(stderr, " | %d spills (%d B)", st.Spills, st.SpillBytes)
+		}
 		if st.Retries > 0 {
 			fmt.Fprintf(stderr, " | %d task retries (%d B wasted, %.2fs retry wall)",
 				st.Retries, st.WastedBytes, st.RetryWallSeconds)
@@ -238,15 +301,15 @@ func run(o options, stderr io.Writer) error {
 func runDelta(o options, stderr io.Writer) error {
 	aggFn, err := agg.ByName(o.aggName)
 	if err != nil {
-		return err
+		return usageError{err}
 	}
 	plan, err := mr.ParseFaultPlan(o.faults)
 	if err != nil {
-		return err
+		return usageError{err}
 	}
 
 	if o.in == "" {
-		return fmt.Errorf("-delta mode needs -in (the base relation cannot come from stdin alongside the batch)")
+		return usageError{fmt.Errorf("-delta mode needs -in (the base relation cannot come from stdin alongside the batch)")}
 	}
 	rel, schema, err := readCSVRel(o.in)
 	if err != nil {
@@ -264,6 +327,8 @@ func runDelta(o options, stderr io.Writer) error {
 		MaxAttempts:      o.maxAttempts,
 		SpeculativeSlack: o.specSlack,
 		TaskTimeout:      o.taskTimeout,
+		SpillBudgetBytes: o.spillBudget,
+		SpillDir:         o.spillDir,
 		RebuildThreshold: o.rebuildThr,
 	}
 	if o.traceFile != "" {

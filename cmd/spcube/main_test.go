@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/spcube/spcube/internal/mr"
 )
 
 const sampleCSV = `name,city,year,sales
@@ -154,8 +156,8 @@ func TestRunTraceAndMetricsOut(t *testing.T) {
 	if err := json.Unmarshal(metricsData, &doc); err != nil {
 		t.Fatalf("metrics file is not JSON: %v", err)
 	}
-	if v, ok := doc["schemaVersion"].(float64); !ok || int(v) != 3 {
-		t.Errorf("metrics schemaVersion = %v", doc["schemaVersion"])
+	if v, ok := doc["schemaVersion"].(float64); !ok || int(v) != mr.MetricsSchemaVersion {
+		t.Errorf("metrics schemaVersion = %v, want %d", doc["schemaVersion"], mr.MetricsSchemaVersion)
 	}
 	if rounds, ok := doc["rounds"].([]any); !ok || len(rounds) != 2 {
 		t.Errorf("sp-cube metrics should have 2 rounds, got %v", doc["rounds"])
@@ -359,8 +361,8 @@ func TestRunDeltaRebuildAndMetrics(t *testing.T) {
 	if err := json.Unmarshal(data, &doc); err != nil {
 		t.Fatal(err)
 	}
-	if v, ok := doc["schemaVersion"].(float64); !ok || int(v) != 3 {
-		t.Errorf("maintenance metrics schemaVersion = %v, want 3", doc["schemaVersion"])
+	if v, ok := doc["schemaVersion"].(float64); !ok || int(v) != mr.MetricsSchemaVersion {
+		t.Errorf("maintenance metrics schemaVersion = %v, want %d", doc["schemaVersion"], mr.MetricsSchemaVersion)
 	}
 	rounds, _ := doc["rounds"].([]any)
 	foundMaint := false
@@ -414,5 +416,97 @@ func TestRunDeltaErrors(t *testing.T) {
 				t.Errorf("error %q does not mention %q", err, c.want)
 			}
 		})
+	}
+}
+
+// TestSpillBudgetEndToEnd: a forced-spill run must produce the same cube as
+// the in-memory run and leave the spill directory empty.
+func TestSpillBudgetEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.csv")
+	if err := os.WriteFile(in, []byte(sampleCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	memOut := filepath.Join(dir, "mem.csv")
+	if err := run(options{in: in, out: memOut, aggName: "sum", algName: "sp-cube", workers: 3, seed: 1}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	spillDir := filepath.Join(dir, "spill")
+	if err := os.Mkdir(spillDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	spillOut := filepath.Join(dir, "spill.csv")
+	if err := run(options{in: in, out: spillOut, aggName: "sum", algName: "sp-cube", workers: 3, seed: 1,
+		spillBudget: 1, spillDir: spillDir}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	mem, _ := os.ReadFile(memOut)
+	spill, _ := os.ReadFile(spillOut)
+	if string(mem) != string(spill) {
+		t.Errorf("spilled cube differs from in-memory cube:\n%s\nvs\n%s", spill, mem)
+	}
+	ents, err := os.ReadDir(spillDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Errorf("spill dir not empty after run: %v", ents)
+	}
+}
+
+// TestExitCodes pins the error classification: usage errors (bad flag
+// values) exit 2, runtime failures exit 1 — and both flow through run's
+// error return so deferred cleanup executes.
+func TestExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.csv")
+	if err := os.WriteFile(in, []byte(sampleCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown aggregate: usage error, exit 2.
+	err := run(options{in: in, aggName: "bogus", algName: "sp-cube", workers: 2}, io.Discard)
+	if err == nil || exitCode(err) != 2 {
+		t.Errorf("unknown agg: err=%v exit=%d, want exit 2", err, exitCode(err))
+	}
+	// -delta without -in: usage error, exit 2.
+	err = run(options{aggName: "count", algName: "sp-cube", workers: 2, deltaFile: in}, io.Discard)
+	if err == nil || exitCode(err) != 2 {
+		t.Errorf("delta without -in: err=%v exit=%d, want exit 2", err, exitCode(err))
+	}
+	// Missing input file: runtime error, exit 1.
+	err = run(options{in: filepath.Join(dir, "missing.csv"), aggName: "count", algName: "sp-cube", workers: 2}, io.Discard)
+	if err == nil || exitCode(err) != 1 {
+		t.Errorf("missing input: err=%v exit=%d, want exit 1", err, exitCode(err))
+	}
+}
+
+// TestFailedRunLeavesNoSpillFiles: a run that dies mid-computation (a
+// permanent injected fault) must still remove every spill temp file — the
+// cleanup is deferred inside run, not skipped by the error exit.
+func TestFailedRunLeavesNoSpillFiles(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.csv")
+	if err := os.WriteFile(in, []byte(sampleCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spillDir := filepath.Join(dir, "spill")
+	if err := os.Mkdir(spillDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	err := run(options{in: in, out: filepath.Join(dir, "out.csv"), aggName: "count", algName: "sp-cube",
+		workers: 2, spillBudget: 1, spillDir: spillDir,
+		faults: "*:map:*:crash:*", maxAttempts: 1}, io.Discard)
+	if err == nil {
+		t.Fatal("expected the permanently faulted run to fail")
+	}
+	if exitCode(err) != 1 {
+		t.Errorf("compute failure exit = %d, want 1", exitCode(err))
+	}
+	ents, rerr := os.ReadDir(spillDir)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(ents) != 0 {
+		t.Errorf("failed run left spill files: %v", ents)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Var and Stddev are algebraic functions (population variance / standard
@@ -43,34 +44,54 @@ func (f momentsFunc) DecodeState(b []byte) (State, error) {
 		return nil, fmt.Errorf("agg: truncated %s state sum", f.Name())
 	}
 	b = b[n:]
-	bits, n := binary.Uvarint(b)
+	st.sqHi, n = binary.Uvarint(b)
 	if n <= 0 {
-		return nil, fmt.Errorf("agg: truncated %s state sumsq", f.Name())
+		return nil, fmt.Errorf("agg: truncated %s state sumsq hi", f.Name())
 	}
-	st.sumsq = math.Float64frombits(bits)
+	b = b[n:]
+	st.sqLo, n = binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("agg: truncated %s state sumsq lo", f.Name())
+	}
 	return st, nil
 }
 
-// momentsState accumulates the first two moments. The sum of squares is a
-// float64 because int64 overflows at ~3M tuples of measure 10^6.
+// momentsState accumulates the first two moments. The sum of squares is an
+// unsigned 128-bit integer (sqHi:sqLo): m² fits in a uint64 for any int64
+// measure and the running total would overflow int64 at ~3M tuples of
+// measure 10^6, while 2^128 holds >10^19 maximal squares. Integer modular
+// addition is associative and commutative, so — unlike the float64
+// accumulator it replaces — the state is byte-identical no matter how
+// combiner runs regroup it (spill-induced per-chunk combining included),
+// which the engine's cross-budget determinism contract depends on.
 type momentsState struct {
 	cnt    int64
 	sum    int64
-	sumsq  float64
+	sqHi   uint64
+	sqLo   uint64
 	stddev bool
 }
 
 func (s *momentsState) Add(m int64) {
 	s.cnt++
 	s.sum += m
-	s.sumsq += float64(m) * float64(m)
+	um := uint64(m)
+	if m < 0 {
+		um = -um // two's complement |m|; correct even for MinInt64
+	}
+	hi, lo := bits.Mul64(um, um)
+	var carry uint64
+	s.sqLo, carry = bits.Add64(s.sqLo, lo, 0)
+	s.sqHi, _ = bits.Add64(s.sqHi, hi, carry)
 }
 
 func (s *momentsState) Merge(o State) {
 	os := o.(*momentsState)
 	s.cnt += os.cnt
 	s.sum += os.sum
-	s.sumsq += os.sumsq
+	var carry uint64
+	s.sqLo, carry = bits.Add64(s.sqLo, os.sqLo, 0)
+	s.sqHi, _ = bits.Add64(s.sqHi, os.sqHi, carry)
 }
 
 func (s *momentsState) Final() float64 {
@@ -78,7 +99,8 @@ func (s *momentsState) Final() float64 {
 		return math.NaN()
 	}
 	mean := float64(s.sum) / float64(s.cnt)
-	v := s.sumsq/float64(s.cnt) - mean*mean
+	sumsq := float64(s.sqHi)*0x1p64 + float64(s.sqLo)
+	v := sumsq/float64(s.cnt) - mean*mean
 	if v < 0 {
 		v = 0 // floating-point guard
 	}
@@ -91,5 +113,6 @@ func (s *momentsState) Final() float64 {
 func (s *momentsState) AppendEncode(buf []byte) []byte {
 	buf = binary.AppendVarint(buf, s.cnt)
 	buf = binary.AppendVarint(buf, s.sum)
-	return binary.AppendUvarint(buf, math.Float64bits(s.sumsq))
+	buf = binary.AppendUvarint(buf, s.sqHi)
+	return binary.AppendUvarint(buf, s.sqLo)
 }

@@ -79,6 +79,10 @@ type Config struct {
 	MaxAttempts      int
 	SpeculativeSlack float64
 	TaskTimeout      float64
+	// SpillBudgetBytes and SpillDir configure the engines' out-of-core
+	// shuffle, with mr.Config semantics (0 keeps everything in memory).
+	SpillBudgetBytes int64
+	SpillDir         string
 	// RebuildThreshold is the sketch-drift level in [0,1] above which a
 	// batch is applied by full rebuild instead of delta-merge; 0 means
 	// DefaultRebuildThreshold, negative forces rebuild on every batch.
@@ -531,6 +535,8 @@ func (m *Maintainer) runOne(fn cube.ComputeFunc, rel *relation.Relation, f agg.F
 		MaxAttempts:      m.cfg.MaxAttempts,
 		SpeculativeSlack: m.cfg.SpeculativeSlack,
 		TaskTimeout:      m.cfg.TaskTimeout,
+		SpillBudgetBytes: m.cfg.SpillBudgetBytes,
+		SpillDir:         m.cfg.SpillDir,
 		Tracer:           m.cfg.Tracer,
 	}, dfs.New(false))
 	run, err := fn(eng, rel, cube.Spec{Agg: f})

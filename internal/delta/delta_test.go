@@ -1,6 +1,7 @@
 package delta
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -417,7 +418,7 @@ func TestMetricsAndTraceAnnotation(t *testing.T) {
 	}
 }
 
-func TestSchemaV3MetricsDocument(t *testing.T) {
+func TestSchemaMetricsDocument(t *testing.T) {
 	rng := rand.New(rand.NewSource(37))
 	base := cubetest.RandomRelation(rng, 80, 2, 4)
 	m, err := New(base, Config{Workers: 2})
@@ -433,8 +434,9 @@ func TestSchemaV3MetricsDocument(t *testing.T) {
 		t.Fatal(err)
 	}
 	doc := sb.String()
-	if !strings.Contains(doc, `"schemaVersion": 3`) {
-		t.Fatalf("document not at schema v3:\n%s", doc[:200])
+	want := fmt.Sprintf(`"schemaVersion": %d`, mr.MetricsSchemaVersion)
+	if !strings.Contains(doc, want) {
+		t.Fatalf("document not at schema v%d:\n%s", mr.MetricsSchemaVersion, doc[:200])
 	}
 	if !strings.Contains(doc, `"maint"`) || !strings.Contains(doc, `"mode": "delta"`) {
 		t.Fatal("document missing maint annotations")

@@ -1,6 +1,8 @@
 package integration
 
 import (
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 
@@ -41,13 +43,21 @@ type detRun struct {
 }
 
 func runDeterminism(t *testing.T, fn cube.ComputeFunc, rel *relation.Relation, parallelism int, faults string, slack, timeout float64) detRun {
+	return runDeterminismSpill(t, fn, rel, parallelism, faults, slack, timeout, 0, "")
+}
+
+// runDeterminismSpill is runDeterminism with the out-of-core shuffle
+// configured: budget 0 keeps everything in memory, any positive budget
+// spills map output to run files under dir.
+func runDeterminismSpill(t *testing.T, fn cube.ComputeFunc, rel *relation.Relation, parallelism int, faults string, slack, timeout float64, budget int64, dir string) detRun {
 	t.Helper()
 	plan, err := mr.ParseFaultPlan(faults)
 	if err != nil {
 		t.Fatal(err)
 	}
 	eng := mr.New(mr.Config{Workers: 6, Seed: 42, Parallelism: parallelism, Faults: plan,
-		SpeculativeSlack: slack, TaskTimeout: timeout}, dfs.New(false))
+		SpeculativeSlack: slack, TaskTimeout: timeout,
+		SpillBudgetBytes: budget, SpillDir: dir}, dfs.New(false))
 	run, err := fn(eng, rel, cube.Spec{Agg: agg.Count})
 	if err != nil {
 		t.Fatal(err)
@@ -146,6 +156,91 @@ func TestParallelismDeterminism(t *testing.T) {
 						}
 						if !reflect.DeepEqual(zeroRecovery(clean.metrics), zeroRecovery(seq.metrics)) {
 							t.Errorf("faulted metrics (recovery-stripped) differ from clean")
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// filesUnder returns every file under dir, recursively — the leak probe for
+// spill run files.
+func filesUnder(t *testing.T, dir string) []string {
+	t.Helper()
+	var out []string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if path != dir {
+			out = append(out, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestSpillDeterminism extends the determinism table with out-of-core legs:
+// at every spill budget — including one byte, which flushes a run file per
+// emitted record — every algorithm must produce the cube output and DFS
+// bytes of the all-in-memory run, stay parallelism-deterministic in full
+// (metrics included, at a fixed budget), survive the fault plans, and leak
+// no run files.
+func TestSpillDeterminism(t *testing.T) {
+	detWorkloads := []struct {
+		name string
+		rel  *relation.Relation
+	}{
+		{"skewed", data.GenBinomial(800, 4, 0.4, 31)},
+		{"uniform", data.Uniform(800, 3, 9, 32)},
+	}
+	faultPlans := []struct {
+		name string
+		spec string
+	}{
+		{"clean", ""},
+		{"crash", "*:map:*:crash,*:reduce:*:mid-emit@4"},
+		{"node-crash", "*:node:1:node-crash"},
+	}
+	budgets := []int64{1, 512}
+	for _, w := range detWorkloads {
+		for _, fp := range faultPlans {
+			for _, a := range allAlgorithms {
+				t.Run(w.name+"/"+fp.name+"/"+a.name, func(t *testing.T) {
+					mem := runDeterminism(t, a.fn, w.rel, 1, "", 0, 0)
+					for _, budget := range budgets {
+						dir := t.TempDir()
+						seq := runDeterminismSpill(t, a.fn, w.rel, 1, fp.spec, 0, 0, budget, dir)
+						par := runDeterminismSpill(t, a.fn, w.rel, 8, fp.spec, 0, 0, budget, dir)
+						// Cross-budget: output and DFS bytes equal the
+						// in-memory clean run's (metrics legitimately differ
+						// in spill counters and simulated I/O cost).
+						if ok, diff := mem.res.Equal(seq.res); !ok {
+							t.Errorf("budget %d: cube output differs from in-memory run: %s", budget, diff)
+						}
+						if mem.checksum != seq.checksum || mem.records != seq.records {
+							t.Errorf("budget %d: DFS output differs from in-memory run: %x/%d vs %x/%d",
+								budget, seq.checksum, seq.records, mem.checksum, mem.records)
+						}
+						// Fixed budget: the full parallelism-determinism
+						// contract holds, metrics and simulated time included.
+						if seq.checksum != par.checksum || seq.records != par.records {
+							t.Errorf("budget %d: DFS output differs across parallelism: %x/%d vs %x/%d",
+								budget, seq.checksum, seq.records, par.checksum, par.records)
+						}
+						if seq.sim != par.sim {
+							t.Errorf("budget %d: simulated seconds differ across parallelism: %v vs %v",
+								budget, seq.sim, par.sim)
+						}
+						if !reflect.DeepEqual(seq.metrics, par.metrics) {
+							t.Errorf("budget %d: round metrics differ across parallelism", budget)
+						}
+						if leaked := filesUnder(t, dir); len(leaked) != 0 {
+							t.Errorf("budget %d: leaked spill files: %v", budget, leaked)
 						}
 					}
 				})

@@ -152,3 +152,62 @@ func TestDifferentialOracleUnderFaults(t *testing.T) {
 		}
 	}
 }
+
+// TestDifferentialOracleSpill adds out-of-core legs to the oracle: with the
+// spill budget forcing a run-file flush per record (budget 1) or a handful
+// of flushes per task (budget 512), every algorithm on every distribution
+// must still produce the exact brute-force cube and byte-identical DFS
+// output, clean and under crash and node-crash plans, leaking no run files.
+func TestDifferentialOracleSpill(t *testing.T) {
+	spillFaults := []struct {
+		name string
+		spec string
+	}{
+		{"clean", ""},
+		{"crash", "*:map:*:crash,*:reduce:*:crash"},
+		{"node-crash", "*:node:1:node-crash"},
+	}
+	for _, w := range diffWorkloads {
+		want := cube.Brute(w.rel, agg.Count)
+		for _, a := range allAlgorithms {
+			t.Run(w.name+"/"+a.name, func(t *testing.T) {
+				clean := runWithFaults(t, a.fn, w.rel, "", 1)
+				for _, fk := range spillFaults {
+					for _, budget := range []int64{1, 512} {
+						label := fmt.Sprintf("%s/budget=%d", fk.name, budget)
+						dir := t.TempDir()
+						plan, err := mr.ParseFaultPlan(fk.spec)
+						if err != nil {
+							t.Fatal(err)
+						}
+						eng := mr.New(mr.Config{Workers: 6, Seed: 42, Parallelism: 8,
+							Faults: plan, MaxAttempts: 2,
+							SpillBudgetBytes: budget, SpillDir: dir}, dfs.New(false))
+						run, err := a.fn(eng, w.rel, cube.Spec{Agg: agg.Count})
+						if err != nil {
+							t.Fatal(err)
+						}
+						res, err := cube.CollectDFS(eng, run.OutputPrefix, w.rel.D())
+						if err != nil {
+							t.Fatal(err)
+						}
+						if ok, diff := want.Equal(res); !ok {
+							t.Errorf("%s: cube diverges from brute force: %s", label, diff)
+						}
+						if got := eng.FS.TotalChecksum(run.OutputPrefix); got != clean.checksum {
+							t.Errorf("%s: DFS output %x differs from in-memory clean run %x", label, got, clean.checksum)
+						}
+						// At budget 1 every emitting map task flushes; 512 may
+						// legitimately fit a small task's whole output.
+						if budget == 1 && run.Metrics.Spills() == 0 {
+							t.Errorf("%s: spill budget did not fire", label)
+						}
+						if leaked := filesUnder(t, dir); len(leaked) != 0 {
+							t.Errorf("%s: leaked spill files: %v", label, leaked)
+						}
+					}
+				}
+			})
+		}
+	}
+}

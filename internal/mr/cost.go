@@ -40,10 +40,17 @@ type CostModel struct {
 	// reducer that attracts a disproportionate share of the shuffle
 	// becomes the transfer bottleneck.
 	NodeNetBytesPerSec float64
-	// DiskBytesPerSec is the spill device bandwidth; spilled bytes are
-	// charged SpillPasses times (write + read back + merge).
+	// DiskBytesPerSec is the spill device bandwidth. Since the out-of-core
+	// shuffle landed, the bytes it divides are real, writer-measured run
+	// sizes, not estimates: a map-side flush charges its encoded run once
+	// at write time, and the reduce pre-scan charges each run segment once
+	// for the read-back — one deterministic pass each, mirroring the
+	// physical I/O the engine actually performs.
 	DiskBytesPerSec float64
-	// SpillPasses is the I/O amplification of external aggregation.
+	// SpillPasses is the I/O amplification of reduce-side external
+	// aggregation (write + read back + merge of oversized groups); it does
+	// not apply to map-side run files, whose write and read are charged
+	// individually as they happen.
 	SpillPasses float64
 	// RoundStartup is the fixed per-MapReduce-round overhead in seconds.
 	RoundStartup float64

@@ -149,6 +149,22 @@ type Config struct {
 	// stream is deterministic: identical, except for timestamps, at any
 	// Parallelism and under any fault plan (see Tracer).
 	Tracer Tracer
+	// SpillBudgetBytes, when positive, makes the shuffle out-of-core: a
+	// map attempt whose buffered emits exceed the budget sorts and flushes
+	// them to an on-disk run file (front-coded, see keycodec.go), and
+	// reducers stream a k-way merge over the run readers, holding one
+	// record per run instead of the whole input. 0 — the default — keeps
+	// every intermediate record on the heap. Output is byte-identical at
+	// every budget × every Parallelism for jobs without a combiner; with a
+	// combiner, at every Parallelism for a fixed budget (spilling combines
+	// per flushed chunk, which regroups partial states — final cube values
+	// are unchanged because all aggregate states are exact integers, but
+	// intermediate record boundaries shift).
+	SpillBudgetBytes int64
+	// SpillDir is where spill run files live (a private, lazily created
+	// subdirectory per run, removed — even on failure — when the run
+	// ends). Empty means os.TempDir().
+	SpillDir string
 }
 
 // Job describes one MapReduce round. Exactly one of MapTuple and MapPair
@@ -279,8 +295,32 @@ type MapCtx struct {
 	// are appended to one growing buffer instead of one allocation each.
 	// Arena bytes are written once and never modified, so emitted slices
 	// (and the key strings EmitBytes builds over them) stay valid as the
-	// arena grows, and die with the attempt on a fault.
+	// arena grows, and die with the attempt on a fault. After a spill
+	// flushes the buffered records to disk the arena is reused from the
+	// start — nothing references the flushed bytes anymore.
 	arena []byte
+
+	// Out-of-core spill state (Config.SpillBudgetBytes > 0): pending
+	// counts raw emitted bytes since the last flush; once it crosses
+	// budget, spillNow combines, partitions, sorts and appends the
+	// buffered records to the attempt's run file.
+	reducers    int
+	partition   func(string, int) int
+	budget      int64
+	pending     int64
+	sd          *spillDir
+	spill       *spillFile
+	sortScratch []Pair
+	encBuf      []byte
+	traceSpill  func(bytes int64)
+}
+
+// mapOutput is one completed map task's shuffle contribution: the sorted
+// in-memory per-reducer buckets plus, when the attempt spilled, its run
+// file of earlier sorted flushes.
+type mapOutput struct {
+	buckets [][]Pair
+	spill   *spillFile
 }
 
 // State returns the task-private state created by Job.TaskState, or nil
@@ -297,10 +337,57 @@ func (c *MapCtx) State() any { return c.state }
 // to several Emit calls (aliased values) is fine.
 func (c *MapCtx) Emit(key string, val []byte) {
 	c.out = append(c.out, Pair{Key: key, Val: val})
+	pb := pairBytes(key, val)
 	c.metrics.PreCombineRecords++
-	c.metrics.PreCombineBytes += pairBytes(key, val)
+	c.metrics.PreCombineBytes += pb
 	c.metrics.CPUSeconds += c.eng.Cfg.Cost.MapCPUPerEmit
 	c.inject.onEmit()
+	if c.budget > 0 {
+		c.pending += pb
+		if c.pending >= c.budget {
+			c.spillNow()
+		}
+	}
+}
+
+// taskAbort carries a non-fault, non-retryable error (spill I/O failures
+// inside Emit) out of a map function's call stack; the attempt wrapper
+// recovers it into a plain error.
+type taskAbort struct{ err error }
+
+// spillNow flushes the attempt's buffered output to its on-disk run file:
+// combine (jobs with a combiner pre-aggregate each flushed chunk, Hadoop's
+// per-spill combining), partition, sort, append one spill block, then
+// reset the emit buffer and arena for the next chunk.
+func (c *MapCtx) spillNow() {
+	out := c.out
+	if c.job.Combine != nil {
+		out = c.eng.combine(c.job, c, out)
+	}
+	buckets, err := c.eng.partitionSort(c.job, c, out)
+	if err != nil {
+		panic(taskAbort{err})
+	}
+	if c.spill == nil {
+		sf, err := c.sd.create("run-m-*")
+		if err != nil {
+			panic(taskAbort{err})
+		}
+		c.spill = sf
+	}
+	written, err := c.spill.writeSpill(buckets, &c.encBuf)
+	if err != nil {
+		panic(taskAbort{err})
+	}
+	c.metrics.Spills++
+	c.metrics.SpillBytes += written
+	c.metrics.CPUSeconds += float64(written) / c.eng.Cfg.Cost.DiskBytesPerSec
+	if c.traceSpill != nil {
+		c.traceSpill(written)
+	}
+	c.out = c.out[:0]
+	c.arena = c.arena[:0]
+	c.pending = 0
 }
 
 // EmitCopied sends a key/value record to the shuffle, copying val into the
@@ -358,6 +445,22 @@ type RedCtx struct {
 	metrics  *TaskMetrics
 	scratch  []byte
 	inject   *injector
+	// External-aggregation spill state: oversized groups are encoded
+	// through the spill codec (SpillBytes is the exact encoded size) and,
+	// when out-of-core mode is on, written to a per-attempt run file.
+	sd         *spillDir
+	budget     int64
+	extSpill   *spillFile
+	encBuf     []byte
+	traceSpill func(bytes int64)
+}
+
+// discardExtSpill deletes the attempt's external-aggregation run file (it
+// is written for its I/O, never merged back); called when the attempt ends,
+// on every path.
+func (c *RedCtx) discardExtSpill() {
+	c.extSpill.discard()
+	c.extSpill = nil
 }
 
 // State returns the task-private state created by Job.TaskState, or nil
@@ -494,6 +597,15 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 	nodes := e.nodeCount()
 	dead := e.deadNodes(round, nodes)
 
+	// Out-of-core spill lifecycle: all of the round's run files live in
+	// one lazily created directory, removed wholesale when the round ends.
+	// Individual files of failed, killed, speculation-losing or
+	// node-crash-lost attempts are deleted eagerly below; the deferred
+	// cleanup is the backstop that makes leaks impossible on any exit
+	// path, error returns included.
+	sd := newSpillDir(e.Cfg.SpillDir)
+	defer sd.cleanup()
+
 	// Map phase. Tasks run on the worker pool; each partitions its own
 	// output into private per-reducer buckets, and the shuffle merges them
 	// in task-index order below, so bucket contents are independent of
@@ -503,7 +615,7 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 	// so nothing of it reaches the shuffle. A completed attempt that
 	// stalled past TaskTimeout is killed and retried; one that stalled
 	// past SpeculativeSlack races a deterministic backup attempt.
-	taskBuckets := make([][][]Pair, e.Cfg.Workers)
+	mapOuts := make([]mapOutput, e.Cfg.Workers)
 	mapErrs := make([]error, e.Cfg.Workers)
 	mapWinner := make([]int, e.Cfg.Workers) // winning attempt index: decides output placement
 	tr.startPhase(e.Cfg.Workers)
@@ -514,19 +626,20 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 			tstart := time.Now()
 			inj := e.injectorFor(round, PhaseMap, task, attempt)
 			tr.attemptStart(PhaseMap, task, attempt, inj)
-			ctx := &MapCtx{Task: task, job: job, eng: e, inject: inj}
-			buckets, err := e.mapAttempt(job, ctx, task, feed, reducers, partition)
+			ctx := e.newMapCtx(job, task, attempt, inj, reducers, partition, sd, tr)
+			mout, err := e.mapAttempt(job, ctx, task, feed)
 			if err == nil {
 				stall := inj.simDelay()
 				if kill := e.timeoutKill(PhaseMap, task, attempt, stall); kill != nil {
-					err = kill // discard the attempt and fall through to retry
+					mout.spill.discard() // a killed attempt's run file dies with it
+					err = kill           // discard the attempt and fall through to retry
 				} else {
 					ctx.metrics.WallSeconds = time.Since(tstart).Seconds()
-					winCtx, winBuckets, winAttempt := ctx, buckets, attempt
+					winCtx, winOut, winAttempt := ctx, mout, attempt
 					var sp specOutcome
 					if e.Cfg.SpeculativeSlack > 0 && stall > e.Cfg.SpeculativeSlack {
-						winCtx, winBuckets, winAttempt, sp = e.speculateMap(
-							job, round, task, attempt, feed, reducers, partition, ctx, buckets, stall, tr)
+						winCtx, winOut, winAttempt, sp = e.speculateMap(
+							job, round, task, attempt, feed, reducers, partition, sd, ctx, mout, stall, tr)
 					}
 					m := &winCtx.metrics
 					m.Attempts = int64(attempt+1) + sp.launched
@@ -538,7 +651,7 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 					m.SpeculativeWallSeconds = sp.wall
 					rm.Mappers[task] = *m
 					mapWinner[task] = winAttempt
-					taskBuckets[task] = winBuckets
+					mapOuts[task] = winOut
 					tr.taskSuccess(PhaseMap, task, winAttempt, &rm.Mappers[task])
 					return
 				}
@@ -602,13 +715,17 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 		if len(lost) > 0 {
 			for _, task := range lost {
 				tr.fetchFail(task, lostNode[task], reducers)
+				// The dead node takes the stored run file with it, exactly
+				// like the in-memory buckets; re-execution rebuilds both.
+				mapOuts[task].spill.discard()
+				mapOuts[task] = mapOutput{}
 			}
 			for r := 0; r < reducers; r++ {
 				rm.Reducers[r].FetchFailures = int64(len(lost))
 			}
 			tr.startPhase(e.Cfg.Workers)
 			e.forEachTask(len(lost), func(i int) {
-				e.reexecuteMap(job, round, lost[i], feed, reducers, partition, dead, nodes, rm, taskBuckets, mapErrs, tr)
+				e.reexecuteMap(job, round, lost[i], feed, reducers, partition, sd, dead, nodes, rm, mapOuts, mapErrs, tr)
 			})
 			tr.flushPhase()
 			for _, task := range lost {
@@ -643,13 +760,52 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 	// bucket arrives already sorted (map-side sort in mapAttempt), so the
 	// hand-off is pure slice headers: no record is copied, flattened or
 	// re-sorted; the reducers merge the task-ordered runs streaming.
-	shuffled := make([][][]Pair, reducers)
-	for r := 0; r < reducers; r++ {
-		runs := make([][]Pair, e.Cfg.Workers)
-		for task := 0; task < e.Cfg.Workers; task++ {
-			runs[task] = taskBuckets[task][r]
+	//
+	// When any map attempt spilled, the hand-off generalizes to mixed
+	// sources: per reducer, task 0's spill segments in flush order, then
+	// task 0's final in-memory bucket, then task 1's, ... Within one task
+	// the chunks were flushed in emission order and the merge breaks key
+	// ties by source index, so the streamed order equals the order one big
+	// stable per-task sort would have produced — reducer input, and with
+	// it output, is byte-identical to the all-in-memory plan.
+	spilled := false
+	for task := range mapOuts {
+		if mapOuts[task].spill != nil {
+			spilled = true
+			break
 		}
-		shuffled[r] = runs
+	}
+	var shuffled [][][]Pair
+	var streamRuns [][]streamSource
+	if !spilled {
+		shuffled = make([][][]Pair, reducers)
+		for r := 0; r < reducers; r++ {
+			runs := make([][]Pair, e.Cfg.Workers)
+			for task := 0; task < e.Cfg.Workers; task++ {
+				runs[task] = mapOuts[task].buckets[r]
+			}
+			shuffled[r] = runs
+		}
+	} else {
+		streamRuns = make([][]streamSource, reducers)
+		for r := 0; r < reducers; r++ {
+			var runs []streamSource
+			for task := 0; task < e.Cfg.Workers; task++ {
+				mo := &mapOuts[task]
+				if mo.spill != nil {
+					for si := range mo.spill.spills {
+						seg := &mo.spill.spills[si][r]
+						if seg.records > 0 {
+							runs = append(runs, streamSource{seg: seg})
+						}
+					}
+				}
+				if len(mo.buckets[r]) > 0 {
+					runs = append(runs, streamSource{pairs: mo.buckets[r]})
+				}
+			}
+			streamRuns[r] = runs
+		}
 	}
 
 	inflation := job.MemInflation
@@ -673,10 +829,29 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 	tr.startPhase(reducers)
 	for task := 0; task < reducers; task++ {
 		tm := &rm.Reducers[task]
-		for _, run := range shuffled[task] {
-			for i := range run {
-				tm.InRecords++
-				tm.InBytes += pairBytes(run[i].Key, run[i].Val)
+		if !spilled {
+			for _, run := range shuffled[task] {
+				for i := range run {
+					tm.InRecords++
+					tm.InBytes += pairBytes(run[i].Key, run[i].Val)
+				}
+			}
+		} else {
+			// Spill segments size themselves from their metadata — the
+			// pre-scan never reads the files. records/raw mirror the
+			// in-memory accounting exactly; the encoded length is charged
+			// as one streaming read pass per executed attempt.
+			for _, src := range streamRuns[task] {
+				if src.seg != nil {
+					tm.InRecords += src.seg.records
+					tm.InBytes += src.seg.raw
+					tm.CPUSeconds += float64(src.seg.length) / e.Cfg.Cost.DiskBytesPerSec
+				} else {
+					for i := range src.pairs {
+						tm.InRecords++
+						tm.InBytes += pairBytes(src.pairs[i].Key, src.pairs[i].Val)
+					}
+				}
 			}
 		}
 		tm.CPUSeconds += float64(tm.InRecords) * e.Cfg.Cost.ReduceCPUPerRecord
@@ -703,9 +878,15 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 	redErrs := make([]error, runTasks)
 	e.forEachTask(runTasks, func(task int) {
 		base := rm.Reducers[task] // input accounting from the pre-scan
-		// The k-way merge over the map tasks' sorted runs is read-only,
-		// so one merger serves every attempt; reset rewinds it.
-		merger := newRunMerger(shuffled[task])
+		// The k-way merge over the map tasks' sorted runs is read-only
+		// (stream mergers re-read spill segments via ReadAt), so one
+		// merger serves every attempt; reset rewinds it.
+		in := &reduceInput{}
+		if !spilled {
+			in.mem = newRunMerger(shuffled[task])
+		} else {
+			in.stream = newStreamMerger(streamRuns[task])
+		}
 		file := fmt.Sprintf("%spart-r-%05d", outPrefix, task)
 		sideFile := fmt.Sprintf("side/%s/part-r-%05d", job.Name, task)
 		var wasted int64
@@ -715,20 +896,13 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 			attemptMetrics := base
 			inj := e.injectorFor(round, PhaseReduce, task, attempt)
 			tr.attemptStart(PhaseReduce, task, attempt, inj)
-			ctx := &RedCtx{
-				Task:     task,
-				job:      job,
-				eng:      e,
-				file:     file,
-				sideFile: sideFile,
-				metrics:  &attemptMetrics,
-				inject:   inj,
-			}
+			ctx := e.newRedCtx(job, task, attempt, file, sideFile, &attemptMetrics, inj, sd, tr)
 			fileMark := e.FS.Mark(file)
 			sideMark := e.FS.Mark(sideFile)
 			err := e.nodeKill(round, PhaseReduce, task, attempt, dead, nodes)
 			if err == nil {
-				err = e.reduceAttempt(job, ctx, merger, oomMem, inflation)
+				err = e.reduceAttempt(job, ctx, in, oomMem, inflation)
+				ctx.discardExtSpill()
 			}
 			if err == nil {
 				stall := inj.simDelay()
@@ -740,8 +914,8 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 					var sp specOutcome
 					if e.Cfg.SpeculativeSlack > 0 && stall > e.Cfg.SpeculativeSlack {
 						win, winCollect, winAttempt, sp = e.speculateReduce(
-							job, round, task, attempt, base, merger, oomMem, inflation,
-							file, sideFile, &attemptMetrics, ctx, stall, tr)
+							job, round, task, attempt, base, in, oomMem, inflation,
+							file, sideFile, sd, &attemptMetrics, ctx, stall, tr)
 					}
 					win.Attempts = int64(attempt+1) + sp.launched
 					win.RetryWallSeconds = retryWall
@@ -802,20 +976,59 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 	return res, nil
 }
 
+// newMapCtx builds one map attempt's context, wiring in the spill
+// machinery (budget, partitioner, run-file directory, and — only when
+// tracing — a per-flush spill event hook, keeping the untraced path
+// allocation-free).
+func (e *Engine) newMapCtx(job *Job, task, attempt int, inj *injector, reducers int, partition func(string, int) int, sd *spillDir, tr *roundTracer) *MapCtx {
+	ctx := &MapCtx{
+		Task: task, job: job, eng: e, inject: inj,
+		reducers: reducers, partition: partition,
+		budget: e.Cfg.SpillBudgetBytes, sd: sd,
+	}
+	if tr != nil {
+		ctx.traceSpill = func(bytes int64) {
+			tr.add(PhaseMap, task, TraceEvent{Type: EvSpill, Attempt: attempt, Bytes: bytes})
+		}
+	}
+	return ctx
+}
+
+// newRedCtx builds one reduce attempt's context; see newMapCtx.
+func (e *Engine) newRedCtx(job *Job, task, attempt int, file, sideFile string, m *TaskMetrics, inj *injector, sd *spillDir, tr *roundTracer) *RedCtx {
+	ctx := &RedCtx{
+		Task: task, job: job, eng: e, file: file, sideFile: sideFile,
+		metrics: m, inject: inj, sd: sd, budget: e.Cfg.SpillBudgetBytes,
+	}
+	if tr != nil {
+		ctx.traceSpill = func(bytes int64) {
+			tr.add(PhaseReduce, task, TraceEvent{Type: EvSpill, Attempt: attempt, Bytes: bytes})
+		}
+	}
+	return ctx
+}
+
 // mapAttempt executes one attempt of one map task: fresh TaskState, the
 // input feed, MapFlush, the combiner, partitioning into per-reducer
 // buckets, and the map-side sort of each bucket. An injected crash
-// surfaces as a *FaultError; the partial results accumulated in ctx die
-// with it. Partition range violations are returned as plain
-// (non-retryable) errors.
-func (e *Engine) mapAttempt(job *Job, ctx *MapCtx, task int, feed func(task int, ctx *MapCtx), reducers int, partition func(string, int) int) (buckets [][]Pair, err error) {
+// surfaces as a *FaultError; the partial results accumulated in ctx —
+// spilled run files included — die with it. Partition range violations
+// and spill I/O failures are returned as plain (non-retryable) errors.
+func (e *Engine) mapAttempt(job *Job, ctx *MapCtx, task int, feed func(task int, ctx *MapCtx)) (mout mapOutput, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			sig, ok := r.(faultSignal)
-			if !ok {
+			switch sig := r.(type) {
+			case faultSignal:
+				err = ctx.inject.err(sig.fault)
+			case taskAbort:
+				err = sig.err
+			default:
 				panic(r)
 			}
-			err = ctx.inject.err(sig.fault)
+		}
+		if err != nil {
+			ctx.spill.discard()
+			ctx.spill = nil
 		}
 	}()
 	ctx.inject.start()
@@ -830,7 +1043,23 @@ func (e *Engine) mapAttempt(job *Job, ctx *MapCtx, task int, feed func(task int,
 	if job.Combine != nil {
 		out = e.combine(job, ctx, out)
 	}
-	ctx.metrics.OutRecords = int64(len(out))
+	buckets, err := e.partitionSort(job, ctx, out)
+	if err != nil {
+		return mapOutput{}, err
+	}
+	if job.MapCPUFactor > 0 {
+		ctx.metrics.CPUSeconds *= job.MapCPUFactor
+	}
+	return mapOutput{buckets: buckets, spill: ctx.spill}, nil
+}
+
+// partitionSort partitions one chunk of map output into per-reducer
+// buckets and sorts each — the final hand-off of every attempt, and every
+// flushed chunk of a spilling attempt. Output accounting accumulates, so
+// OutRecords/OutBytes cover spilled chunks and the final in-memory one.
+func (e *Engine) partitionSort(job *Job, ctx *MapCtx, out []Pair) ([][]Pair, error) {
+	reducers := ctx.reducers
+	ctx.metrics.OutRecords += int64(len(out))
 	// Counting pass: partition every record once up front so the buckets
 	// can be carved at exact size out of a single backing array — no
 	// per-append growth, no copying when the shuffle hands them over.
@@ -838,7 +1067,7 @@ func (e *Engine) mapAttempt(job *Job, ctx *MapCtx, task int, feed func(task int,
 	counts := make([]int32, reducers)
 	for i := range out {
 		ctx.metrics.OutBytes += pairBytes(out[i].Key, out[i].Val)
-		r := partition(out[i].Key, reducers)
+		r := ctx.partition(out[i].Key, reducers)
 		if r < 0 || r >= reducers {
 			return nil, fmt.Errorf("mr: job %s: partition(%q) = %d out of range [0,%d)", job.Name, out[i].Key, r, reducers)
 		}
@@ -864,26 +1093,37 @@ func (e *Engine) mapAttempt(job *Job, ctx *MapCtx, task int, feed func(task int,
 	// the work the CostModel already charges per emitted record
 	// (MapCPUPerEmit covers Hadoop's collector, whose buffer sort is part
 	// of the emit path); no separate simulated charge is added.
-	buckets = make([][]Pair, reducers)
-	var scratch []Pair
+	buckets := make([][]Pair, reducers)
 	for r := 0; r < reducers; r++ {
 		b := backing[offs[r]:offs[r+1]:offs[r+1]]
-		scratch = sortPairsStable(b, scratch)
+		ctx.sortScratch = sortPairsStable(b, ctx.sortScratch)
 		buckets[r] = b
 	}
-	if job.MapCPUFactor > 0 {
-		ctx.metrics.CPUSeconds *= job.MapCPUFactor
-	}
 	return buckets, nil
+}
+
+// reduceInput is one reduce task's merged input: the in-memory loser-tree
+// merge when nothing spilled (the hot path, untouched), or the streaming
+// merge over mixed in-memory/on-disk sources when any map attempt did.
+type reduceInput struct {
+	mem    *runMerger
+	stream *streamMerger
 }
 
 // reduceAttempt executes one attempt of one reduce task by streaming the
 // k-way merge of the map tasks' sorted runs: fresh TaskState, per-key
 // grouping straight off the merge (adjacent equal keys form a group, as
-// in Hadoop's reduce iterator), the reduce function, and spill accounting.
-// An injected crash surfaces as a *FaultError; the caller rolls back the
-// attempt's DFS appends.
-func (e *Engine) reduceAttempt(job *Job, ctx *RedCtx, m *runMerger, oomMem, inflation float64) (err error) {
+// in Hadoop's reduce iterator), the reduce function, and external
+// aggregation of oversized groups. An injected crash surfaces as a
+// *FaultError; the caller rolls back the attempt's DFS appends.
+func (e *Engine) reduceAttempt(job *Job, ctx *RedCtx, in *reduceInput, oomMem, inflation float64) error {
+	if in.mem != nil {
+		return e.reduceAttemptMem(job, ctx, in.mem, oomMem, inflation)
+	}
+	return e.reduceAttemptStream(job, ctx, in.stream, oomMem, inflation)
+}
+
+func (e *Engine) reduceAttemptMem(job *Job, ctx *RedCtx, m *runMerger, oomMem, inflation float64) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			sig, ok := r.(faultSignal)
@@ -899,8 +1139,12 @@ func (e *Engine) reduceAttempt(job *Job, ctx *RedCtx, m *runMerger, oomMem, infl
 	}
 	m.reset()
 	tm := ctx.metrics
+	capRecords := int64(oomMem / inflation)
+	// vals is reused across groups: the value slices alias the map tasks'
+	// stable output arenas, but the container itself is per-group scratch
+	// a reducer must not retain past its Reduce call.
 	vals := make([][]byte, 0, 16)
-	var spillRecords float64
+	var spillCPU float64
 	for p := m.next(); p != nil; {
 		key := p.Key
 		vals = vals[:0]
@@ -917,23 +1161,116 @@ func (e *Engine) reduceAttempt(job *Job, ctx *RedCtx, m *runMerger, oomMem, infl
 		// aggregated externally — the skewed-group I/O penalty of
 		// §3.2. SP-Cube avoids it by pre-aggregating skews in the
 		// mappers; the naive algorithm pays it in full.
-		if ex := float64(len(vals))*inflation - oomMem; ex > 0 {
-			spillRecords += ex
+		if excess := int64(len(vals)) - capRecords; excess > 0 {
+			cpu, err := e.externalAgg(ctx, key, vals[int64(len(vals))-excess:])
+			if err != nil {
+				return err
+			}
+			spillCPU += cpu
 		}
 		job.Reduce(ctx, key, vals)
 	}
 	if job.ReduceCPUFactor > 0 {
 		tm.CPUSeconds *= job.ReduceCPUFactor
 	}
-	if spillRecords > 0 {
-		avgRec := 24.0
-		if tm.InRecords > 0 {
-			avgRec = float64(tm.InBytes) / float64(tm.InRecords)
-		}
-		tm.SpillBytes = int64(spillRecords * avgRec)
-		tm.CPUSeconds += float64(tm.SpillBytes) * e.Cfg.Cost.SpillPasses / e.Cfg.Cost.DiskBytesPerSec
-	}
+	tm.CPUSeconds += spillCPU
 	return nil
+}
+
+// reduceAttemptStream is reduceAttemptMem over a streamMerger. The one
+// semantic difference: every group key and value is copied into fresh
+// storage, because the merge sources reuse their decode buffers — a
+// reducer that retains value slices past its Reduce call (allowed by the
+// Emit zero-copy contract's mirror image) must never observe them change.
+func (e *Engine) reduceAttemptStream(job *Job, ctx *RedCtx, m *streamMerger, oomMem, inflation float64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sig, ok := r.(faultSignal)
+			if !ok {
+				panic(r)
+			}
+			err = ctx.inject.err(sig.fault)
+		}
+	}()
+	ctx.inject.start()
+	if job.TaskState != nil {
+		ctx.state = job.TaskState()
+	}
+	m.reset()
+	tm := ctx.metrics
+	capRecords := int64(oomMem / inflation)
+	var spillCPU float64
+	kb, vb, ok := m.next()
+	for ok {
+		key := string(kb)
+		var vals [][]byte
+		var keyBytes int64
+		for {
+			vals = append(vals, append([]byte(nil), vb...))
+			keyBytes += pairBytes(key, vb)
+			kb, vb, ok = m.next()
+			if !ok || string(kb) != key {
+				break
+			}
+		}
+		if int64(len(vals)) > tm.LargestKeyRecords {
+			tm.LargestKeyRecords = int64(len(vals))
+			tm.LargestKeyBytes = keyBytes
+		}
+		if excess := int64(len(vals)) - capRecords; excess > 0 {
+			cpu, err := e.externalAgg(ctx, key, vals[int64(len(vals))-excess:])
+			if err != nil {
+				return err
+			}
+			spillCPU += cpu
+		}
+		job.Reduce(ctx, key, vals)
+	}
+	if m.err != nil {
+		return m.err
+	}
+	if job.ReduceCPUFactor > 0 {
+		tm.CPUSeconds *= job.ReduceCPUFactor
+	}
+	tm.CPUSeconds += spillCPU
+	return nil
+}
+
+// externalAgg accounts — and, in out-of-core mode, performs — the external
+// aggregation of one group whose value list exceeds the task's memory: the
+// excess records are encoded through the spill codec, so SpillBytes is the
+// exact encoded size rather than the historical per-record estimate, and
+// the charge is SpillPasses passes over those bytes. With SpillBudgetBytes
+// > 0 the encoded run is physically written to the attempt's run file.
+// The returned CPU charge is added after ReduceCPUFactor scaling, matching
+// the historical accounting order.
+func (e *Engine) externalAgg(ctx *RedCtx, key string, excess [][]byte) (float64, error) {
+	buf := ctx.encBuf[:0]
+	prev := ""
+	for _, v := range excess {
+		buf = appendSpillRecord(buf, prev, key, v)
+		prev = key
+	}
+	ctx.encBuf = buf
+	if ctx.budget > 0 {
+		if ctx.extSpill == nil {
+			sf, err := ctx.sd.create("run-r-*")
+			if err != nil {
+				return 0, err
+			}
+			ctx.extSpill = sf
+		}
+		if err := ctx.extSpill.writeRaw(buf); err != nil {
+			return 0, err
+		}
+	}
+	tm := ctx.metrics
+	tm.Spills++
+	tm.SpillBytes += int64(len(buf))
+	if ctx.traceSpill != nil {
+		ctx.traceSpill(int64(len(buf)))
+	}
+	return float64(len(buf)) * e.Cfg.Cost.SpillPasses / e.Cfg.Cost.DiskBytesPerSec, nil
 }
 
 // speculateMap races one backup attempt against a completed-but-stalled
@@ -944,35 +1281,38 @@ func (e *Engine) reduceAttempt(job *Job, ctx *RedCtx, m *runMerger, oomMem, infl
 // are byte-identical under the re-entrancy contract, so the loser differs
 // from the winner only in its simulated stall.
 func (e *Engine) speculateMap(job *Job, round, task, attempt int, feed func(int, *MapCtx),
-	reducers int, partition func(string, int) int, ctx *MapCtx, buckets [][]Pair,
-	stall float64, tr *roundTracer) (*MapCtx, [][]Pair, int, specOutcome) {
+	reducers int, partition func(string, int) int, sd *spillDir, ctx *MapCtx, mout mapOutput,
+	stall float64, tr *roundTracer) (*MapCtx, mapOutput, int, specOutcome) {
 	sp := specOutcome{launched: 1}
 	bAttempt := attempt + 1
 	bstart := time.Now()
 	binj := e.injectorFor(round, PhaseMap, task, bAttempt)
 	tr.speculate(PhaseMap, task, bAttempt)
 	tr.attemptStart(PhaseMap, task, bAttempt, binj)
-	bctx := &MapCtx{Task: task, job: job, eng: e, inject: binj}
-	bbuckets, berr := e.mapAttempt(job, bctx, task, feed, reducers, partition)
+	bctx := e.newMapCtx(job, task, bAttempt, binj, reducers, partition, sd, tr)
+	bout, berr := e.mapAttempt(job, bctx, task, feed)
 	bWall := time.Since(bstart).Seconds()
 	switch {
 	case berr != nil:
 		// The backup crashed: the original wins, the backup's partial
-		// output is wasted work (but no retry — the task has succeeded).
+		// output (its run file already discarded by mapAttempt) is wasted
+		// work (but no retry — the task has succeeded).
 		sp.wasted = bctx.metrics.PreCombineBytes
 		sp.wall = bWall
-		return ctx, buckets, attempt, sp
+		return ctx, mout, attempt, sp
 	case backupWins(bctx.metrics.CPUSeconds+binj.simDelay(), ctx.metrics.CPUSeconds+stall):
 		sp.won, sp.killed = 1, 1
 		sp.wasted = ctx.metrics.PreCombineBytes
 		sp.wall = ctx.metrics.WallSeconds
 		bctx.metrics.WallSeconds = bWall
-		return bctx, bbuckets, bAttempt, sp
+		mout.spill.discard() // the losing original's run file
+		return bctx, bout, bAttempt, sp
 	default:
 		sp.killed = 1
 		sp.wasted = bctx.metrics.PreCombineBytes
 		sp.wall = bWall
-		return ctx, buckets, attempt, sp
+		bout.spill.discard() // the losing backup's run file
+		return ctx, mout, attempt, sp
 	}
 }
 
@@ -982,7 +1322,7 @@ func (e *Engine) speculateMap(job *Job, round, task, attempt int, feed func(int,
 // stand for the winner's); the race only decides the reported attempt
 // index and the speculative counters.
 func (e *Engine) speculateReduce(job *Job, round, task, attempt int, base TaskMetrics,
-	merger *runMerger, oomMem, inflation float64, file, sideFile string,
+	in *reduceInput, oomMem, inflation float64, file, sideFile string, sd *spillDir,
 	orig *TaskMetrics, origCtx *RedCtx, stall float64, tr *roundTracer) (*TaskMetrics, []Pair, int, specOutcome) {
 	sp := specOutcome{launched: 1}
 	bAttempt := attempt + 1
@@ -991,11 +1331,11 @@ func (e *Engine) speculateReduce(job *Job, round, task, attempt int, base TaskMe
 	tr.speculate(PhaseReduce, task, bAttempt)
 	tr.attemptStart(PhaseReduce, task, bAttempt, binj)
 	bMetrics := base
-	bctx := &RedCtx{Task: task, job: job, eng: e, file: file, sideFile: sideFile,
-		metrics: &bMetrics, inject: binj}
+	bctx := e.newRedCtx(job, task, bAttempt, file, sideFile, &bMetrics, binj, sd, tr)
 	bFileMark := e.FS.Mark(file)
 	bSideMark := e.FS.Mark(sideFile)
-	berr := e.reduceAttempt(job, bctx, merger, oomMem, inflation)
+	berr := e.reduceAttempt(job, bctx, in, oomMem, inflation)
+	bctx.discardExtSpill()
 	e.FS.Rollback(file, bFileMark)
 	e.FS.Rollback(sideFile, bSideMark)
 	bWall := time.Since(bstart).Seconds()
@@ -1026,8 +1366,8 @@ func (e *Engine) speculateReduce(job *Job, round, task, attempt int, base TaskMe
 // node is live every attempt is killed until the budget runs out, failing
 // the round with a plain (non-fault) error.
 func (e *Engine) reexecuteMap(job *Job, round, task int, feed func(int, *MapCtx), reducers int,
-	partition func(string, int) int, dead []bool, nodes int,
-	rm *RoundMetrics, taskBuckets [][][]Pair, mapErrs []error, tr *roundTracer) {
+	partition func(string, int) int, sd *spillDir, dead []bool, nodes int,
+	rm *RoundMetrics, mapOuts []mapOutput, mapErrs []error, tr *roundTracer) {
 	prev := rm.Mappers[task]
 	wasted := prev.WastedBytes + prev.OutBytes
 	retryWall := prev.RetryWallSeconds + prev.WallSeconds
@@ -1037,13 +1377,13 @@ func (e *Engine) reexecuteMap(job *Job, round, task int, feed func(int, *MapCtx)
 		tstart := time.Now()
 		inj := e.injectorFor(round, PhaseMap, task, attempt)
 		tr.attemptStart(PhaseMap, task, attempt, inj)
-		ctx := &MapCtx{Task: task, job: job, eng: e, inject: inj}
-		var buckets [][]Pair
+		ctx := e.newMapCtx(job, task, attempt, inj, reducers, partition, sd, tr)
+		var mout mapOutput
 		var err error
 		if placeLive(PlaceNode(e.Cfg.Seed, round, PhaseMap, task, attempt, nodes), dead, nodes) < 0 {
 			err = &killError{reason: "no live node", phase: PhaseMap, task: task, attempt: attempt}
 		} else {
-			buckets, err = e.mapAttempt(job, ctx, task, feed, reducers, partition)
+			mout, err = e.mapAttempt(job, ctx, task, feed)
 		}
 		if err == nil {
 			m := &ctx.metrics
@@ -1057,7 +1397,7 @@ func (e *Engine) reexecuteMap(job *Job, round, task int, feed func(int, *MapCtx)
 			m.SpeculativeKilled = prev.SpeculativeKilled
 			m.SpeculativeWallSeconds = prev.SpeculativeWallSeconds
 			rm.Mappers[task] = *m
-			taskBuckets[task] = buckets
+			mapOuts[task] = mout
 			tr.taskSuccess(PhaseMap, task, attempt, &rm.Mappers[task])
 			return
 		}

@@ -25,8 +25,11 @@ import (
 // counters at every level (task, round, job); v3 added the optional
 // per-round "maint" annotation describing incremental-maintenance cycles
 // (cycle ordinal, delta-vs-rebuild mode, decision reason, sketch drift,
-// batch sizes).
-const MetricsSchemaVersion = 3
+// batch sizes); v4 added the "spills" counter at every level and
+// "spillBytes" at round and job level, and redefined "spillBytes" from an
+// estimated external-aggregation volume to the exact encoded bytes the
+// spill writer produced (out-of-core shuffle run files included).
+const MetricsSchemaVersion = 4
 
 // LoadBalance summarizes how evenly a byte quantity is spread over a
 // round's reduce tasks — the paper's §6.2 closing claim is that SP-Cube's
@@ -95,6 +98,7 @@ type taskMetricsJSON struct {
 	LargestKeyBytes   int64   `json:"largestKeyBytes"`
 	SideRecords       int64   `json:"sideRecords"`
 	SideBytes         int64   `json:"sideBytes"`
+	Spills            int64   `json:"spills"` // schema v4
 	SpillBytes        int64   `json:"spillBytes"`
 	CPUSeconds        float64 `json:"cpuSeconds"`
 	WallSeconds       float64 `json:"wallSeconds"`
@@ -118,7 +122,7 @@ func taskJSON(t *TaskMetrics) taskMetricsJSON {
 		Ops:               t.Ops,
 		LargestKeyRecords: t.LargestKeyRecords, LargestKeyBytes: t.LargestKeyBytes,
 		SideRecords: t.SideRecords, SideBytes: t.SideBytes,
-		SpillBytes: t.SpillBytes,
+		Spills: t.Spills, SpillBytes: t.SpillBytes,
 		CPUSeconds: t.CPUSeconds, WallSeconds: t.WallSeconds,
 		Attempts: t.Attempts, RetryWallSeconds: t.RetryWallSeconds, WastedBytes: t.WastedBytes,
 		Reexecutions: t.Reexecutions, FetchFailures: t.FetchFailures,
@@ -154,6 +158,9 @@ type roundMetricsJSON struct {
 	Retries          int64   `json:"retries"`
 	RetryWallSeconds float64 `json:"retryWallSeconds"`
 	WastedBytes      int64   `json:"wastedBytes"`
+	// Schema v4 spill totals (run-file flushes + external aggregation).
+	Spills     int64 `json:"spills"`
+	SpillBytes int64 `json:"spillBytes"`
 	// Schema v2 recovery counters (node failures and speculation).
 	MapReexecutions        int64   `json:"mapReexecutions"`
 	FetchFailures          int64   `json:"fetchFailures"`
@@ -208,6 +215,7 @@ func roundJSON(r *RoundMetrics) roundMetricsJSON {
 		ReduceTimeAvg: r.ReduceTimeAvg, ReduceTimeMax: r.ReduceTimeMax,
 		SimSeconds: r.SimSeconds, WallSeconds: r.WallSeconds,
 		Retries: r.Retries, RetryWallSeconds: r.RetryWallSeconds, WastedBytes: r.WastedBytes,
+		Spills: r.Spills, SpillBytes: r.SpillBytes,
 		MapReexecutions: r.MapReexecutions, FetchFailures: r.FetchFailures,
 		SpeculativeLaunched: r.SpeculativeLaunched, SpeculativeWon: r.SpeculativeWon,
 		SpeculativeKilled: r.SpeculativeKilled, SpeculativeWallSeconds: r.SpeculativeWallSeconds,
@@ -233,6 +241,9 @@ type jobMetricsJSON struct {
 	Retries          int64              `json:"retries"`
 	RetryWallSeconds float64            `json:"retryWallSeconds"`
 	WastedBytes      int64              `json:"wastedBytes"`
+	// Schema v4 spill totals (run-file flushes + external aggregation).
+	Spills     int64 `json:"spills"`
+	SpillBytes int64 `json:"spillBytes"`
 	// Schema v2 recovery counters (node failures and speculation).
 	MapReexecutions        int64   `json:"mapReexecutions"`
 	FetchFailures          int64   `json:"fetchFailures"`
@@ -261,6 +272,8 @@ func (j *JobMetrics) MarshalJSON() ([]byte, error) {
 		Retries:          j.Retries(),
 		RetryWallSeconds: j.RetryWallSeconds(),
 		WastedBytes:      j.WastedBytes(),
+		Spills:           j.Spills(),
+		SpillBytes:       j.SpillBytes(),
 
 		MapReexecutions:        j.MapReexecutions(),
 		FetchFailures:          j.FetchFailures(),

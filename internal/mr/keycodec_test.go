@@ -1,0 +1,93 @@
+package mr
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// roundtrip encodes keys/vals as one front-coded segment and decodes it
+// back through a recordReader with the given buffer size.
+func roundtrip(t *testing.T, keys []string, vals [][]byte, bufSize int) {
+	t.Helper()
+	var buf []byte
+	prev := ""
+	for i, k := range keys {
+		buf = appendSpillRecord(buf, prev, k, vals[i])
+		prev = k
+	}
+	rr := newRecordReader(bytes.NewReader(buf), int64(len(keys)), bufSize)
+	for i := range keys {
+		k, v, ok, err := rr.next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !ok {
+			t.Fatalf("record %d: premature end", i)
+		}
+		if string(k) != keys[i] || !bytes.Equal(v, vals[i]) {
+			t.Fatalf("record %d: got (%q, %q), want (%q, %q)", i, k, v, keys[i], vals[i])
+		}
+	}
+	if _, _, ok, err := rr.next(); ok || err != nil {
+		t.Fatalf("after last record: ok=%v err=%v, want exhausted", ok, err)
+	}
+}
+
+func TestSpillRecordRoundtrip(t *testing.T) {
+	keys := []string{
+		"", "a", "aa", "aardvark", "aardwolf", "ab",
+		strings.Repeat("cube", 100), strings.Repeat("cube", 100) + "!",
+		"z",
+	}
+	vals := make([][]byte, len(keys))
+	for i := range vals {
+		vals[i] = bytes.Repeat([]byte{byte(i)}, i*7%23)
+	}
+	vals[3] = nil // empty value mid-stream
+	for _, bufSize := range []int{16, 64, 4096} {
+		roundtrip(t, keys, vals, bufSize)
+	}
+}
+
+func TestSpillRecordFrontCodingCompresses(t *testing.T) {
+	// Sorted cube-style keys share long prefixes; the encoding must be
+	// much smaller than storing keys whole.
+	var whole, coded int
+	var buf []byte
+	prev := ""
+	for i := 0; i < 100; i++ {
+		key := "cuboid/ab/region-7/sku-" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		whole += len(key)
+		buf = appendSpillRecord(buf[:0], prev, key, nil)
+		coded += len(buf)
+		prev = key
+	}
+	if coded >= whole {
+		t.Errorf("front coding did not compress: %d coded vs %d whole key bytes", coded, whole)
+	}
+}
+
+func TestRecordReaderTruncated(t *testing.T) {
+	buf := appendSpillRecord(nil, "", "hello", []byte("world"))
+	for cut := 1; cut < len(buf); cut++ {
+		rr := newRecordReader(bytes.NewReader(buf[:len(buf)-cut]), 1, 16)
+		if _, _, _, err := rr.next(); err == nil {
+			t.Fatalf("truncated by %d bytes: expected error", cut)
+		}
+	}
+}
+
+func TestRecordReaderBadPrefix(t *testing.T) {
+	// First record claims a 5-byte shared prefix, but there is no previous
+	// key: the reader must reject it rather than read garbage.
+	var buf []byte
+	buf = binary.AppendUvarint(buf, 5)
+	buf = binary.AppendUvarint(buf, 0)
+	buf = binary.AppendUvarint(buf, 0)
+	rr := newRecordReader(bytes.NewReader(buf), 1, 16)
+	if _, _, _, err := rr.next(); err == nil || !strings.Contains(err.Error(), "prefix") {
+		t.Fatalf("expected prefix validation error, got %v", err)
+	}
+}

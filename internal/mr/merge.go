@@ -1,6 +1,10 @@
 package mr
 
-import "strings"
+import (
+	"bytes"
+	"strings"
+	"unsafe"
+)
 
 // This file is the sort-merge half of the engine's data plane: a stable
 // bottom-up merge sort for the map side's per-reducer buckets and a
@@ -246,4 +250,133 @@ func (m *runMerger) next() *Pair {
 	m.pos[w]++
 	m.tree.Replay()
 	return p
+}
+
+// streamMerger is the out-of-core counterpart of runMerger: it k-way merges
+// a mix of in-memory runs and on-disk spill segments, holding only one head
+// record per source — reduce memory is O(sources), not O(input). Source
+// order and the lower-index tiebreak carry the same contract as runMerger
+// (sources ordered by map task, a task's spill segments before its final
+// in-memory bucket), so reducer input order is byte-identical to the
+// all-in-memory merge.
+type streamMerger struct {
+	srcs []mergeSource
+	tree *LoserTree
+	cur  int // source whose head the last next handed out; -1 if none
+	err  error
+}
+
+// mergeSource is one sorted run: either an in-memory pair slice or a
+// front-coded spill segment. key/val hold the current head; for file
+// sources they alias the reader's reused decode buffers.
+type mergeSource struct {
+	pairs []Pair
+	pos   int
+	rd    *segReader
+	key   []byte
+	val   []byte
+	live  bool
+}
+
+// streamSource wraps a run for newStreamMerger: exactly one of pairs / seg
+// is used (pairs when seg.records == 0 and pairs != nil).
+type streamSource struct {
+	pairs []Pair
+	seg   *spillSeg
+}
+
+func newStreamMerger(runs []streamSource) *streamMerger {
+	m := &streamMerger{srcs: make([]mergeSource, len(runs)), cur: -1}
+	for i, r := range runs {
+		if r.seg != nil {
+			m.srcs[i].rd = newSegReader(*r.seg)
+		} else {
+			m.srcs[i].pairs = r.pairs
+		}
+		m.advance(i)
+	}
+	m.tree = NewLoserTree(len(m.srcs), m.beats)
+	return m
+}
+
+// reset rewinds every source to its start (re-reading spill segments from
+// disk), making the merger reusable across task attempts.
+func (m *streamMerger) reset() {
+	m.err = nil
+	m.cur = -1
+	for i := range m.srcs {
+		s := &m.srcs[i]
+		if s.rd != nil {
+			s.rd.reset()
+		} else {
+			s.pos = 0
+		}
+		m.advance(i)
+	}
+	m.tree.Reset()
+}
+
+// advance loads source i's next head record.
+func (m *streamMerger) advance(i int) {
+	s := &m.srcs[i]
+	if s.rd != nil {
+		key, val, ok, err := s.rd.next()
+		if err != nil && m.err == nil {
+			m.err = err
+		}
+		s.key, s.val, s.live = key, val, ok && err == nil
+		return
+	}
+	if s.pos >= len(s.pairs) {
+		s.key, s.val, s.live = nil, nil, false
+		return
+	}
+	p := &s.pairs[s.pos]
+	s.key, s.val, s.live = stringBytes(p.Key), p.Val, true
+	s.pos++
+}
+
+// beats mirrors runMerger.beats: drained sources lose to live ones, equal
+// keys go to the lower source index.
+func (m *streamMerger) beats(a, b int) bool {
+	sa, sb := &m.srcs[a], &m.srcs[b]
+	switch {
+	case !sa.live && !sb.live:
+		return a < b
+	case !sa.live:
+		return false
+	case !sb.live:
+		return true
+	}
+	if c := bytes.Compare(sa.key, sb.key); c != 0 {
+		return c < 0
+	}
+	return a < b
+}
+
+// next returns the globally next record, or ok == false when every source
+// is drained (or a read failed — check err). The returned slices are valid
+// only until the following next call: file-backed sources reuse their
+// decode buffers, so consumers that keep a key or value must copy it.
+func (m *streamMerger) next() (key, val []byte, ok bool) {
+	if m.cur >= 0 {
+		m.advance(m.cur)
+		m.tree.Replay()
+	}
+	w := m.tree.Winner()
+	if w < 0 || !m.srcs[w].live {
+		m.cur = -1
+		return nil, nil, false
+	}
+	m.cur = w
+	return m.srcs[w].key, m.srcs[w].val, true
+}
+
+// stringBytes views s's bytes without copying; the result must not be
+// modified.
+func stringBytes(s string) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice(unsafe.StringData(s), len(s))
 }

@@ -25,8 +25,12 @@ type TaskMetrics struct {
 	// passed to a later round rather than written to the primary output).
 	SideRecords int64
 	SideBytes   int64
-	// SpillBytes is the reduce-side input volume that exceeded the task's
-	// memory and was externally aggregated.
+	// Spills counts spill events: map-side run-file flushes under
+	// Config.SpillBudgetBytes, and reduce-side external aggregations of
+	// groups that exceeded the task's memory. SpillBytes is the exact
+	// encoded size of those runs as the spill writer produced them (real
+	// measured I/O in out-of-core mode, not an estimate).
+	Spills     int64
 	SpillBytes int64
 	// CPUSeconds is the simulated CPU time of the task under the cost
 	// model; WallSeconds is the real time the in-process run took.
@@ -76,6 +80,11 @@ type RoundMetrics struct {
 	// OutputRecords/Bytes is the reducers' total output.
 	OutputRecords int64
 	OutputBytes   int64
+
+	// Spills/SpillBytes aggregate the tasks' spill activity: map-side
+	// run-file flushes plus reduce-side external aggregation.
+	Spills     int64
+	SpillBytes int64
 
 	// MappersExecuted/ReducersExecuted count the tasks that actually ran
 	// (Attempts > 0). Reducers scheduled after a failed one — e.g. past
@@ -145,6 +154,7 @@ type MaintInfo struct {
 func (r *RoundMetrics) finalize(cost CostModel) {
 	r.Retries, r.RetryWallSeconds, r.WastedBytes = 0, 0, 0
 	r.MapReexecutions, r.FetchFailures = 0, 0
+	r.Spills, r.SpillBytes = 0, 0
 	r.SpeculativeLaunched, r.SpeculativeWon, r.SpeculativeKilled = 0, 0, 0
 	r.SpeculativeWallSeconds = 0
 	for _, tasks := range [][]TaskMetrics{r.Mappers, r.Reducers} {
@@ -157,6 +167,8 @@ func (r *RoundMetrics) finalize(cost CostModel) {
 			}
 			r.RetryWallSeconds += t.RetryWallSeconds
 			r.WastedBytes += t.WastedBytes
+			r.Spills += t.Spills
+			r.SpillBytes += t.SpillBytes
 			r.FetchFailures += t.FetchFailures
 			r.SpeculativeLaunched += t.SpeculativeLaunched
 			r.SpeculativeWon += t.SpeculativeWon
@@ -300,6 +312,26 @@ func (j *JobMetrics) ReduceTimeAvg() float64 {
 		return 0
 	}
 	return s / float64(n)
+}
+
+// Spills is the total number of spill events (map run-file flushes plus
+// reduce-side external aggregations) across rounds.
+func (j *JobMetrics) Spills() int64 {
+	var s int64
+	for i := range j.Rounds {
+		s += j.Rounds[i].Spills
+	}
+	return s
+}
+
+// SpillBytes is the total encoded bytes the spill writer produced across
+// rounds.
+func (j *JobMetrics) SpillBytes() int64 {
+	var s int64
+	for i := range j.Rounds {
+		s += j.Rounds[i].SpillBytes
+	}
+	return s
 }
 
 // Retries is the total number of re-executed task attempts across rounds.

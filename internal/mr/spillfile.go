@@ -1,0 +1,180 @@
+package mr
+
+import (
+	"io"
+	"os"
+	"sync"
+)
+
+// spillDir owns one engine run's spill directory. The directory is created
+// lazily on the first spill (a run whose buckets all fit in memory never
+// touches the filesystem) and removed wholesale — open handles included —
+// by cleanup, which the engine defers for the whole run so that no code
+// path, fault-recovery ones included, can leak run files.
+type spillDir struct {
+	base string // Config.SpillDir, or os.TempDir() when empty
+
+	mu    sync.Mutex
+	dir   string
+	files []*spillFile
+}
+
+func newSpillDir(base string) *spillDir {
+	if base == "" {
+		base = os.TempDir()
+	}
+	return &spillDir{base: base}
+}
+
+// create opens a fresh run file inside the (lazily created) spill
+// directory. Safe to call from concurrent task attempts.
+func (d *spillDir) create(pattern string) (*spillFile, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dir == "" {
+		dir, err := os.MkdirTemp(d.base, "spcube-spill-*")
+		if err != nil {
+			return nil, err
+		}
+		d.dir = dir
+	}
+	f, err := os.CreateTemp(d.dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	sf := &spillFile{f: f, path: f.Name()}
+	d.files = append(d.files, sf)
+	return sf, nil
+}
+
+// cleanup closes every run file and removes the spill directory. Called
+// once, after all task attempts have finished.
+func (d *spillDir) cleanup() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, sf := range d.files {
+		sf.close()
+	}
+	if d.dir != "" {
+		os.RemoveAll(d.dir)
+		d.dir = ""
+	}
+	d.files = nil
+}
+
+// spillFile is one attempt's on-disk run file. A map attempt appends one
+// spill block per flush — the sorted per-reducer buckets of everything
+// emitted since the previous flush, each bucket front-coded into its own
+// segment. spills[i][r] is flush i's segment for reducer r.
+type spillFile struct {
+	f      *os.File
+	path   string
+	off    int64
+	spills [][]spillSeg
+	closed bool
+}
+
+// spillSeg locates one sorted run inside a spill file and carries the
+// metadata the reduce pre-scan needs, so sizing a reducer's input never
+// re-reads the file: records and raw (the Σ pairBytes the in-memory path
+// would have accounted) mirror the heap-resident bookkeeping exactly,
+// while length measures the encoded bytes actually on disk.
+type spillSeg struct {
+	f       *os.File
+	off     int64
+	length  int64
+	records int64
+	raw     int64
+}
+
+// writeSpill encodes the sorted buckets (one per reducer) as consecutive
+// segments and appends them to the file with a single write. enc is a
+// reusable scratch buffer. Returns the encoded byte count.
+func (w *spillFile) writeSpill(buckets [][]Pair, enc *[]byte) (int64, error) {
+	buf := (*enc)[:0]
+	segs := make([]spillSeg, len(buckets))
+	for r, bucket := range buckets {
+		start := int64(len(buf))
+		prev := ""
+		var raw int64
+		for i := range bucket {
+			buf = appendSpillRecord(buf, prev, bucket[i].Key, bucket[i].Val)
+			raw += pairBytes(bucket[i].Key, bucket[i].Val)
+			prev = bucket[i].Key
+		}
+		segs[r] = spillSeg{
+			f:       w.f,
+			off:     w.off + start,
+			length:  int64(len(buf)) - start,
+			records: int64(len(bucket)),
+			raw:     raw,
+		}
+	}
+	*enc = buf
+	if _, err := w.f.Write(buf); err != nil {
+		return 0, err
+	}
+	w.off += int64(len(buf))
+	w.spills = append(w.spills, segs)
+	return int64(len(buf)), nil
+}
+
+// writeRaw appends already-encoded bytes (reduce-side external-aggregation
+// runs, which are written for their I/O cost but never merged back).
+func (w *spillFile) writeRaw(buf []byte) error {
+	if _, err := w.f.Write(buf); err != nil {
+		return err
+	}
+	w.off += int64(len(buf))
+	return nil
+}
+
+func (w *spillFile) close() {
+	if w == nil || w.closed {
+		return
+	}
+	w.f.Close()
+	w.closed = true
+}
+
+// discard closes and deletes the run file: the attempt that produced it
+// failed, was killed, lost a speculative race, or sat on a crashed node.
+func (w *spillFile) discard() {
+	if w == nil || w.closed {
+		return
+	}
+	w.f.Close()
+	os.Remove(w.path)
+	w.closed = true
+}
+
+// segReader streams one segment's records. reset reopens the segment from
+// the start, so a retried reduce attempt re-reads its input exactly like a
+// real reducer re-fetching a map output; concurrent readers of different
+// segments share the *os.File safely via ReadAt.
+type segReader struct {
+	seg spillSeg
+	rr  *recordReader
+}
+
+func newSegReader(seg spillSeg) *segReader {
+	r := &segReader{seg: seg}
+	r.reset()
+	return r
+}
+
+func (r *segReader) reset() {
+	sz := 32 * 1024
+	if r.seg.length < int64(sz) {
+		sz = int(r.seg.length)
+	}
+	if sz < 16 {
+		sz = 16
+	}
+	sec := io.NewSectionReader(r.seg.f, r.seg.off, r.seg.length)
+	r.rr = newRecordReader(sec, r.seg.records, sz)
+}
+
+func (r *segReader) next() (key, val []byte, ok bool, err error) {
+	return r.rr.next()
+}

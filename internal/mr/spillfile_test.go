@@ -1,0 +1,158 @@
+package mr
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// listAll returns every file under dir, recursively.
+func listAll(t *testing.T, dir string) []string {
+	t.Helper()
+	var out []string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if path != dir {
+			out = append(out, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func testBuckets() [][]Pair {
+	return [][]Pair{
+		{{Key: "apple", Val: []byte("1")}, {Key: "apricot", Val: []byte("22")}},
+		{}, // empty bucket: zero-length segment
+		{{Key: "banana", Val: nil}, {Key: "banana", Val: []byte("x")}, {Key: "band", Val: []byte("yz")}},
+	}
+}
+
+// TestWriteSpillExactBytes is the spill-accounting regression (the engine
+// once estimated spill volume at a hardcoded 24 bytes/record): the byte
+// count writeSpill reports — the number SpillBytes is built from — must
+// equal the bytes physically on disk, and the segment metadata must mirror
+// the in-memory accounting exactly.
+func TestWriteSpillExactBytes(t *testing.T) {
+	sd := newSpillDir(t.TempDir())
+	defer sd.cleanup()
+	sf, err := sd.create("run-m-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buckets := testBuckets()
+	var enc []byte
+	var total int64
+	for flush := 0; flush < 3; flush++ {
+		written, err := sf.writeSpill(buckets, &enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if written <= 0 {
+			t.Fatalf("flush %d: written = %d", flush, written)
+		}
+		total += written
+		st, err := os.Stat(sf.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() != total {
+			t.Fatalf("flush %d: reported %d cumulative bytes, file holds %d", flush, total, st.Size())
+		}
+	}
+	for flush, segs := range sf.spills {
+		for r, seg := range segs {
+			want := buckets[r]
+			if seg.records != int64(len(want)) {
+				t.Fatalf("flush %d reducer %d: %d records, want %d", flush, r, seg.records, len(want))
+			}
+			var raw int64
+			for i := range want {
+				raw += pairBytes(want[i].Key, want[i].Val)
+			}
+			if seg.raw != raw {
+				t.Fatalf("flush %d reducer %d: raw %d, want %d", flush, r, seg.raw, raw)
+			}
+			rd := newSegReader(seg)
+			for i := range want {
+				k, v, ok, err := rd.next()
+				if err != nil || !ok {
+					t.Fatalf("flush %d reducer %d record %d: ok=%v err=%v", flush, r, i, ok, err)
+				}
+				if string(k) != want[i].Key || !bytes.Equal(v, want[i].Val) {
+					t.Fatalf("flush %d reducer %d record %d: got (%q, %q), want (%q, %q)",
+						flush, r, i, k, v, want[i].Key, want[i].Val)
+				}
+			}
+			if _, _, ok, _ := rd.next(); ok {
+				t.Fatalf("flush %d reducer %d: segment over-reads", flush, r)
+			}
+			// A reset re-reads the segment from the start (retried attempt).
+			rd.reset()
+			if k, _, ok, err := rd.next(); len(want) > 0 && (err != nil || !ok || string(k) != want[0].Key) {
+				t.Fatalf("flush %d reducer %d: reset re-read failed: %q %v %v", flush, r, k, ok, err)
+			}
+		}
+	}
+}
+
+func TestSpillDirCleanupRemovesEverything(t *testing.T) {
+	base := t.TempDir()
+	sd := newSpillDir(base)
+	var enc []byte
+	for i := 0; i < 4; i++ {
+		sf, err := sd.create(fmt.Sprintf("run-%d-*", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sf.writeSpill(testBuckets(), &enc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := listAll(t, base); len(got) == 0 {
+		t.Fatal("expected run files before cleanup")
+	}
+	sd.cleanup()
+	if got := listAll(t, base); len(got) != 0 {
+		t.Fatalf("cleanup left files behind: %v", got)
+	}
+	// cleanup is idempotent.
+	sd.cleanup()
+}
+
+func TestSpillFileDiscard(t *testing.T) {
+	base := t.TempDir()
+	sd := newSpillDir(base)
+	defer sd.cleanup()
+	sf, err := sd.create("run-m-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sf.writeRaw([]byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	sf.discard()
+	if _, err := os.Stat(sf.path); !os.IsNotExist(err) {
+		t.Fatalf("discard left the file: %v", err)
+	}
+	sf.discard() // idempotent
+	var nilFile *spillFile
+	nilFile.discard() // nil-safe: failed attempts may never have spilled
+	nilFile.close()
+}
+
+func TestSpillDirLazyCreation(t *testing.T) {
+	base := t.TempDir()
+	sd := newSpillDir(base)
+	sd.cleanup() // no create call: nothing must have touched base
+	if got := listAll(t, base); len(got) != 0 {
+		t.Fatalf("spillDir touched the filesystem without a spill: %v", got)
+	}
+}

@@ -52,8 +52,10 @@ const (
 	// reducers; the task is re-executed (a task-start at the next attempt
 	// index follows).
 	EvFetchFail = "fetch-fail"
-	// EvSpill reports reduce-side external aggregation: Bytes is the input
-	// volume that exceeded the task's memory (§3.2 skew penalty).
+	// EvSpill is fired by the spill writer, once per flush: a map attempt
+	// spilling a sorted run to disk under Config.SpillBudgetBytes, or a
+	// reduce attempt externally aggregating a group that exceeded its
+	// memory (§3.2 skew penalty). Bytes is the exact encoded run size.
 	EvSpill = "spill"
 	// EvTaskSuccess closes a task: output Records/Bytes and simulated
 	// CPUSeconds of the successful attempt.
@@ -265,14 +267,11 @@ func (t *roundTracer) attemptFailure(phase Phase, task, attempt int, err error) 
 	t.add(phase, task, TraceEvent{Type: EvTaskFailure, Attempt: attempt, Err: err.Error()})
 }
 
-// taskSuccess records a task completing, preceded by a spill event when the
-// attempt aggregated part of its input externally.
+// taskSuccess records a task completing. Spill events are not synthesized
+// here: the spill writer fires them itself, per flush, as they happen.
 func (t *roundTracer) taskSuccess(phase Phase, task, attempt int, tm *TaskMetrics) {
 	if t == nil {
 		return
-	}
-	if tm.SpillBytes > 0 {
-		t.add(phase, task, TraceEvent{Type: EvSpill, Attempt: attempt, Bytes: tm.SpillBytes})
 	}
 	records, bytes := tm.OutRecords, tm.OutBytes
 	if phase == PhaseReduce {

@@ -190,6 +190,8 @@ type config struct {
 	specSlack   float64
 	taskTimeout float64
 	trace       io.Writer
+	spillBudget int64
+	spillDir    string
 }
 
 // engineConfig converts the facade configuration into the engine's,
@@ -208,6 +210,8 @@ func (c *config) engineConfig() (mr.Config, error) {
 		MaxAttempts:      c.maxAttempts,
 		SpeculativeSlack: c.specSlack,
 		TaskTimeout:      c.taskTimeout,
+		SpillBudgetBytes: c.spillBudget,
+		SpillDir:         c.spillDir,
 	}
 	if c.trace != nil {
 		cfg.Tracer = mr.NewJSONLTracer(c.trace)
@@ -273,6 +277,20 @@ func SpeculativeSlack(slack float64) Option { return func(c *config) { c.specSla
 // analog of Hadoop's progress timeout. 0 (the default) disables it.
 func TaskTimeout(seconds float64) Option { return func(c *config) { c.taskTimeout = seconds } }
 
+// SpillBudget caps a map task's in-memory emit buffer at the given number
+// of bytes: when key+value bytes held in memory reach the budget, the task
+// sorts and flushes its buffered output to a compact on-disk run file, and
+// reducers stream a k-way merge over the runs instead of materializing
+// their input. The computed cube is byte-identical at any budget (including
+// one so small every record spills); only Stats.Spills/SpillBytes and the
+// simulated I/O cost change. 0 (the default) keeps everything in memory.
+func SpillBudget(bytes int64) Option { return func(c *config) { c.spillBudget = bytes } }
+
+// SpillDir sets the directory under which spill run files are created (a
+// fresh temp subdirectory per computation, removed on return even on
+// failure). Empty (the default) uses the operating system's temp dir.
+func SpillDir(dir string) Option { return func(c *config) { c.spillDir = dir } }
+
 // Trace streams the simulated cluster's structured lifecycle events — round
 // start/end, task attempt start/success/failure/retry, shuffle, spill,
 // fault injection — to w as JSON lines (one mr.TraceEvent per line). The
@@ -308,6 +326,12 @@ type Stats struct {
 	Retries          int64
 	RetryWallSeconds float64
 	WastedBytes      int64
+	// Spills is the number of spill events (map-side run-file flushes under
+	// the SpillBudget option plus reduce-side external aggregations), and
+	// SpillBytes the exact encoded bytes they wrote. Both zero when nothing
+	// spilled.
+	Spills     int64
+	SpillBytes int64
 	// MapReexecutions is the number of completed map tasks re-run because a
 	// node crash lost their output, and FetchFailures the lost map outputs
 	// the reducers observed. SpeculativeLaunched/Won/Killed count straggler
@@ -335,6 +359,8 @@ func statsFromRun(run *cube.Run) Stats {
 		Retries:          run.Metrics.Retries(),
 		RetryWallSeconds: run.Metrics.RetryWallSeconds(),
 		WastedBytes:      run.Metrics.WastedBytes(),
+		Spills:           run.Metrics.Spills(),
+		SpillBytes:       run.Metrics.SpillBytes(),
 
 		MapReexecutions:     run.Metrics.MapReexecutions(),
 		FetchFailures:       run.Metrics.FetchFailures(),
