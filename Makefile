@@ -3,10 +3,11 @@
 GO ?= go
 
 .PHONY: check fmt vet build test race retry-race fuzz-smoke chaos bench \
-	bench-json bench-delta bench-hotpath bench-hotpath-json bench-compare \
-	serve-smoke cover-serve cover-delta delta-soak soak-scale lint
+	bench-json bench-delta bench-spill bench-hotpath bench-hotpath-json \
+	bench-compare serve-smoke cover-serve cover-delta delta-soak soak-scale lint
 
-check: fmt vet race fuzz-smoke chaos serve-smoke cover-serve cover-delta delta-soak
+check: fmt vet race fuzz-smoke chaos serve-smoke cover-serve cover-delta \
+	delta-soak bench-spill
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -32,11 +33,15 @@ retry-race:
 	$(GO) test -race -count=2 -run 'Fault|Differential' ./...
 
 # Short fuzz of the cube-equivalence oracle (relation shape x fault
-# coordinate vs brute force) and of the delta-maintenance oracle (batch
-# composition x aggregate x rebuild threshold vs recompute).
+# coordinate vs brute force), the delta-maintenance oracle (batch
+# composition x aggregate x rebuild threshold vs recompute), and the spill
+# plane's two wire formats: the front-coded record codec and the
+# checksummed block framing (round-trip plus corrupt-input rejection).
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzCubeEquivalence -fuzztime=10s ./internal/integration
 	$(GO) test -run=NONE -fuzz=FuzzDeltaEquivalence -fuzztime=10s ./internal/integration
+	$(GO) test -run=NONE -fuzz=FuzzKeyCodec -fuzztime=10s ./internal/mr
+	$(GO) test -run=NONE -fuzz=FuzzBlockCodec -fuzztime=10s ./internal/mr/blockcodec
 
 # Randomized fault-plan soak: deterministically generated multi-fault plans
 # (every task-fault kind, whole-node crashes, speculation, task timeouts)
@@ -59,6 +64,16 @@ bench-json:
 bench-delta:
 	$(GO) run ./cmd/spbench -delta-out BENCH_delta.json
 	$(GO) run ./cmd/spbench -validate-delta BENCH_delta.json
+
+# Spill-pipeline benchmark artifact: the fat-state shuffle through the
+# async + lz pipeline against the synchronous raw baseline (the engine's
+# pre-pipeline behavior), with committed floors — >= 1.3x simulated
+# wall-clock speedup and >= 2x physical spilled-bytes reduction — enforced
+# by the validator. Both gated quantities are deterministic in the seed, so
+# the committed BENCH_spill.json re-validates bit-for-bit anywhere.
+bench-spill:
+	$(GO) run ./cmd/spbench -spill-out BENCH_spill.json
+	$(GO) run ./cmd/spbench -validate-spill BENCH_spill.json
 
 # Randomized incremental-maintenance soak: chaos-faulted delta cycles with
 # appends and deletes feeding the serving store through patch + swap, each

@@ -9,6 +9,10 @@
 // Datasets: binomial (gen-binomial, -p sets the skew probability), zipf
 // (gen-zipf), wiki (Wikipedia-traffic fingerprint), usagov (USAGOV
 // fingerprint, 15 dimensions), uniform, retail (the running example).
+//
+// Rows are produced one at a time and written as they are generated —
+// memory stays constant no matter how large -n is, so gendata can emit
+// datasets far bigger than RAM.
 package main
 
 import (
@@ -18,10 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 
 	"github.com/spcube/spcube/internal/data"
-	"github.com/spcube/spcube/internal/relation"
 )
 
 func main() {
@@ -42,18 +44,9 @@ func main() {
 }
 
 func run(dataset string, n int, p float64, d int, seed int64, out string) error {
-	var rel *relation.Relation
-	switch dataset {
-	case "binomial":
-		rel = data.GenBinomial(n, d, p, seed)
-	case "uniform":
-		rel = data.Uniform(n, d, 1<<30, seed)
-	default:
-		gen, err := data.ByName(dataset)
-		if err != nil {
-			return err
-		}
-		rel = gen(n, seed)
+	s, err := data.StreamByName(dataset, n, d, p, seed)
+	if err != nil {
+		return err
 	}
 
 	var w io.Writer = os.Stdout
@@ -67,20 +60,18 @@ func run(dataset string, n int, p float64, d int, seed int64, out string) error 
 		defer bw.Flush()
 		w = bw
 	}
-	return writeCSV(w, rel)
+	return writeCSV(w, s)
 }
 
-func writeCSV(w io.Writer, rel *relation.Relation) error {
+// writeCSV streams the dataset row by row: one reused row buffer, nothing
+// materialized.
+func writeCSV(w io.Writer, s *data.Stream) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write(append(append([]string(nil), rel.Schema.DimNames...), rel.Schema.MeasureName)); err != nil {
+	if err := cw.Write(s.Header); err != nil {
 		return err
 	}
-	row := make([]string, rel.D()+1)
-	for _, t := range rel.Tuples {
-		for i, v := range t.Dims {
-			row[i] = rel.DimString(i, v)
-		}
-		row[rel.D()] = strconv.FormatInt(t.Measure, 10)
+	row := make([]string, len(s.Header))
+	for s.Next(row) {
 		if err := cw.Write(row); err != nil {
 			return err
 		}

@@ -3,8 +3,11 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
+
+	"github.com/spcube/spcube/internal/data"
 )
 
 func TestRunDatasets(t *testing.T) {
@@ -51,5 +54,55 @@ func TestDeterministicOutput(t *testing.T) {
 	db, _ := os.ReadFile(b)
 	if string(da) != string(db) {
 		t.Error("generator output not deterministic")
+	}
+}
+
+// heapProbe samples live heap while the CSV stream flows through it — the
+// probe that catches any return to materialize-then-write behavior, which
+// would hold the whole dataset live during the write.
+type heapProbe struct {
+	sinceGC int
+	peak    uint64
+}
+
+func (h *heapProbe) Write(p []byte) (int, error) {
+	h.sinceGC += len(p)
+	if h.sinceGC >= 4<<20 {
+		h.sinceGC = 0
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > h.peak {
+			h.peak = ms.HeapAlloc
+		}
+	}
+	return len(p), nil
+}
+
+// TestWriteCSVMemoryBounded pins gendata's streaming contract: emitting a
+// dataset holds O(1) memory, not O(n). 400k 15-dimension usagov rows
+// materialized would keep tens of megabytes live through the write; the
+// streamed path must stay under a far smaller ceiling at every sample.
+func TestWriteCSVMemoryBounded(t *testing.T) {
+	s, err := data.StreamByName("usagov", 400_000, 4, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	base := ms.HeapAlloc
+	probe := &heapProbe{}
+	if err := writeCSV(probe, s); err != nil {
+		t.Fatal(err)
+	}
+	if probe.peak == 0 {
+		t.Fatal("probe never sampled: output smaller than expected")
+	}
+	// Allow generous slack over the baseline for the runtime's own heap;
+	// a materialized 400k-row relation would blow far past this.
+	const limit = 16 << 20
+	if probe.peak > base+limit {
+		t.Errorf("peak live heap %d B over a %d B baseline: dataset is being materialized", probe.peak, base)
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"os"
 
 	"github.com/spcube/spcube/internal/bench"
+	"github.com/spcube/spcube/internal/cleanup"
 	"github.com/spcube/spcube/internal/mr"
 	"github.com/spcube/spcube/internal/obs"
 )
@@ -63,14 +64,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxAtt     = fs.Int("max-attempts", 0, "task attempts before an injected failure becomes permanent (0 = engine default, 4)")
 		specSlack  = fs.Float64("spec-slack", 0, "speculative-execution slack in simulated seconds: race a backup attempt against tasks stalled longer than this (0 = disabled)")
 		taskTO     = fs.Float64("task-timeout", 0, "kill and retry task attempts stalled longer than this many simulated seconds (0 = disabled)")
-		spillB     = fs.Int64("spill-budget", -1, "map-side in-memory emit budget in bytes before spilling to disk: -1 = never spill, 0 = spill every record, N > 0 = spill past N bytes (figures are identical at any setting)")
-		spillDir   = fs.String("spill-dir", "", "directory for spill run files (default: the system temp dir)")
+		spillB     = fs.Int64("spill-budget", -1, "map-side in-memory emit budget in bytes before spilling to disk: -1 = never spill, 0 = spill every record, N > 0 = spill past N bytes (cube bytes are identical at any setting; simulated-time figures include the spill I/O cost)")
+		spillDir   = fs.String("spill-dir", "", "directory for spill run files (default: the system temp dir, honoring $TMPDIR); removed on exit, interrupts included")
+		spillCodec = fs.String("spill-codec", "raw", "block compression codec for spill run files: raw or lz (cube bytes are identical under any codec; simulated-time figures charge the compressed bytes actually written)")
+		mergeFanIn = fs.Int("merge-fan-in", 0, "cap on runs merged at once by a reducer (0 = engine default, 64; minimum 2)")
 		metricsOut = fs.String("metrics-out", "", "write figures and per-run metrics (versioned JSON) to this file")
 		traceFile  = fs.String("trace", "", "write structured engine trace events (JSON lines) to this file")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof and /debug/runtime on this address (e.g. localhost:6060)")
 		validate   = fs.String("validate", "", "validate a metrics JSON document and exit (no experiments are run)")
 		deltaOut   = fs.String("delta-out", "", "run the delta-maintenance benchmark (1% batch: delta-merge vs full rebuild) and write its JSON document to this file")
 		valDelta   = fs.String("validate-delta", "", "validate a delta-benchmark JSON document (including the speedup floor) and exit")
+		spillOut   = fs.String("spill-out", "", "run the spill-pipeline benchmark (async+lz pipeline vs sync raw baseline) and write its JSON document to this file")
+		valSpill   = fs.String("validate-spill", "", "validate a spill-benchmark JSON document (including the speedup and bytes-reduction floors) and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -117,6 +122,51 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "delta-merge %.4fs vs rebuild %.4fs: %.1fx speedup (%d-tuple batch over %d base tuples)\n",
 			doc.DeltaSeconds, doc.RebuildSeconds, doc.Speedup, doc.DeltaTuples, doc.BaseTuples)
+		return 0
+	}
+
+	if *valSpill != "" {
+		data, err := os.ReadFile(*valSpill)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := bench.ValidateSpillJSON(data); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%s: valid spill-benchmark document (schema version %d, floors %.1fx sim / %.1fx bytes)\n",
+			*valSpill, bench.SpillSchemaVersion, bench.MinSpillSpeedup, bench.MinSpillBytesReduction)
+		return 0
+	}
+
+	if *spillOut != "" {
+		doc, err := bench.RunSpillBench(bench.SpillConfig{
+			Tuples:      int(100000 * *scale),
+			Workers:     *workers,
+			Seed:        *seed,
+			Parallelism: *par,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		f, err := os.Create(*spillOut)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		werr := bench.WriteSpillDoc(f, doc)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, werr)
+			return 1
+		}
+		fmt.Fprintf(stdout, "spill pipeline %.2f sim s vs sync-raw baseline %.2f sim s: %.2fx (%.2fx real wall); %d B spilled vs %d B: %.2fx fewer bytes\n",
+			doc.Pipeline.SimSeconds, doc.Baseline.SimSeconds, doc.Speedup, doc.WallSpeedup,
+			doc.Pipeline.SpilledBytes, doc.Baseline.SpilledBytes, doc.BytesReduction)
 		return 0
 	}
 
@@ -168,10 +218,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		budget = 1 // any emit exceeds one byte: spill every record
 	}
 
+	// With spilling enabled, run files live under a CLI-owned temp root so
+	// an interrupt can remove them: deferred engine cleanup never executes
+	// when a signal kills the process mid-run.
+	dir := *spillDir
+	if budget > 0 {
+		root, err := os.MkdirTemp(dir, "spbench-*")
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		dir = root
+		defer os.RemoveAll(root)
+		stop := cleanup.OnSignal(func() { os.RemoveAll(root) }, os.Exit)
+		defer stop()
+	}
+
 	cfg := bench.Config{Workers: *workers, Seed: *seed, Scale: *scale, Parallelism: *par,
 		Faults: plan, MaxAttempts: *maxAtt,
 		SpeculativeSlack: *specSlack, TaskTimeout: *taskTO,
-		SpillBudgetBytes: budget, SpillDir: *spillDir}
+		SpillBudgetBytes: budget, SpillDir: dir,
+		SpillCodec: *spillCodec, MergeFanIn: *mergeFanIn}
 
 	var col bench.Collector
 	if *metricsOut != "" {

@@ -45,6 +45,16 @@
 //	spcube -in big.csv -spill-budget 8388608    # spill past 8 MiB per task
 //	spcube -in big.csv -spill-budget 0 -spill-dir /mnt/scratch
 //
+// -spill-codec picks the block compression for run files ("raw" or "lz");
+// -merge-fan-in caps how many runs a reducer merges at once (the analog of
+// Hadoop's io.sort.factor) — past the cap, contiguous groups are first
+// merged into intermediate on-disk runs. The cube is byte-identical under
+// any codec and fan-in. The spill directory honors $TMPDIR when -spill-dir
+// is unset, and an interrupt (SIGINT/SIGTERM) removes it before exiting:
+//
+//	spcube -in big.csv -spill-budget 65536 -spill-codec lz
+//	spcube -in big.csv -spill-budget 1024 -merge-fan-in 8
+//
 // Observability: -trace FILE streams the simulated cluster's structured
 // lifecycle events as JSON lines, -metrics-out FILE writes the run's full
 // per-round metrics as a versioned JSON document, and -pprof ADDR serves
@@ -78,6 +88,7 @@ import (
 
 	"github.com/spcube/spcube"
 	"github.com/spcube/spcube/internal/agg"
+	"github.com/spcube/spcube/internal/cleanup"
 	"github.com/spcube/spcube/internal/cube"
 	"github.com/spcube/spcube/internal/delta"
 	"github.com/spcube/spcube/internal/lattice"
@@ -116,7 +127,9 @@ func realMain() int {
 	flag.StringVar(&o.deltaDeleteFile, "delta-delete", "", "CSV of rows to delete as part of the maintenance batch (rows must exist in the base input)")
 	flag.Float64Var(&o.rebuildThr, "rebuild-threshold", 0, "sketch-drift level above which the batch is applied by full rebuild (0 = default, negative = always rebuild)")
 	flag.Int64Var(&o.spillBudget, "spill-budget", -1, "map-side in-memory emit budget in bytes before sorting and spilling to an on-disk run file: -1 = never spill (default), 0 = spill every record, N > 0 = spill past N bytes; the cube is identical at any setting")
-	flag.StringVar(&o.spillDir, "spill-dir", "", "directory for spill run files (default: the system temp dir); a per-run subdirectory is created and removed on exit")
+	flag.StringVar(&o.spillDir, "spill-dir", "", "directory for spill run files (default: the system temp dir, honoring $TMPDIR); a per-run subdirectory is created and removed on exit, interrupts included")
+	flag.StringVar(&o.spillCodec, "spill-codec", "raw", "block compression codec for spill run files: raw or lz; the cube is identical under any codec")
+	flag.IntVar(&o.mergeFanIn, "merge-fan-in", 0, "cap on runs merged at once by a reducer (0 = engine default, 64; minimum 2); excess runs are first merged into intermediate on-disk runs")
 	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof and /debug/runtime on this address (e.g. localhost:6060)")
 	flag.Parse()
 
@@ -132,6 +145,21 @@ func realMain() int {
 		o.spillBudget = 0
 	case o.spillBudget == 0:
 		o.spillBudget = 1
+	}
+
+	// With spilling enabled, run files live under a CLI-owned temp root so
+	// an interrupt can remove them: deferred engine cleanup never executes
+	// when a signal kills the process mid-run.
+	if o.spillBudget > 0 {
+		root, err := os.MkdirTemp(o.spillDir, "spcube-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spcube:", err)
+			return 1
+		}
+		o.spillDir = root
+		defer os.RemoveAll(root)
+		stop := cleanup.OnSignal(func() { os.RemoveAll(root) }, os.Exit)
+		defer stop()
 	}
 
 	if err := run(o, os.Stderr); err != nil {
@@ -177,6 +205,8 @@ type options struct {
 	rebuildThr       float64
 	spillBudget      int64
 	spillDir         string
+	spillCodec       string
+	mergeFanIn       int
 	pprofAddr        string
 }
 
@@ -228,6 +258,8 @@ func run(o options, stderr io.Writer) error {
 		spcube.TaskTimeout(o.taskTimeout),
 		spcube.SpillBudget(o.spillBudget),
 		spcube.SpillDir(o.spillDir),
+		spcube.SpillCodec(o.spillCodec),
+		spcube.MergeFanIn(o.mergeFanIn),
 	}
 	if o.traceFile != "" {
 		tf, err := os.Create(o.traceFile)
@@ -276,7 +308,10 @@ func run(o options, stderr io.Writer) error {
 			fmt.Fprintf(stderr, " | sketch %d B, %d skewed groups", st.SketchBytes, st.SkewedGroups)
 		}
 		if st.Spills > 0 {
-			fmt.Fprintf(stderr, " | %d spills (%d B)", st.Spills, st.SpillBytes)
+			fmt.Fprintf(stderr, " | %d spills (%d B, %d B on disk)", st.Spills, st.SpillBytes, st.CompressedSpillBytes)
+			if st.MergePasses > 0 {
+				fmt.Fprintf(stderr, ", %d merge passes", st.MergePasses)
+			}
 		}
 		if st.Retries > 0 {
 			fmt.Fprintf(stderr, " | %d task retries (%d B wasted, %.2fs retry wall)",
@@ -329,6 +364,8 @@ func runDelta(o options, stderr io.Writer) error {
 		TaskTimeout:      o.taskTimeout,
 		SpillBudgetBytes: o.spillBudget,
 		SpillDir:         o.spillDir,
+		SpillCodec:       o.spillCodec,
+		MergeFanIn:       o.mergeFanIn,
 		RebuildThreshold: o.rebuildThr,
 	}
 	if o.traceFile != "" {

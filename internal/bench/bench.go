@@ -55,11 +55,14 @@ type Config struct {
 	// TaskTimeout kills and retries attempts stalled past it (see
 	// mr.Config.TaskTimeout); 0 disables it.
 	TaskTimeout float64
-	// SpillBudgetBytes and SpillDir configure the engines' out-of-core
-	// shuffle (see mr.Config); 0 keeps everything in memory. Figures are
-	// identical at any budget; only spill counters and I/O cost change.
+	// SpillBudgetBytes, SpillDir, SpillCodec and MergeFanIn configure the
+	// engines' out-of-core shuffle (see mr.Config); 0 keeps everything in
+	// memory. Figures are identical at any budget, codec and fan-in; only
+	// spill counters and I/O cost change.
 	SpillBudgetBytes int64
 	SpillDir         string
+	SpillCodec       string
+	MergeFanIn       int
 	// Tracer, when set, receives every engine's structured lifecycle
 	// events (see mr.Tracer); it is shared by all runs of the experiment,
 	// so sinks must be safe for sequential reuse (the bundled
@@ -144,6 +147,7 @@ func (c Config) engineConfig() mr.Config {
 		Faults: c.Faults, MaxAttempts: c.MaxAttempts,
 		SpeculativeSlack: c.SpeculativeSlack, TaskTimeout: c.TaskTimeout,
 		SpillBudgetBytes: c.SpillBudgetBytes, SpillDir: c.SpillDir,
+		SpillCodec: c.SpillCodec, MergeFanIn: c.MergeFanIn,
 		Tracer: c.Tracer}
 }
 

@@ -278,6 +278,7 @@ func describeJSONError(data []byte, err error) error {
 var VolatileMetricsKeys = []string{
 	"wallSeconds", "retryWallSeconds", "speculativeWallSeconds",
 	"time", "generatedAt", "goVersion", "parallelism",
+	"spillWriteStallNs", "prefetchHits", "prefetchMisses",
 }
 
 // StripVolatile removes the volatile keys (VolatileMetricsKeys plus any

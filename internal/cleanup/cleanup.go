@@ -1,0 +1,52 @@
+// Package cleanup runs teardown functions when a process is interrupted.
+//
+// The CLIs rely on deferred cleanup (spill temp directories, output
+// flushes) that a SIGINT or SIGTERM would skip: Go's default handler
+// exits the process immediately, leaking whatever the deferred calls
+// would have removed. OnSignal installs a handler that runs the given
+// teardown first and then exits with the conventional 128+signum status,
+// so an interrupted run leaves no spill directories behind.
+package cleanup
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// OnSignal runs fn and then exit(128+signum) when sig (or any of sigs)
+// arrives. It returns a stop function that uninstalls the handler —
+// callers defer it so a normal return restores default signal behavior.
+// exit is a parameter (os.Exit in production) so tests can observe the
+// teardown without losing the process.
+func OnSignal(fn func(), exit func(code int), sigs ...os.Signal) (stop func()) {
+	if len(sigs) == 0 {
+		sigs = []os.Signal{os.Interrupt, syscall.SIGTERM}
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, sigs...)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig, ok := <-ch
+		if !ok {
+			return
+		}
+		fn()
+		exit(128 + signum(sig))
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(ch)
+		<-done
+	}
+}
+
+// signum extracts the numeric signal (2 for SIGINT, 15 for SIGTERM);
+// unknown signal types map to 0, i.e. plain exit status 128.
+func signum(sig os.Signal) int {
+	if s, ok := sig.(syscall.Signal); ok {
+		return int(s)
+	}
+	return 0
+}

@@ -1,0 +1,75 @@
+package data
+
+import (
+	"strconv"
+	"testing"
+
+	"github.com/spcube/spcube/internal/relation"
+)
+
+// TestStreamMatchesMaterialized pins the streaming contract: each streamer
+// draws from its rand.Rand in exactly the order of the materializing
+// generator, so row i of the stream is byte-for-byte the CSV row the
+// relation's tuple i would render to.
+func TestStreamMatchesMaterialized(t *testing.T) {
+	const n, seed = 500, 7
+	cases := []struct {
+		name string
+		s    *Stream
+		rel  *relation.Relation
+	}{
+		{"binomial", StreamBinomial(n, 5, 0.3, seed), GenBinomial(n, 5, 0.3, seed)},
+		{"uniform", StreamUniform(n, 3, 1<<30, seed), Uniform(n, 3, 1<<30, seed)},
+		{"zipf", StreamZipf(n, seed), GenZipf(n, seed)},
+		{"wiki", StreamWiki(n, seed), WikiTraffic(n, seed)},
+		{"usagov", StreamUSAGov(n, seed), USAGov(n, seed)},
+		{"retail", StreamRetail(n, seed), Retail(n, seed)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := tc.rel.D()
+			wantHeader := append(append([]string(nil), tc.rel.Schema.DimNames...), tc.rel.Schema.MeasureName)
+			if len(tc.s.Header) != d+1 {
+				t.Fatalf("header has %d fields, want %d", len(tc.s.Header), d+1)
+			}
+			for i := range wantHeader {
+				if tc.s.Header[i] != wantHeader[i] {
+					t.Fatalf("header[%d] = %q, want %q", i, tc.s.Header[i], wantHeader[i])
+				}
+			}
+			row := make([]string, d+1)
+			for i := 0; i < n; i++ {
+				if !tc.s.Next(row) {
+					t.Fatalf("stream exhausted at row %d of %d", i, n)
+				}
+				tup := tc.rel.Tuples[i]
+				for j := 0; j < d; j++ {
+					if want := tc.rel.DimString(j, tup.Dims[j]); row[j] != want {
+						t.Fatalf("row %d dim %d: streamed %q, materialized %q", i, j, row[j], want)
+					}
+				}
+				if want := strconv.FormatInt(tup.Measure, 10); row[d] != want {
+					t.Fatalf("row %d measure: streamed %q, materialized %q", i, row[d], want)
+				}
+			}
+			if tc.s.Next(row) {
+				t.Fatal("stream yields more than n rows")
+			}
+		})
+	}
+}
+
+// TestStreamByNameMatchesGendataConventions checks the name table resolves
+// with cmd/gendata's parameter conventions and rejects unknown datasets.
+func TestStreamByNameMatchesGendataConventions(t *testing.T) {
+	s, err := StreamByName("binomial", 10, 6, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Header) != 7 {
+		t.Errorf("binomial d=6: header has %d fields, want 7", len(s.Header))
+	}
+	if _, err := StreamByName("nope", 10, 4, 0.1, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}

@@ -79,10 +79,14 @@ type Config struct {
 	MaxAttempts      int
 	SpeculativeSlack float64
 	TaskTimeout      float64
-	// SpillBudgetBytes and SpillDir configure the engines' out-of-core
-	// shuffle, with mr.Config semantics (0 keeps everything in memory).
+	// SpillBudgetBytes, SpillDir, SpillCodec and MergeFanIn configure the
+	// engines' out-of-core shuffle, with mr.Config semantics (0 keeps
+	// everything in memory; empty codec means raw; 0 fan-in means the
+	// engine default).
 	SpillBudgetBytes int64
 	SpillDir         string
+	SpillCodec       string
+	MergeFanIn       int
 	// RebuildThreshold is the sketch-drift level in [0,1] above which a
 	// batch is applied by full rebuild instead of delta-merge; 0 means
 	// DefaultRebuildThreshold, negative forces rebuild on every batch.
@@ -537,6 +541,8 @@ func (m *Maintainer) runOne(fn cube.ComputeFunc, rel *relation.Relation, f agg.F
 		TaskTimeout:      m.cfg.TaskTimeout,
 		SpillBudgetBytes: m.cfg.SpillBudgetBytes,
 		SpillDir:         m.cfg.SpillDir,
+		SpillCodec:       m.cfg.SpillCodec,
+		MergeFanIn:       m.cfg.MergeFanIn,
 		Tracer:           m.cfg.Tracer,
 	}, dfs.New(false))
 	run, err := fn(eng, rel, cube.Spec{Agg: f})

@@ -1,6 +1,7 @@
 package integration
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -16,19 +17,24 @@ import (
 
 // zeroWall strips the real wall-clock fields — the only quantities the
 // determinism guarantee excludes — so the rest of the metrics can be
-// compared with DeepEqual.
+// compared with DeepEqual. SpillWriteStallNs and the prefetch hit/miss
+// counters are wall-clock in disguise (they measure races between real
+// goroutines) and are stripped with it.
 func zeroWall(m mr.JobMetrics) mr.JobMetrics {
 	out := mr.JobMetrics{Rounds: append([]mr.RoundMetrics(nil), m.Rounds...)}
 	for i := range out.Rounds {
 		r := &out.Rounds[i]
 		r.WallSeconds = 0
+		r.SpillWriteStallNs, r.PrefetchHits, r.PrefetchMisses = 0, 0, 0
 		r.Mappers = append([]mr.TaskMetrics(nil), r.Mappers...)
 		r.Reducers = append([]mr.TaskMetrics(nil), r.Reducers...)
 		for j := range r.Mappers {
 			r.Mappers[j].WallSeconds = 0
+			r.Mappers[j].SpillWriteStallNs, r.Mappers[j].PrefetchHits, r.Mappers[j].PrefetchMisses = 0, 0, 0
 		}
 		for j := range r.Reducers {
 			r.Reducers[j].WallSeconds = 0
+			r.Reducers[j].SpillWriteStallNs, r.Reducers[j].PrefetchHits, r.Reducers[j].PrefetchMisses = 0, 0, 0
 		}
 	}
 	return out
@@ -43,13 +49,27 @@ type detRun struct {
 }
 
 func runDeterminism(t *testing.T, fn cube.ComputeFunc, rel *relation.Relation, parallelism int, faults string, slack, timeout float64) detRun {
-	return runDeterminismSpill(t, fn, rel, parallelism, faults, slack, timeout, 0, "")
+	return runDeterminismSpill(t, fn, rel, parallelism, faults, slack, timeout, spillLeg{}, "")
+}
+
+// spillLeg is one out-of-core configuration of the determinism table:
+// a spill budget plus the pipeline knobs layered on it (block codec,
+// merge fan-in cap).
+type spillLeg struct {
+	budget int64
+	codec  string
+	fanIn  int
+}
+
+func (l spillLeg) String() string {
+	return fmt.Sprintf("budget=%d/codec=%s/fanin=%d", l.budget, l.codec, l.fanIn)
 }
 
 // runDeterminismSpill is runDeterminism with the out-of-core shuffle
 // configured: budget 0 keeps everything in memory, any positive budget
-// spills map output to run files under dir.
-func runDeterminismSpill(t *testing.T, fn cube.ComputeFunc, rel *relation.Relation, parallelism int, faults string, slack, timeout float64, budget int64, dir string) detRun {
+// spills map output to run files under dir, framed through leg.codec and
+// merged under leg.fanIn.
+func runDeterminismSpill(t *testing.T, fn cube.ComputeFunc, rel *relation.Relation, parallelism int, faults string, slack, timeout float64, leg spillLeg, dir string) detRun {
 	t.Helper()
 	plan, err := mr.ParseFaultPlan(faults)
 	if err != nil {
@@ -57,7 +77,8 @@ func runDeterminismSpill(t *testing.T, fn cube.ComputeFunc, rel *relation.Relati
 	}
 	eng := mr.New(mr.Config{Workers: 6, Seed: 42, Parallelism: parallelism, Faults: plan,
 		SpeculativeSlack: slack, TaskTimeout: timeout,
-		SpillBudgetBytes: budget, SpillDir: dir}, dfs.New(false))
+		SpillBudgetBytes: leg.budget, SpillDir: dir,
+		SpillCodec: leg.codec, MergeFanIn: leg.fanIn}, dfs.New(false))
 	run, err := fn(eng, rel, cube.Spec{Agg: agg.Count})
 	if err != nil {
 		t.Fatal(err)
@@ -185,11 +206,12 @@ func filesUnder(t *testing.T, dir string) []string {
 }
 
 // TestSpillDeterminism extends the determinism table with out-of-core legs:
-// at every spill budget — including one byte, which flushes a run file per
-// emitted record — every algorithm must produce the cube output and DFS
-// bytes of the all-in-memory run, stay parallelism-deterministic in full
-// (metrics included, at a fixed budget), survive the fault plans, and leak
-// no run files.
+// at every spill configuration — including a one-byte budget, which flushes
+// a run file per emitted record, the lz block codec, and a fan-in cap of 2,
+// which forces multi-pass intermediate merges — every algorithm must
+// produce the cube output and DFS bytes of the all-in-memory run, stay
+// parallelism-deterministic in full (metrics included, at a fixed
+// configuration), survive the fault plans, and leak no run files.
 func TestSpillDeterminism(t *testing.T) {
 	detWorkloads := []struct {
 		name string
@@ -206,41 +228,44 @@ func TestSpillDeterminism(t *testing.T) {
 		{"crash", "*:map:*:crash,*:reduce:*:mid-emit@4"},
 		{"node-crash", "*:node:1:node-crash"},
 	}
-	budgets := []int64{1, 512}
+	legs := []spillLeg{
+		{budget: 1}, {budget: 512},
+		{budget: 512, codec: "lz", fanIn: 2},
+	}
 	for _, w := range detWorkloads {
 		for _, fp := range faultPlans {
 			for _, a := range allAlgorithms {
 				t.Run(w.name+"/"+fp.name+"/"+a.name, func(t *testing.T) {
 					mem := runDeterminism(t, a.fn, w.rel, 1, "", 0, 0)
-					for _, budget := range budgets {
+					for _, leg := range legs {
 						dir := t.TempDir()
-						seq := runDeterminismSpill(t, a.fn, w.rel, 1, fp.spec, 0, 0, budget, dir)
-						par := runDeterminismSpill(t, a.fn, w.rel, 8, fp.spec, 0, 0, budget, dir)
-						// Cross-budget: output and DFS bytes equal the
+						seq := runDeterminismSpill(t, a.fn, w.rel, 1, fp.spec, 0, 0, leg, dir)
+						par := runDeterminismSpill(t, a.fn, w.rel, 8, fp.spec, 0, 0, leg, dir)
+						// Cross-configuration: output and DFS bytes equal the
 						// in-memory clean run's (metrics legitimately differ
 						// in spill counters and simulated I/O cost).
 						if ok, diff := mem.res.Equal(seq.res); !ok {
-							t.Errorf("budget %d: cube output differs from in-memory run: %s", budget, diff)
+							t.Errorf("%s: cube output differs from in-memory run: %s", leg, diff)
 						}
 						if mem.checksum != seq.checksum || mem.records != seq.records {
-							t.Errorf("budget %d: DFS output differs from in-memory run: %x/%d vs %x/%d",
-								budget, seq.checksum, seq.records, mem.checksum, mem.records)
+							t.Errorf("%s: DFS output differs from in-memory run: %x/%d vs %x/%d",
+								leg, seq.checksum, seq.records, mem.checksum, mem.records)
 						}
-						// Fixed budget: the full parallelism-determinism
+						// Fixed configuration: the full parallelism-determinism
 						// contract holds, metrics and simulated time included.
 						if seq.checksum != par.checksum || seq.records != par.records {
-							t.Errorf("budget %d: DFS output differs across parallelism: %x/%d vs %x/%d",
-								budget, seq.checksum, seq.records, par.checksum, par.records)
+							t.Errorf("%s: DFS output differs across parallelism: %x/%d vs %x/%d",
+								leg, seq.checksum, seq.records, par.checksum, par.records)
 						}
 						if seq.sim != par.sim {
-							t.Errorf("budget %d: simulated seconds differ across parallelism: %v vs %v",
-								budget, seq.sim, par.sim)
+							t.Errorf("%s: simulated seconds differ across parallelism: %v vs %v",
+								leg, seq.sim, par.sim)
 						}
 						if !reflect.DeepEqual(seq.metrics, par.metrics) {
-							t.Errorf("budget %d: round metrics differ across parallelism", budget)
+							t.Errorf("%s: round metrics differ across parallelism", leg)
 						}
 						if leaked := filesUnder(t, dir); len(leaked) != 0 {
-							t.Errorf("budget %d: leaked spill files: %v", budget, leaked)
+							t.Errorf("%s: leaked spill files: %v", leg, leaked)
 						}
 					}
 				})

@@ -155,9 +155,11 @@ func TestDifferentialOracleUnderFaults(t *testing.T) {
 
 // TestDifferentialOracleSpill adds out-of-core legs to the oracle: with the
 // spill budget forcing a run-file flush per record (budget 1) or a handful
-// of flushes per task (budget 512), every algorithm on every distribution
-// must still produce the exact brute-force cube and byte-identical DFS
-// output, clean and under crash and node-crash plans, leaking no run files.
+// of flushes per task (budget 512), through the raw and lz block codecs,
+// and with a fan-in cap of 2 forcing multi-pass intermediate merges, every
+// algorithm on every distribution must still produce the exact brute-force
+// cube and byte-identical DFS output, clean and under crash and node-crash
+// plans, leaking no run files.
 func TestDifferentialOracleSpill(t *testing.T) {
 	spillFaults := []struct {
 		name string
@@ -172,9 +174,14 @@ func TestDifferentialOracleSpill(t *testing.T) {
 		for _, a := range allAlgorithms {
 			t.Run(w.name+"/"+a.name, func(t *testing.T) {
 				clean := runWithFaults(t, a.fn, w.rel, "", 1)
+				legs := []spillLeg{
+					{budget: 1}, {budget: 512},
+					{budget: 512, codec: "lz", fanIn: 2},
+				}
 				for _, fk := range spillFaults {
-					for _, budget := range []int64{1, 512} {
-						label := fmt.Sprintf("%s/budget=%d", fk.name, budget)
+					for _, leg := range legs {
+						budget := leg.budget
+						label := fmt.Sprintf("%s/%s", fk.name, leg)
 						dir := t.TempDir()
 						plan, err := mr.ParseFaultPlan(fk.spec)
 						if err != nil {
@@ -182,7 +189,8 @@ func TestDifferentialOracleSpill(t *testing.T) {
 						}
 						eng := mr.New(mr.Config{Workers: 6, Seed: 42, Parallelism: 8,
 							Faults: plan, MaxAttempts: 2,
-							SpillBudgetBytes: budget, SpillDir: dir}, dfs.New(false))
+							SpillBudgetBytes: budget, SpillDir: dir,
+							SpillCodec: leg.codec, MergeFanIn: leg.fanIn}, dfs.New(false))
 						run, err := a.fn(eng, w.rel, cube.Spec{Agg: agg.Count})
 						if err != nil {
 							t.Fatal(err)

@@ -80,3 +80,66 @@ func TestTraceDeterminismTable(t *testing.T) {
 		}
 	}
 }
+
+// runTraceSpill is runTrace with the spill pipeline configured.
+func runTraceSpill(t *testing.T, fn cube.ComputeFunc, rel *relation.Relation, parallelism int, leg spillLeg, dir string) []mr.TraceEvent {
+	t.Helper()
+	tracer := &mr.SliceTracer{}
+	eng := mr.New(mr.Config{Workers: 6, Seed: 42, Parallelism: parallelism,
+		SpillBudgetBytes: leg.budget, SpillDir: dir,
+		SpillCodec: leg.codec, MergeFanIn: leg.fanIn, Tracer: tracer}, dfs.New(false))
+	if _, err := fn(eng, rel, cube.Spec{Agg: agg.Count}); err != nil {
+		t.Fatal(err)
+	}
+	events := append([]mr.TraceEvent(nil), tracer.Events...)
+	for i := range events {
+		events[i].Time = time.Time{}
+	}
+	return events
+}
+
+// TestTraceSpillPipelineDeterminism extends the trace table with the spill
+// pipeline: under a one-byte budget, the lz codec and a fan-in cap of 2,
+// the event stream must be identical at parallelism 1 and 8 and must carry
+// the pipeline's own events — spill (flush-enqueue), spill-flush (writer
+// join, compressed bytes) and merge-pass (intermediate fan-in merge).
+func TestTraceSpillPipelineDeterminism(t *testing.T) {
+	rel := data.GenBinomial(600, 4, 0.4, 31)
+	legs := []struct {
+		leg  spillLeg
+		want []string
+	}{
+		{spillLeg{budget: 512, codec: "lz"}, []string{mr.EvSpill, mr.EvSpillFlush}},
+		{spillLeg{budget: 1, codec: "lz", fanIn: 2}, []string{mr.EvSpill, mr.EvSpillFlush, mr.EvMergePass}},
+	}
+	for _, tc := range legs {
+		for _, a := range allAlgorithms {
+			t.Run(tc.leg.String()+"/"+a.name, func(t *testing.T) {
+				seq := runTraceSpill(t, a.fn, rel, 1, tc.leg, t.TempDir())
+				par := runTraceSpill(t, a.fn, rel, 8, tc.leg, t.TempDir())
+				if len(seq) == 0 {
+					t.Fatal("no trace events emitted")
+				}
+				if !reflect.DeepEqual(seq, par) {
+					t.Fatalf("trace streams differ: %d events sequential vs %d parallel",
+						len(seq), len(par))
+				}
+				counts := map[string]int{}
+				for _, ev := range seq {
+					counts[ev.Type]++
+				}
+				for _, want := range tc.want {
+					if counts[want] == 0 {
+						t.Errorf("no %q events traced (got %v)", want, counts)
+					}
+				}
+				// Spill and spill-flush pair up one-to-one: every enqueued
+				// flush that survives to attempt completion is joined once.
+				if counts[mr.EvSpillFlush] > counts[mr.EvSpill] {
+					t.Errorf("%d spill-flush events exceed %d spill events",
+						counts[mr.EvSpillFlush], counts[mr.EvSpill])
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Package blockcodec frames byte streams into self-describing, individually
+// checksummed, optionally compressed blocks — the on-disk unit of the MR
+// engine's spill run files.
+//
+// A framed stream is a sequence of blocks, each:
+//
+//	rawLen   — uvarint, decompressed payload length
+//	encLen   — uvarint, encoded payload length as stored
+//	crc      — 4 bytes little-endian, CRC-32C (Castagnoli) of the stored
+//	           payload bytes
+//	payload  — encLen bytes, Codec-encoded form of rawLen raw bytes
+//
+// Blocks are self-describing: a reader needs no out-of-band index to walk
+// them, and every block is verified against its CRC before it is decoded,
+// so a truncated or corrupted run file fails loudly instead of merging
+// garbage. The frame layer is codec-agnostic; the codec that encoded a
+// stream must be known to the reader (the engine fixes it per run).
+package blockcodec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Codec encodes and decodes one block payload. Implementations must be
+// stateless and safe for concurrent use: one Codec value is shared by every
+// concurrently spilling task attempt.
+type Codec interface {
+	// Name is the codec's registry name ("raw", "lz").
+	Name() string
+	// Encode appends the encoded form of src to dst and returns the
+	// extended slice. Encode never fails: a codec that cannot beat the raw
+	// size may store an expansion (the frame records both lengths).
+	Encode(dst, src []byte) []byte
+	// Decode appends the decoded form of src to dst and returns the
+	// extended slice. rawLen is the expected decoded length from the frame
+	// header; implementations must error — not panic — on any malformed
+	// input, including inputs that decode to a different length.
+	Decode(dst, src []byte, rawLen int) ([]byte, error)
+}
+
+// MaxBlockSize bounds a block's raw payload. It keeps LZ match offsets
+// within 16 bits and bounds a reader's per-block buffer memory.
+const MaxBlockSize = 64 << 10
+
+// DefaultBlockSize is the raw payload size writers aim for per block: big
+// enough to amortize the ~11-byte frame header and give the LZ window
+// material to match against, small enough to bound a reader's working set.
+const DefaultBlockSize = MaxBlockSize
+
+// crcTable is the Castagnoli polynomial table shared by all blocks.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ByName resolves a codec by registry name; the empty string means "raw".
+func ByName(name string) (Codec, error) {
+	switch name {
+	case "", "raw":
+		return Raw{}, nil
+	case "lz":
+		return LZ{}, nil
+	}
+	return nil, fmt.Errorf("blockcodec: unknown codec %q (want raw or lz)", name)
+}
+
+// Names lists the registered codec names.
+func Names() []string { return []string{"raw", "lz"} }
+
+// AppendBlock frames src as one block — encoded through c — and appends the
+// frame to dst. scratch is a reusable encode buffer; pass the returned one
+// back in to amortize its allocation. src must be at most MaxBlockSize
+// bytes; larger payloads must be split by the caller.
+func AppendBlock(dst []byte, c Codec, src, scratch []byte) (out, newScratch []byte) {
+	if len(src) > MaxBlockSize {
+		panic(fmt.Sprintf("blockcodec: block payload %d exceeds MaxBlockSize %d", len(src), MaxBlockSize))
+	}
+	enc := c.Encode(scratch[:0], src)
+	dst = binary.AppendUvarint(dst, uint64(len(src)))
+	dst = binary.AppendUvarint(dst, uint64(len(enc)))
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(enc, crcTable))
+	dst = append(dst, crc[:]...)
+	dst = append(dst, enc...)
+	return dst, enc
+}
+
+// AppendAll splits src into DefaultBlockSize payloads and appends one frame
+// per payload to dst — the whole-buffer convenience over AppendBlock.
+func AppendAll(dst []byte, c Codec, src, scratch []byte) (out, newScratch []byte) {
+	for len(src) > 0 {
+		n := len(src)
+		if n > DefaultBlockSize {
+			n = DefaultBlockSize
+		}
+		dst, scratch = AppendBlock(dst, c, src[:n], scratch)
+		src = src[n:]
+	}
+	return dst, scratch
+}

@@ -1,0 +1,117 @@
+package blockcodec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Reader streams the decoded bytes of a framed block sequence: an io.Reader
+// that walks blocks one at a time, verifies each payload's CRC before
+// decoding it, and serves the decoded bytes. Exactly one block is buffered,
+// so memory is O(MaxBlockSize) regardless of stream length.
+//
+// Errors are sticky and loud: a short header or payload surfaces as
+// io.ErrUnexpectedEOF (wrapped), a CRC mismatch or codec failure as a
+// descriptive error — a corrupt run file can never silently feed garbage
+// records downstream. A clean io.EOF is returned only at a block boundary.
+type Reader struct {
+	src   *bufio.Reader
+	codec Codec
+	dec   []byte // current decoded block
+	pos   int    // read cursor into dec
+	enc   []byte // encoded payload scratch
+	err   error
+}
+
+// readerBufSize is the Reader's source buffer: big enough that a block
+// header plus a typical compressed payload needs one underlying read.
+const readerBufSize = 32 << 10
+
+// NewReader creates a Reader decoding r's framed stream through c.
+func NewReader(r io.Reader, c Codec) *Reader {
+	return &Reader{src: bufio.NewReaderSize(r, readerBufSize), codec: c}
+}
+
+// Reset re-points the Reader at a new source stream, reusing its buffers.
+func (r *Reader) Reset(src io.Reader) {
+	r.src.Reset(src)
+	r.dec = r.dec[:0]
+	r.pos = 0
+	r.err = nil
+}
+
+// Read fills p with decoded bytes, crossing block boundaries as needed.
+func (r *Reader) Read(p []byte) (int, error) {
+	for r.pos >= len(r.dec) {
+		if r.err != nil {
+			return 0, r.err
+		}
+		r.err = r.nextBlock()
+		if r.err != nil {
+			return 0, r.err
+		}
+	}
+	n := copy(p, r.dec[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
+// nextBlock reads, verifies and decodes the next block into r.dec.
+func (r *Reader) nextBlock() error {
+	rawLen, err := binary.ReadUvarint(r.src)
+	if err == io.EOF {
+		return io.EOF // clean end: the previous block was the last
+	}
+	if err != nil {
+		return fmt.Errorf("blockcodec: block header: %w", err)
+	}
+	if rawLen > MaxBlockSize {
+		return fmt.Errorf("blockcodec: block claims %d raw bytes, limit %d", rawLen, MaxBlockSize)
+	}
+	encLen, err := binary.ReadUvarint(r.src)
+	if err != nil {
+		return fmt.Errorf("blockcodec: block header: %w", noEOF(err))
+	}
+	// A codec stores at worst a bounded expansion of the raw payload (the
+	// raw codec is identity; LZ adds ~1 byte per 255 literals): reject
+	// anything bigger before allocating for it.
+	if encLen > MaxBlockSize+MaxBlockSize/128+64 {
+		return fmt.Errorf("blockcodec: block claims %d encoded bytes for %d raw", encLen, rawLen)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r.src, crcBuf[:]); err != nil {
+		return fmt.Errorf("blockcodec: block crc: %w", noEOF(err))
+	}
+	want := binary.LittleEndian.Uint32(crcBuf[:])
+	if cap(r.enc) < int(encLen) {
+		r.enc = make([]byte, encLen)
+	}
+	r.enc = r.enc[:encLen]
+	if _, err := io.ReadFull(r.src, r.enc); err != nil {
+		return fmt.Errorf("blockcodec: block payload: %w", noEOF(err))
+	}
+	if got := crc32.Checksum(r.enc, crcTable); got != want {
+		return fmt.Errorf("blockcodec: block crc mismatch: stored %08x, computed %08x", want, got)
+	}
+	r.dec, err = r.codec.Decode(r.dec[:0], r.enc, int(rawLen))
+	if err != nil {
+		return err
+	}
+	if len(r.dec) != int(rawLen) {
+		return fmt.Errorf("blockcodec: block decoded to %d bytes, frame says %d", len(r.dec), rawLen)
+	}
+	r.pos = 0
+	return nil
+}
+
+// noEOF upgrades a mid-structure io.EOF to io.ErrUnexpectedEOF so callers
+// cannot mistake a truncated block for a clean stream end.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

@@ -61,6 +61,7 @@ import (
 	"unsafe"
 
 	"github.com/spcube/spcube/internal/dfs"
+	"github.com/spcube/spcube/internal/mr/blockcodec"
 	"github.com/spcube/spcube/internal/relation"
 )
 
@@ -165,6 +166,27 @@ type Config struct {
 	// subdirectory per run, removed — even on failure — when the run
 	// ends). Empty means os.TempDir().
 	SpillDir string
+	// SpillCodec names the block codec spill runs are written through:
+	// "raw" (the default — checksummed frames, no compression) or "lz"
+	// (an LZ4-family compressor; sorted front-coded runs typically shrink
+	// severalfold, and the cost model charges the compressed size). See
+	// internal/mr/blockcodec. Reducer output is byte-identical across
+	// codecs; only I/O accounting changes.
+	SpillCodec string
+	// MergeFanIn caps how many runs a reducer merges in one streaming
+	// pass. A reduce task facing more live runs (tiny budgets under heavy
+	// spilling produce hundreds) first merges groups of MergeFanIn runs
+	// into intermediate on-disk runs — possibly over several passes — and
+	// only then streams the final merge, bounding open-run memory and
+	// reproducing Hadoop's io.sort.factor semantics. 0 means the default
+	// of 64; values below 2 are raised to 2. Reducer input order is
+	// byte-identical at any fan-in (contiguous grouping preserves the
+	// source-index tiebreak).
+	MergeFanIn int
+	// SpillSync disables the background spill writer: flushes are written
+	// inline on the task goroutine, with no encode/I-O overlap. The
+	// pipeline's benchmark baseline, and a debugging aid.
+	SpillSync bool
 }
 
 // Job describes one MapReduce round. Exactly one of MapTuple and MapPair
@@ -313,6 +335,25 @@ type MapCtx struct {
 	sortScratch []Pair
 	encBuf      []byte
 	traceSpill  func(bytes int64)
+
+	// Spill pipeline state: flushes are encoded through codec into one of
+	// writer's double buffers and written by its background goroutine
+	// (foreground, when Config.SpillSync). blockBuf is codec scratch;
+	// flushes records each flush's compressed size so the attempt can emit
+	// spill-flush trace events once its writer has joined.
+	codec           blockcodec.Codec
+	writer          *spillWriter
+	blockBuf        []byte
+	flushes         []flushRec
+	traceSpillFlush func(f flushRec)
+}
+
+// flushRec is one spill flush's post-write accounting: the framed,
+// compressed bytes the background writer put on disk and the records they
+// hold.
+type flushRec struct {
+	bytes   int64
+	records int64
 }
 
 // mapOutput is one completed map task's shuffle contribution: the sorted
@@ -355,10 +396,13 @@ func (c *MapCtx) Emit(key string, val []byte) {
 // recovers it into a plain error.
 type taskAbort struct{ err error }
 
-// spillNow flushes the attempt's buffered output to its on-disk run file:
-// combine (jobs with a combiner pre-aggregate each flushed chunk, Hadoop's
-// per-spill combining), partition, sort, append one spill block, then
-// reset the emit buffer and arena for the next chunk.
+// spillNow flushes the attempt's buffered output toward its on-disk run
+// file: combine (jobs with a combiner pre-aggregate each flushed chunk,
+// Hadoop's per-spill combining), partition, sort, encode the flush into a
+// double buffer and hand it to the background writer, then reset the emit
+// buffer and arena for the next chunk. The foreground only blocks when
+// both buffers are in flight — that wait is the spillWriteStallNs metric.
+// Write errors surface at the attempt's writer join, not here.
 func (c *MapCtx) spillNow() {
 	out := c.out
 	if c.job.Combine != nil {
@@ -374,17 +418,26 @@ func (c *MapCtx) spillNow() {
 			panic(taskAbort{err})
 		}
 		c.spill = sf
+		c.writer = newSpillWriter(sf, c.eng.Cfg.SpillSync)
 	}
-	written, err := c.spill.writeSpill(buckets, &c.encBuf)
-	if err != nil {
-		panic(taskAbort{err})
+	buf, stall := c.writer.acquire()
+	c.metrics.SpillWriteStallNs += stall.Nanoseconds()
+	var encBytes int64
+	buf.framed, buf.segs, encBytes = encodeSpill(buckets, c.codec, buf.framed, &c.encBuf, &c.blockBuf)
+	written := int64(len(buf.framed))
+	var records int64
+	for i := range buf.segs {
+		records += buf.segs[i].records
 	}
+	c.writer.submit(buf)
 	c.metrics.Spills++
-	c.metrics.SpillBytes += written
+	c.metrics.SpillBytes += encBytes
+	c.metrics.CompressedSpillBytes += written
 	c.metrics.CPUSeconds += float64(written) / c.eng.Cfg.Cost.DiskBytesPerSec
 	if c.traceSpill != nil {
-		c.traceSpill(written)
+		c.traceSpill(encBytes)
 	}
+	c.flushes = append(c.flushes, flushRec{bytes: written, records: records})
 	c.out = c.out[:0]
 	c.arena = c.arena[:0]
 	c.pending = 0
@@ -447,11 +500,15 @@ type RedCtx struct {
 	inject   *injector
 	// External-aggregation spill state: oversized groups are encoded
 	// through the spill codec (SpillBytes is the exact encoded size) and,
-	// when out-of-core mode is on, written to a per-attempt run file.
+	// when out-of-core mode is on, block-framed through codec and written
+	// to a per-attempt run file (frameBuf/blockBuf are framing scratch).
 	sd         *spillDir
 	budget     int64
 	extSpill   *spillFile
 	encBuf     []byte
+	codec      blockcodec.Codec
+	frameBuf   []byte
+	blockBuf   []byte
 	traceSpill func(bytes int64)
 }
 
@@ -572,6 +629,10 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 	if outPrefix == "" {
 		outPrefix = "out/" + job.Name + "/"
 	}
+	codec, err := blockcodec.ByName(e.Cfg.SpillCodec)
+	if err != nil {
+		return nil, fmt.Errorf("mr: job %s: %w", job.Name, err)
+	}
 
 	res := &RoundResult{Metrics: RoundMetrics{Job: job.Name}}
 	rm := &res.Metrics
@@ -626,7 +687,7 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 			tstart := time.Now()
 			inj := e.injectorFor(round, PhaseMap, task, attempt)
 			tr.attemptStart(PhaseMap, task, attempt, inj)
-			ctx := e.newMapCtx(job, task, attempt, inj, reducers, partition, sd, tr)
+			ctx := e.newMapCtx(job, task, attempt, inj, reducers, partition, sd, codec, tr)
 			mout, err := e.mapAttempt(job, ctx, task, feed)
 			if err == nil {
 				stall := inj.simDelay()
@@ -639,7 +700,7 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 					var sp specOutcome
 					if e.Cfg.SpeculativeSlack > 0 && stall > e.Cfg.SpeculativeSlack {
 						winCtx, winOut, winAttempt, sp = e.speculateMap(
-							job, round, task, attempt, feed, reducers, partition, sd, ctx, mout, stall, tr)
+							job, round, task, attempt, feed, reducers, partition, sd, codec, ctx, mout, stall, tr)
 					}
 					m := &winCtx.metrics
 					m.Attempts = int64(attempt+1) + sp.launched
@@ -725,7 +786,7 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 			}
 			tr.startPhase(e.Cfg.Workers)
 			e.forEachTask(len(lost), func(i int) {
-				e.reexecuteMap(job, round, lost[i], feed, reducers, partition, sd, dead, nodes, rm, mapOuts, mapErrs, tr)
+				e.reexecuteMap(job, round, lost[i], feed, reducers, partition, sd, codec, dead, nodes, rm, mapOuts, mapErrs, tr)
 			})
 			tr.flushPhase()
 			for _, task := range lost {
@@ -882,11 +943,41 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 		// (stream mergers re-read spill segments via ReadAt), so one
 		// merger serves every attempt; reset rewinds it.
 		in := &reduceInput{}
+		var phits, pmisses int64
 		if !spilled {
 			in.mem = newRunMerger(shuffled[task])
 		} else {
-			in.stream = newStreamMerger(streamRuns[task])
+			runs := streamRuns[task]
+			// Fan-in control: more live runs than MergeFanIn are first
+			// consolidated through intermediate on-disk merges; the final
+			// streaming merge then opens at most MergeFanIn sources.
+			if fanIn := e.mergeFanIn(); len(runs) > fanIn {
+				var ferr error
+				runs, ferr = e.fanInMerge(runs, fanIn, sd, task, codec, &base, tr)
+				if ferr != nil {
+					// Spill infrastructure failures are plain errors, not
+					// injected faults: fail the task without retrying.
+					base.Attempts = 1
+					rm.Reducers[task] = base
+					redErrs[task] = ferr
+					tr.attemptFailure(PhaseReduce, task, 0, ferr)
+					return
+				}
+			}
+			in.stream = newStreamMerger(runs, mergeOpts{
+				prefetchBudget: defaultPrefetchBudget,
+				hits:           &phits, misses: &pmisses,
+			})
 		}
+		defer func() {
+			// The merger (and its read-ahead goroutines) dies with the
+			// task, before the round's spill cleanup can close the files
+			// under it. Prefetch totals accumulate across the task's
+			// attempts and are volatile, like the wall times.
+			in.close()
+			rm.Reducers[task].PrefetchHits += phits
+			rm.Reducers[task].PrefetchMisses += pmisses
+		}()
 		file := fmt.Sprintf("%spart-r-%05d", outPrefix, task)
 		sideFile := fmt.Sprintf("side/%s/part-r-%05d", job.Name, task)
 		var wasted int64
@@ -896,7 +987,7 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 			attemptMetrics := base
 			inj := e.injectorFor(round, PhaseReduce, task, attempt)
 			tr.attemptStart(PhaseReduce, task, attempt, inj)
-			ctx := e.newRedCtx(job, task, attempt, file, sideFile, &attemptMetrics, inj, sd, tr)
+			ctx := e.newRedCtx(job, task, attempt, file, sideFile, &attemptMetrics, inj, sd, codec, tr)
 			fileMark := e.FS.Mark(file)
 			sideMark := e.FS.Mark(sideFile)
 			err := e.nodeKill(round, PhaseReduce, task, attempt, dead, nodes)
@@ -915,7 +1006,7 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 					if e.Cfg.SpeculativeSlack > 0 && stall > e.Cfg.SpeculativeSlack {
 						win, winCollect, winAttempt, sp = e.speculateReduce(
 							job, round, task, attempt, base, in, oomMem, inflation,
-							file, sideFile, sd, &attemptMetrics, ctx, stall, tr)
+							file, sideFile, sd, codec, &attemptMetrics, ctx, stall, tr)
 					}
 					win.Attempts = int64(attempt+1) + sp.launched
 					win.RetryWallSeconds = retryWall
@@ -980,25 +1071,29 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 // machinery (budget, partitioner, run-file directory, and — only when
 // tracing — a per-flush spill event hook, keeping the untraced path
 // allocation-free).
-func (e *Engine) newMapCtx(job *Job, task, attempt int, inj *injector, reducers int, partition func(string, int) int, sd *spillDir, tr *roundTracer) *MapCtx {
+func (e *Engine) newMapCtx(job *Job, task, attempt int, inj *injector, reducers int, partition func(string, int) int, sd *spillDir, codec blockcodec.Codec, tr *roundTracer) *MapCtx {
 	ctx := &MapCtx{
 		Task: task, job: job, eng: e, inject: inj,
 		reducers: reducers, partition: partition,
-		budget: e.Cfg.SpillBudgetBytes, sd: sd,
+		budget: e.Cfg.SpillBudgetBytes, sd: sd, codec: codec,
 	}
 	if tr != nil {
 		ctx.traceSpill = func(bytes int64) {
 			tr.add(PhaseMap, task, TraceEvent{Type: EvSpill, Attempt: attempt, Bytes: bytes})
+		}
+		ctx.traceSpillFlush = func(f flushRec) {
+			tr.add(PhaseMap, task, TraceEvent{Type: EvSpillFlush, Attempt: attempt, Bytes: f.bytes, Records: f.records})
 		}
 	}
 	return ctx
 }
 
 // newRedCtx builds one reduce attempt's context; see newMapCtx.
-func (e *Engine) newRedCtx(job *Job, task, attempt int, file, sideFile string, m *TaskMetrics, inj *injector, sd *spillDir, tr *roundTracer) *RedCtx {
+func (e *Engine) newRedCtx(job *Job, task, attempt int, file, sideFile string, m *TaskMetrics, inj *injector, sd *spillDir, codec blockcodec.Codec, tr *roundTracer) *RedCtx {
 	ctx := &RedCtx{
 		Task: task, job: job, eng: e, file: file, sideFile: sideFile,
 		metrics: m, inject: inj, sd: sd, budget: e.Cfg.SpillBudgetBytes,
+		codec: codec,
 	}
 	if tr != nil {
 		ctx.traceSpill = func(bytes int64) {
@@ -1026,9 +1121,29 @@ func (e *Engine) mapAttempt(job *Job, ctx *MapCtx, task int, feed func(task int,
 				panic(r)
 			}
 		}
+		// Join the attempt's background spill writer on every exit path —
+		// success, fault, abort — before anything reads or discards the run
+		// file: the writer goroutine must never outlive its attempt, and a
+		// surviving write error fails the attempt like an inline one did.
+		if ctx.writer != nil {
+			jerr, jstall := ctx.writer.join()
+			ctx.metrics.SpillWriteStallNs += jstall.Nanoseconds()
+			if err == nil {
+				err = jerr
+			}
+		}
 		if err != nil {
 			ctx.spill.discard()
 			ctx.spill = nil
+			mout = mapOutput{}
+		} else if ctx.traceSpillFlush != nil {
+			// All writes are on disk now; report each flush's compressed
+			// size. Emitted only for surviving attempts, at a deterministic
+			// point (before the attempt returns), so the trace stream stays
+			// bit-identical at any parallelism.
+			for _, f := range ctx.flushes {
+				ctx.traceSpillFlush(f)
+			}
 		}
 	}()
 	ctx.inject.start()
@@ -1108,6 +1223,14 @@ func (e *Engine) partitionSort(job *Job, ctx *MapCtx, out []Pair) ([][]Pair, err
 type reduceInput struct {
 	mem    *runMerger
 	stream *streamMerger
+}
+
+// close releases the streaming merge's read-ahead goroutines (no-op for
+// the in-memory path). Must run before the round's spill cleanup.
+func (in *reduceInput) close() {
+	if in.stream != nil {
+		in.stream.close()
+	}
 }
 
 // reduceAttempt executes one attempt of one reduce task by streaming the
@@ -1252,6 +1375,11 @@ func (e *Engine) externalAgg(ctx *RedCtx, key string, excess [][]byte) (float64,
 		prev = key
 	}
 	ctx.encBuf = buf
+	tm := ctx.metrics
+	// The cost model charges the bytes the disk absorbs: the framed,
+	// compressed size when the run is physically written, the encoded size
+	// when out-of-core mode is off and the write is only simulated.
+	charged := int64(len(buf))
 	if ctx.budget > 0 {
 		if ctx.extSpill == nil {
 			sf, err := ctx.sd.create("run-r-*")
@@ -1260,17 +1388,19 @@ func (e *Engine) externalAgg(ctx *RedCtx, key string, excess [][]byte) (float64,
 			}
 			ctx.extSpill = sf
 		}
-		if err := ctx.extSpill.writeRaw(buf); err != nil {
+		ctx.frameBuf, ctx.blockBuf = blockcodec.AppendAll(ctx.frameBuf[:0], ctx.codec, buf, ctx.blockBuf)
+		if err := ctx.extSpill.writeRaw(ctx.frameBuf); err != nil {
 			return 0, err
 		}
+		charged = int64(len(ctx.frameBuf))
+		tm.CompressedSpillBytes += charged
 	}
-	tm := ctx.metrics
 	tm.Spills++
 	tm.SpillBytes += int64(len(buf))
 	if ctx.traceSpill != nil {
 		ctx.traceSpill(int64(len(buf)))
 	}
-	return float64(len(buf)) * e.Cfg.Cost.SpillPasses / e.Cfg.Cost.DiskBytesPerSec, nil
+	return float64(charged) * e.Cfg.Cost.SpillPasses / e.Cfg.Cost.DiskBytesPerSec, nil
 }
 
 // speculateMap races one backup attempt against a completed-but-stalled
@@ -1281,15 +1411,15 @@ func (e *Engine) externalAgg(ctx *RedCtx, key string, excess [][]byte) (float64,
 // are byte-identical under the re-entrancy contract, so the loser differs
 // from the winner only in its simulated stall.
 func (e *Engine) speculateMap(job *Job, round, task, attempt int, feed func(int, *MapCtx),
-	reducers int, partition func(string, int) int, sd *spillDir, ctx *MapCtx, mout mapOutput,
-	stall float64, tr *roundTracer) (*MapCtx, mapOutput, int, specOutcome) {
+	reducers int, partition func(string, int) int, sd *spillDir, codec blockcodec.Codec,
+	ctx *MapCtx, mout mapOutput, stall float64, tr *roundTracer) (*MapCtx, mapOutput, int, specOutcome) {
 	sp := specOutcome{launched: 1}
 	bAttempt := attempt + 1
 	bstart := time.Now()
 	binj := e.injectorFor(round, PhaseMap, task, bAttempt)
 	tr.speculate(PhaseMap, task, bAttempt)
 	tr.attemptStart(PhaseMap, task, bAttempt, binj)
-	bctx := e.newMapCtx(job, task, bAttempt, binj, reducers, partition, sd, tr)
+	bctx := e.newMapCtx(job, task, bAttempt, binj, reducers, partition, sd, codec, tr)
 	bout, berr := e.mapAttempt(job, bctx, task, feed)
 	bWall := time.Since(bstart).Seconds()
 	switch {
@@ -1323,7 +1453,8 @@ func (e *Engine) speculateMap(job *Job, round, task, attempt int, feed func(int,
 // index and the speculative counters.
 func (e *Engine) speculateReduce(job *Job, round, task, attempt int, base TaskMetrics,
 	in *reduceInput, oomMem, inflation float64, file, sideFile string, sd *spillDir,
-	orig *TaskMetrics, origCtx *RedCtx, stall float64, tr *roundTracer) (*TaskMetrics, []Pair, int, specOutcome) {
+	codec blockcodec.Codec, orig *TaskMetrics, origCtx *RedCtx, stall float64,
+	tr *roundTracer) (*TaskMetrics, []Pair, int, specOutcome) {
 	sp := specOutcome{launched: 1}
 	bAttempt := attempt + 1
 	bstart := time.Now()
@@ -1331,7 +1462,7 @@ func (e *Engine) speculateReduce(job *Job, round, task, attempt int, base TaskMe
 	tr.speculate(PhaseReduce, task, bAttempt)
 	tr.attemptStart(PhaseReduce, task, bAttempt, binj)
 	bMetrics := base
-	bctx := e.newRedCtx(job, task, bAttempt, file, sideFile, &bMetrics, binj, sd, tr)
+	bctx := e.newRedCtx(job, task, bAttempt, file, sideFile, &bMetrics, binj, sd, codec, tr)
 	bFileMark := e.FS.Mark(file)
 	bSideMark := e.FS.Mark(sideFile)
 	berr := e.reduceAttempt(job, bctx, in, oomMem, inflation)
@@ -1366,7 +1497,7 @@ func (e *Engine) speculateReduce(job *Job, round, task, attempt int, base TaskMe
 // node is live every attempt is killed until the budget runs out, failing
 // the round with a plain (non-fault) error.
 func (e *Engine) reexecuteMap(job *Job, round, task int, feed func(int, *MapCtx), reducers int,
-	partition func(string, int) int, sd *spillDir, dead []bool, nodes int,
+	partition func(string, int) int, sd *spillDir, codec blockcodec.Codec, dead []bool, nodes int,
 	rm *RoundMetrics, mapOuts []mapOutput, mapErrs []error, tr *roundTracer) {
 	prev := rm.Mappers[task]
 	wasted := prev.WastedBytes + prev.OutBytes
@@ -1377,7 +1508,7 @@ func (e *Engine) reexecuteMap(job *Job, round, task int, feed func(int, *MapCtx)
 		tstart := time.Now()
 		inj := e.injectorFor(round, PhaseMap, task, attempt)
 		tr.attemptStart(PhaseMap, task, attempt, inj)
-		ctx := e.newMapCtx(job, task, attempt, inj, reducers, partition, sd, tr)
+		ctx := e.newMapCtx(job, task, attempt, inj, reducers, partition, sd, codec, tr)
 		var mout mapOutput
 		var err error
 		if placeLive(PlaceNode(e.Cfg.Seed, round, PhaseMap, task, attempt, nodes), dead, nodes) < 0 {

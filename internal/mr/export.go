@@ -28,8 +28,14 @@ import (
 // batch sizes); v4 added the "spills" counter at every level and
 // "spillBytes" at round and job level, and redefined "spillBytes" from an
 // estimated external-aggregation volume to the exact encoded bytes the
-// spill writer produced (out-of-core shuffle run files included).
-const MetricsSchemaVersion = 4
+// spill writer produced (out-of-core shuffle run files included); v5 added
+// the spill-pipeline counters at every level: "compressedSpillBytes" (the
+// framed, block-compressed bytes physically written — the disk-charged
+// size) and "mergePasses" (intermediate fan-in merges), both
+// deterministic, plus the volatile overlap counters "spillWriteStallNs",
+// "prefetchHits" and "prefetchMisses", which join the wall-clock fields
+// outside the determinism contract.
+const MetricsSchemaVersion = 5
 
 // LoadBalance summarizes how evenly a byte quantity is spread over a
 // round's reduce tasks — the paper's §6.2 closing claim is that SP-Cube's
@@ -87,24 +93,32 @@ func NewLoadBalance(sizes []int64) *LoadBalance {
 // taskMetricsJSON is the wire form of TaskMetrics. Field names are part of
 // the versioned schema.
 type taskMetricsJSON struct {
-	InRecords         int64   `json:"inRecords"`
-	InBytes           int64   `json:"inBytes"`
-	OutRecords        int64   `json:"outRecords"`
-	OutBytes          int64   `json:"outBytes"`
-	PreCombineRecords int64   `json:"preCombineRecords"`
-	PreCombineBytes   int64   `json:"preCombineBytes"`
-	Ops               int64   `json:"ops"`
-	LargestKeyRecords int64   `json:"largestKeyRecords"`
-	LargestKeyBytes   int64   `json:"largestKeyBytes"`
-	SideRecords       int64   `json:"sideRecords"`
-	SideBytes         int64   `json:"sideBytes"`
-	Spills            int64   `json:"spills"` // schema v4
-	SpillBytes        int64   `json:"spillBytes"`
-	CPUSeconds        float64 `json:"cpuSeconds"`
-	WallSeconds       float64 `json:"wallSeconds"`
-	Attempts          int64   `json:"attempts"`
-	RetryWallSeconds  float64 `json:"retryWallSeconds"`
-	WastedBytes       int64   `json:"wastedBytes"`
+	InRecords         int64 `json:"inRecords"`
+	InBytes           int64 `json:"inBytes"`
+	OutRecords        int64 `json:"outRecords"`
+	OutBytes          int64 `json:"outBytes"`
+	PreCombineRecords int64 `json:"preCombineRecords"`
+	PreCombineBytes   int64 `json:"preCombineBytes"`
+	Ops               int64 `json:"ops"`
+	LargestKeyRecords int64 `json:"largestKeyRecords"`
+	LargestKeyBytes   int64 `json:"largestKeyBytes"`
+	SideRecords       int64 `json:"sideRecords"`
+	SideBytes         int64 `json:"sideBytes"`
+	Spills            int64 `json:"spills"` // schema v4
+	SpillBytes        int64 `json:"spillBytes"`
+	// Schema v5 spill-pipeline counters: compressedSpillBytes and
+	// mergePasses are deterministic; the stall and prefetch counters are
+	// volatile, like the wall-clock fields.
+	CompressedSpillBytes int64   `json:"compressedSpillBytes"`
+	MergePasses          int64   `json:"mergePasses"`
+	SpillWriteStallNs    int64   `json:"spillWriteStallNs"`
+	PrefetchHits         int64   `json:"prefetchHits"`
+	PrefetchMisses       int64   `json:"prefetchMisses"`
+	CPUSeconds           float64 `json:"cpuSeconds"`
+	WallSeconds          float64 `json:"wallSeconds"`
+	Attempts             int64   `json:"attempts"`
+	RetryWallSeconds     float64 `json:"retryWallSeconds"`
+	WastedBytes          int64   `json:"wastedBytes"`
 	// Schema v2 recovery counters (node failures and speculation).
 	Reexecutions           int64   `json:"reexecutions"`
 	FetchFailures          int64   `json:"fetchFailures"`
@@ -123,6 +137,9 @@ func taskJSON(t *TaskMetrics) taskMetricsJSON {
 		LargestKeyRecords: t.LargestKeyRecords, LargestKeyBytes: t.LargestKeyBytes,
 		SideRecords: t.SideRecords, SideBytes: t.SideBytes,
 		Spills: t.Spills, SpillBytes: t.SpillBytes,
+		CompressedSpillBytes: t.CompressedSpillBytes, MergePasses: t.MergePasses,
+		SpillWriteStallNs: t.SpillWriteStallNs,
+		PrefetchHits:      t.PrefetchHits, PrefetchMisses: t.PrefetchMisses,
 		CPUSeconds: t.CPUSeconds, WallSeconds: t.WallSeconds,
 		Attempts: t.Attempts, RetryWallSeconds: t.RetryWallSeconds, WastedBytes: t.WastedBytes,
 		Reexecutions: t.Reexecutions, FetchFailures: t.FetchFailures,
@@ -158,9 +175,15 @@ type roundMetricsJSON struct {
 	Retries          int64   `json:"retries"`
 	RetryWallSeconds float64 `json:"retryWallSeconds"`
 	WastedBytes      int64   `json:"wastedBytes"`
-	// Schema v4 spill totals (run-file flushes + external aggregation).
-	Spills     int64 `json:"spills"`
-	SpillBytes int64 `json:"spillBytes"`
+	// Schema v4 spill totals (run-file flushes + external aggregation),
+	// plus the v5 spill-pipeline counters.
+	Spills               int64 `json:"spills"`
+	SpillBytes           int64 `json:"spillBytes"`
+	CompressedSpillBytes int64 `json:"compressedSpillBytes"`
+	MergePasses          int64 `json:"mergePasses"`
+	SpillWriteStallNs    int64 `json:"spillWriteStallNs"`
+	PrefetchHits         int64 `json:"prefetchHits"`
+	PrefetchMisses       int64 `json:"prefetchMisses"`
 	// Schema v2 recovery counters (node failures and speculation).
 	MapReexecutions        int64   `json:"mapReexecutions"`
 	FetchFailures          int64   `json:"fetchFailures"`
@@ -216,6 +239,9 @@ func roundJSON(r *RoundMetrics) roundMetricsJSON {
 		SimSeconds: r.SimSeconds, WallSeconds: r.WallSeconds,
 		Retries: r.Retries, RetryWallSeconds: r.RetryWallSeconds, WastedBytes: r.WastedBytes,
 		Spills: r.Spills, SpillBytes: r.SpillBytes,
+		CompressedSpillBytes: r.CompressedSpillBytes, MergePasses: r.MergePasses,
+		SpillWriteStallNs: r.SpillWriteStallNs,
+		PrefetchHits:      r.PrefetchHits, PrefetchMisses: r.PrefetchMisses,
 		MapReexecutions: r.MapReexecutions, FetchFailures: r.FetchFailures,
 		SpeculativeLaunched: r.SpeculativeLaunched, SpeculativeWon: r.SpeculativeWon,
 		SpeculativeKilled: r.SpeculativeKilled, SpeculativeWallSeconds: r.SpeculativeWallSeconds,
@@ -241,9 +267,15 @@ type jobMetricsJSON struct {
 	Retries          int64              `json:"retries"`
 	RetryWallSeconds float64            `json:"retryWallSeconds"`
 	WastedBytes      int64              `json:"wastedBytes"`
-	// Schema v4 spill totals (run-file flushes + external aggregation).
-	Spills     int64 `json:"spills"`
-	SpillBytes int64 `json:"spillBytes"`
+	// Schema v4 spill totals (run-file flushes + external aggregation),
+	// plus the v5 spill-pipeline counters.
+	Spills               int64 `json:"spills"`
+	SpillBytes           int64 `json:"spillBytes"`
+	CompressedSpillBytes int64 `json:"compressedSpillBytes"`
+	MergePasses          int64 `json:"mergePasses"`
+	SpillWriteStallNs    int64 `json:"spillWriteStallNs"`
+	PrefetchHits         int64 `json:"prefetchHits"`
+	PrefetchMisses       int64 `json:"prefetchMisses"`
 	// Schema v2 recovery counters (node failures and speculation).
 	MapReexecutions        int64   `json:"mapReexecutions"`
 	FetchFailures          int64   `json:"fetchFailures"`
@@ -274,6 +306,12 @@ func (j *JobMetrics) MarshalJSON() ([]byte, error) {
 		WastedBytes:      j.WastedBytes(),
 		Spills:           j.Spills(),
 		SpillBytes:       j.SpillBytes(),
+
+		CompressedSpillBytes: j.CompressedSpillBytes(),
+		MergePasses:          j.MergePasses(),
+		SpillWriteStallNs:    j.SpillWriteStallNs(),
+		PrefetchHits:         j.PrefetchHits(),
+		PrefetchMisses:       j.PrefetchMisses(),
 
 		MapReexecutions:        j.MapReexecutions(),
 		FetchFailures:          j.FetchFailures(),

@@ -285,11 +285,26 @@ type streamSource struct {
 	seg   *spillSeg
 }
 
-func newStreamMerger(runs []streamSource) *streamMerger {
+// mergeOpts configures a streamMerger's read-ahead: file-backed sources
+// are granted prefetchers out of prefetchBudget bytes, in source order
+// (deterministic — which sources read ahead never depends on timing), and
+// their hit/miss counters accumulate into hits/misses when non-nil.
+type mergeOpts struct {
+	prefetchBudget int64
+	hits, misses   *int64
+}
+
+func newStreamMerger(runs []streamSource, opt mergeOpts) *streamMerger {
 	m := &streamMerger{srcs: make([]mergeSource, len(runs)), cur: -1}
+	budget := opt.prefetchBudget
 	for i, r := range runs {
 		if r.seg != nil {
-			m.srcs[i].rd = newSegReader(*r.seg)
+			var grant int64
+			if budget >= prefetchSegBudget && r.seg.length >= 2*prefetchChunkSize {
+				grant = prefetchSegBudget
+				budget -= grant
+			}
+			m.srcs[i].rd = newSegReader(*r.seg, grant, opt.hits, opt.misses)
 		} else {
 			m.srcs[i].pairs = r.pairs
 		}
@@ -297,6 +312,16 @@ func newStreamMerger(runs []streamSource) *streamMerger {
 	}
 	m.tree = NewLoserTree(len(m.srcs), m.beats)
 	return m
+}
+
+// close releases every file source's read-ahead goroutine. Must run before
+// the run files are closed; the merger is unusable afterwards.
+func (m *streamMerger) close() {
+	for i := range m.srcs {
+		if m.srcs[i].rd != nil {
+			m.srcs[i].rd.close()
+		}
+	}
 }
 
 // reset rewinds every source to its start (re-reading spill segments from

@@ -32,10 +32,29 @@ type TaskMetrics struct {
 	// measured I/O in out-of-core mode, not an estimate).
 	Spills     int64
 	SpillBytes int64
+	// CompressedSpillBytes is the framed, block-compressed size of the
+	// task's spill runs as physically written — the bytes the disk
+	// actually absorbed, and the unit the cost model charges. Equal to
+	// SpillBytes plus frame overhead under the raw codec; smaller under a
+	// compressing codec. Deterministic (the codecs are deterministic).
+	CompressedSpillBytes int64
+	// MergePasses counts intermediate fan-in merges: a reduce task whose
+	// live run count exceeded Config.MergeFanIn merged groups of runs
+	// into new on-disk runs before its streaming merge. Deterministic.
+	MergePasses int64
 	// CPUSeconds is the simulated CPU time of the task under the cost
 	// model; WallSeconds is the real time the in-process run took.
 	CPUSeconds  float64
 	WallSeconds float64
+	// SpillWriteStallNs is the real time the attempt's foreground spent
+	// blocked on its background spill writer — waiting for a free double
+	// buffer in spillNow, plus the final join. Volatile, like WallSeconds.
+	SpillWriteStallNs int64
+	// PrefetchHits/Misses count merge read-ahead chunks that were already
+	// buffered when the merge asked (hits) versus had to be waited for
+	// (misses). Wall-clock races decide each one, so both are volatile.
+	PrefetchHits   int64
+	PrefetchMisses int64
 
 	// Attempts is how many times the task was executed (1 with no faults
 	// injected; 0 for tasks that never ran, e.g. reducers after an OOM).
@@ -83,8 +102,19 @@ type RoundMetrics struct {
 
 	// Spills/SpillBytes aggregate the tasks' spill activity: map-side
 	// run-file flushes plus reduce-side external aggregation.
-	Spills     int64
-	SpillBytes int64
+	// CompressedSpillBytes is the block-compressed on-disk total and
+	// MergePasses the intermediate fan-in merges (see TaskMetrics).
+	Spills               int64
+	SpillBytes           int64
+	CompressedSpillBytes int64
+	MergePasses          int64
+
+	// SpillWriteStallNs and PrefetchHits/Misses aggregate the spill
+	// pipeline's overlap accounting; all three are volatile (wall-clock
+	// dependent), like WallSeconds.
+	SpillWriteStallNs int64
+	PrefetchHits      int64
+	PrefetchMisses    int64
 
 	// MappersExecuted/ReducersExecuted count the tasks that actually ran
 	// (Attempts > 0). Reducers scheduled after a failed one — e.g. past
@@ -155,6 +185,8 @@ func (r *RoundMetrics) finalize(cost CostModel) {
 	r.Retries, r.RetryWallSeconds, r.WastedBytes = 0, 0, 0
 	r.MapReexecutions, r.FetchFailures = 0, 0
 	r.Spills, r.SpillBytes = 0, 0
+	r.CompressedSpillBytes, r.MergePasses = 0, 0
+	r.SpillWriteStallNs, r.PrefetchHits, r.PrefetchMisses = 0, 0, 0
 	r.SpeculativeLaunched, r.SpeculativeWon, r.SpeculativeKilled = 0, 0, 0
 	r.SpeculativeWallSeconds = 0
 	for _, tasks := range [][]TaskMetrics{r.Mappers, r.Reducers} {
@@ -169,6 +201,11 @@ func (r *RoundMetrics) finalize(cost CostModel) {
 			r.WastedBytes += t.WastedBytes
 			r.Spills += t.Spills
 			r.SpillBytes += t.SpillBytes
+			r.CompressedSpillBytes += t.CompressedSpillBytes
+			r.MergePasses += t.MergePasses
+			r.SpillWriteStallNs += t.SpillWriteStallNs
+			r.PrefetchHits += t.PrefetchHits
+			r.PrefetchMisses += t.PrefetchMisses
 			r.FetchFailures += t.FetchFailures
 			r.SpeculativeLaunched += t.SpeculativeLaunched
 			r.SpeculativeWon += t.SpeculativeWon
@@ -330,6 +367,57 @@ func (j *JobMetrics) SpillBytes() int64 {
 	var s int64
 	for i := range j.Rounds {
 		s += j.Rounds[i].SpillBytes
+	}
+	return s
+}
+
+// CompressedSpillBytes is the total framed, block-compressed bytes the
+// spill pipeline physically wrote across rounds — the disk-charged size,
+// versus SpillBytes' pre-compression encoded size.
+func (j *JobMetrics) CompressedSpillBytes() int64 {
+	var s int64
+	for i := range j.Rounds {
+		s += j.Rounds[i].CompressedSpillBytes
+	}
+	return s
+}
+
+// MergePasses is the total number of intermediate fan-in merges reducers
+// performed across rounds.
+func (j *JobMetrics) MergePasses() int64 {
+	var s int64
+	for i := range j.Rounds {
+		s += j.Rounds[i].MergePasses
+	}
+	return s
+}
+
+// SpillWriteStallNs is the total real time task foregrounds spent blocked
+// on their background spill writers (volatile, like WallSeconds).
+func (j *JobMetrics) SpillWriteStallNs() int64 {
+	var s int64
+	for i := range j.Rounds {
+		s += j.Rounds[i].SpillWriteStallNs
+	}
+	return s
+}
+
+// PrefetchHits is the total merge read-ahead chunks served without
+// waiting; PrefetchMisses the chunks the merge had to block for. Both are
+// volatile.
+func (j *JobMetrics) PrefetchHits() int64 {
+	var s int64
+	for i := range j.Rounds {
+		s += j.Rounds[i].PrefetchHits
+	}
+	return s
+}
+
+// PrefetchMisses is the volatile counterpart of PrefetchHits.
+func (j *JobMetrics) PrefetchMisses() int64 {
+	var s int64
+	for i := range j.Rounds {
+		s += j.Rounds[i].PrefetchMisses
 	}
 	return s
 }

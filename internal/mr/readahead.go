@@ -1,0 +1,153 @@
+package mr
+
+import "io"
+
+// prefetchChunkSize is the read-ahead unit. One chunk comfortably covers a
+// framed block (blocks are at most 64 KiB of raw payload, compressed), so
+// the merge loop almost never waits on a seek it could have overlapped.
+const prefetchChunkSize = 64 << 10
+
+// prefetchSegBudget is the memory one prefetching segment is charged: its
+// three rotating chunk buffers.
+const prefetchSegBudget = 3 * prefetchChunkSize
+
+// defaultPrefetchBudget bounds a reduce task's total read-ahead memory;
+// segments past the budget (granted in source order) read synchronously.
+const defaultPrefetchBudget = 4 << 20
+
+// prefetchChunk is one read-ahead unit handed from the background reader
+// to the consuming merge loop.
+type prefetchChunk struct {
+	buf []byte
+	err error // terminal: io.EOF after the last chunk, or the read error
+}
+
+// prefetchReader reads a [off, off+length) window of a ReaderAt ahead of
+// its consumer: a background goroutine reads fixed chunks and sends them
+// over a buffered channel, so block decode and record merge overlap disk
+// reads. Double-buffered — one chunk in the channel, one being read — the
+// same discipline as the spill writer's two buffers, in the opposite
+// direction.
+//
+// hits counts chunks that were already waiting when the consumer asked
+// (the prefetch won the race); misses counts chunks the consumer had to
+// block for. Both are wall-clock-dependent and therefore volatile metrics.
+//
+// Lifecycle: stop kills the background goroutine (idempotent); reset
+// restarts the window from the beginning, for retried reduce attempts.
+// The owner must stop the reader before its file is closed.
+type prefetchReader struct {
+	src    io.ReaderAt
+	off    int64
+	length int64
+	hits   *int64
+	misses *int64
+
+	ch   chan prefetchChunk
+	quit chan struct{}
+	cur  []byte // unconsumed tail of the current chunk
+	err  error  // sticky terminal state
+	// Three chunk buffers rotated between reader and consumer: at any
+	// moment one may be held by the consumer, one queued in the channel,
+	// and one being filled.
+	bufs [3][]byte
+	next int
+}
+
+func newPrefetchReader(src io.ReaderAt, off, length int64, hits, misses *int64) *prefetchReader {
+	r := &prefetchReader{src: src, off: off, length: length, hits: hits, misses: misses}
+	r.start()
+	return r
+}
+
+func (r *prefetchReader) start() {
+	r.ch = make(chan prefetchChunk, 1)
+	r.quit = make(chan struct{})
+	r.cur = nil
+	r.err = nil
+	go r.loop(r.ch, r.quit)
+}
+
+// loop reads the window chunk by chunk, rotating the three buffers: with
+// the channel holding at most one chunk and the consumer draining its
+// chunk before receiving the next, the buffer being filled is never one
+// still being read.
+func (r *prefetchReader) loop(ch chan prefetchChunk, quit chan struct{}) {
+	defer close(ch)
+	pos := int64(0)
+	for pos < r.length {
+		n := r.length - pos
+		if n > prefetchChunkSize {
+			n = prefetchChunkSize
+		}
+		buf := r.bufs[r.next%3]
+		if cap(buf) < int(n) {
+			buf = make([]byte, n)
+			r.bufs[r.next%3] = buf
+		}
+		buf = buf[:n]
+		r.next++
+		_, err := r.src.ReadAt(buf, r.off+pos)
+		pos += n
+		select {
+		case ch <- prefetchChunk{buf: buf, err: err}:
+		case <-quit:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// Read serves decoded-side reads from the prefetched chunks.
+func (r *prefetchReader) Read(p []byte) (int, error) {
+	for len(r.cur) == 0 {
+		if r.err != nil {
+			return 0, r.err
+		}
+		var c prefetchChunk
+		var ok bool
+		select {
+		case c, ok = <-r.ch:
+			if ok && r.hits != nil {
+				*r.hits++
+			}
+		default:
+			c, ok = <-r.ch
+			if ok && r.misses != nil {
+				*r.misses++
+			}
+		}
+		if !ok {
+			r.err = io.EOF
+			return 0, r.err
+		}
+		if c.err != nil {
+			r.err = c.err
+			return 0, r.err
+		}
+		r.cur = c.buf
+	}
+	n := copy(p, r.cur)
+	r.cur = r.cur[n:]
+	return n, nil
+}
+
+// stop terminates the background goroutine. Idempotent.
+func (r *prefetchReader) stop() {
+	if r.quit == nil {
+		return
+	}
+	close(r.quit)
+	// Drain so a sender blocked on ch observes quit or its send succeeds.
+	for range r.ch {
+	}
+	r.quit = nil
+}
+
+// reset restarts the window from the beginning with a fresh goroutine.
+func (r *prefetchReader) reset() {
+	r.stop()
+	r.start()
+}

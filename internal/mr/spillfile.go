@@ -4,13 +4,17 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"github.com/spcube/spcube/internal/mr/blockcodec"
 )
 
 // spillDir owns one engine run's spill directory. The directory is created
 // lazily on the first spill (a run whose buckets all fit in memory never
 // touches the filesystem) and removed wholesale — open handles included —
 // by cleanup, which the engine defers for the whole run so that no code
-// path, fault-recovery ones included, can leak run files.
+// path, fault-recovery ones included, can leak run files. The base
+// directory is Config.SpillDir, or the operating system's temp dir (which
+// honors $TMPDIR) when unset.
 type spillDir struct {
 	base string // Config.SpillDir, or os.TempDir() when empty
 
@@ -48,7 +52,8 @@ func (d *spillDir) create(pattern string) (*spillFile, error) {
 }
 
 // cleanup closes every run file and removes the spill directory. Called
-// once, after all task attempts have finished.
+// once, after all task attempts have finished (and, per the spill-writer
+// contract, after every attempt has joined its background writer).
 func (d *spillDir) cleanup() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -64,8 +69,13 @@ func (d *spillDir) cleanup() {
 
 // spillFile is one attempt's on-disk run file. A map attempt appends one
 // spill block per flush — the sorted per-reducer buckets of everything
-// emitted since the previous flush, each bucket front-coded into its own
-// segment. spills[i][r] is flush i's segment for reducer r.
+// emitted since the previous flush, each bucket front-coded and framed into
+// checksummed blockcodec blocks as its own segment. spills[i][r] is flush
+// i's segment for reducer r.
+//
+// Writes go through append, which is single-writer by contract: either the
+// attempt's foreground (synchronous mode) or its one background spillWriter
+// goroutine. Readers use ReadAt and never touch the write offset.
 type spillFile struct {
 	f      *os.File
 	path   string
@@ -77,50 +87,72 @@ type spillFile struct {
 // spillSeg locates one sorted run inside a spill file and carries the
 // metadata the reduce pre-scan needs, so sizing a reducer's input never
 // re-reads the file: records and raw (the Σ pairBytes the in-memory path
-// would have accounted) mirror the heap-resident bookkeeping exactly,
-// while length measures the encoded bytes actually on disk.
+// would have accounted) mirror the heap-resident bookkeeping exactly;
+// enc is the front-coded byte count before block compression (the
+// SpillBytes accounting unit), and length the framed, compressed bytes
+// actually on disk (the I/O-cost unit). codec decodes the blocks back.
 type spillSeg struct {
 	f       *os.File
 	off     int64
 	length  int64
 	records int64
 	raw     int64
+	enc     int64
+	codec   blockcodec.Codec
 }
 
-// writeSpill encodes the sorted buckets (one per reducer) as consecutive
-// segments and appends them to the file with a single write. enc is a
-// reusable scratch buffer. Returns the encoded byte count.
-func (w *spillFile) writeSpill(buckets [][]Pair, enc *[]byte) (int64, error) {
-	buf := (*enc)[:0]
-	segs := make([]spillSeg, len(buckets))
+// encodeSpill front-codes the sorted buckets (one per reducer) and frames
+// each bucket's encoding into checksummed blocks, producing one flush's
+// complete file image. Segment offsets are flush-relative; append fixes
+// them up against the file's write offset. framed is the flush image
+// buffer (reused flush to flush); enc and block are front-coding and
+// codec scratch. encBytes is the pre-compression front-coded total.
+func encodeSpill(buckets [][]Pair, codec blockcodec.Codec, framed []byte, enc, block *[]byte) (out []byte, segs []spillSeg, encBytes int64) {
+	out = framed[:0]
+	segs = make([]spillSeg, len(buckets))
 	for r, bucket := range buckets {
-		start := int64(len(buf))
+		start := int64(len(out))
+		e := (*enc)[:0]
 		prev := ""
 		var raw int64
 		for i := range bucket {
-			buf = appendSpillRecord(buf, prev, bucket[i].Key, bucket[i].Val)
+			e = appendSpillRecord(e, prev, bucket[i].Key, bucket[i].Val)
 			raw += pairBytes(bucket[i].Key, bucket[i].Val)
 			prev = bucket[i].Key
 		}
+		*enc = e
+		out, *block = blockcodec.AppendAll(out, codec, e, *block)
 		segs[r] = spillSeg{
-			f:       w.f,
-			off:     w.off + start,
-			length:  int64(len(buf)) - start,
+			off:     start,
+			length:  int64(len(out)) - start,
 			records: int64(len(bucket)),
 			raw:     raw,
+			enc:     int64(len(e)),
+			codec:   codec,
 		}
+		encBytes += int64(len(e))
 	}
-	*enc = buf
-	if _, err := w.f.Write(buf); err != nil {
-		return 0, err
-	}
-	w.off += int64(len(buf))
-	w.spills = append(w.spills, segs)
-	return int64(len(buf)), nil
+	return out, segs, encBytes
 }
 
-// writeRaw appends already-encoded bytes (reduce-side external-aggregation
-// runs, which are written for their I/O cost but never merged back).
+// append writes one encoded flush image and records its segments, fixing
+// their flush-relative offsets up to file offsets. Single-writer only.
+func (w *spillFile) append(framed []byte, segs []spillSeg) error {
+	for i := range segs {
+		segs[i].f = w.f
+		segs[i].off += w.off
+	}
+	if _, err := w.f.Write(framed); err != nil {
+		return err
+	}
+	w.off += int64(len(framed))
+	w.spills = append(w.spills, segs)
+	return nil
+}
+
+// writeRaw appends already-framed bytes without recording segments
+// (reduce-side external-aggregation runs, which are written for their I/O
+// cost but never merged back).
 func (w *spillFile) writeRaw(buf []byte) error {
 	if _, err := w.f.Write(buf); err != nil {
 		return err
@@ -139,6 +171,7 @@ func (w *spillFile) close() {
 
 // discard closes and deletes the run file: the attempt that produced it
 // failed, was killed, lost a speculative race, or sat on a crashed node.
+// Only legal after the attempt's background writer (if any) has joined.
 func (w *spillFile) discard() {
 	if w == nil || w.closed {
 		return
@@ -148,33 +181,64 @@ func (w *spillFile) discard() {
 	w.closed = true
 }
 
-// segReader streams one segment's records. reset reopens the segment from
+// segReader streams one segment's records: a section of the run file,
+// optionally read ahead by a background prefetcher, decoded block by block
+// (CRC-verified), then record by record. reset reopens the segment from
 // the start, so a retried reduce attempt re-reads its input exactly like a
 // real reducer re-fetching a map output; concurrent readers of different
-// segments share the *os.File safely via ReadAt.
+// segments share the *os.File safely via ReadAt. A segReader with a
+// prefetcher owns a goroutine — close releases it (idempotent; reset
+// restarts it).
 type segReader struct {
-	seg spillSeg
-	rr  *recordReader
+	seg      spillSeg
+	prefetch *prefetchReader // nil when the segment is too small to bother
+	blocks   *blockcodec.Reader
+	rr       *recordReader
 }
 
-func newSegReader(seg spillSeg) *segReader {
+// newSegReader opens a segment. prefetchBudget is the read-ahead byte
+// budget the caller grants this segment (0 disables read-ahead); hits and
+// misses, when non-nil, receive the prefetcher's counters.
+func newSegReader(seg spillSeg, prefetchBudget int64, hits, misses *int64) *segReader {
 	r := &segReader{seg: seg}
+	if prefetchBudget >= 2*prefetchChunkSize && seg.length >= 2*prefetchChunkSize {
+		r.prefetch = newPrefetchReader(seg.f, seg.off, seg.length, hits, misses)
+	}
 	r.reset()
 	return r
 }
 
 func (r *segReader) reset() {
-	sz := 32 * 1024
-	if r.seg.length < int64(sz) {
-		sz = int(r.seg.length)
+	var src io.Reader
+	if r.prefetch != nil {
+		r.prefetch.reset()
+		src = r.prefetch
+	} else {
+		src = io.NewSectionReader(r.seg.f, r.seg.off, r.seg.length)
+	}
+	if r.blocks == nil {
+		r.blocks = blockcodec.NewReader(src, r.seg.codec)
+	} else {
+		r.blocks.Reset(src)
+	}
+	sz := 16 * 1024
+	if r.seg.enc < int64(sz) {
+		sz = int(r.seg.enc)
 	}
 	if sz < 16 {
 		sz = 16
 	}
-	sec := io.NewSectionReader(r.seg.f, r.seg.off, r.seg.length)
-	r.rr = newRecordReader(sec, r.seg.records, sz)
+	r.rr = newRecordReader(r.blocks, r.seg.records, sz)
 }
 
 func (r *segReader) next() (key, val []byte, ok bool, err error) {
 	return r.rr.next()
+}
+
+// close stops the segment's prefetch goroutine, if any. The segReader may
+// be reset and reused afterwards.
+func (r *segReader) close() {
+	if r.prefetch != nil {
+		r.prefetch.stop()
+	}
 }

@@ -5,8 +5,24 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"github.com/spcube/spcube/internal/mr/blockcodec"
 )
+
+// writeSpillSync encodes one flush through codec and appends it
+// synchronously — the test-side stand-in for the engine's
+// encode-then-submit pipeline.
+func writeSpillSync(t *testing.T, sf *spillFile, buckets [][]Pair, codec blockcodec.Codec) (written, encBytes int64) {
+	t.Helper()
+	var enc, block []byte
+	framed, segs, encBytes := encodeSpill(buckets, codec, nil, &enc, &block)
+	if err := sf.append(framed, segs); err != nil {
+		t.Fatal(err)
+	}
+	return int64(len(framed)), encBytes
+}
 
 // listAll returns every file under dir, recursively.
 func listAll(t *testing.T, dir string) []string {
@@ -36,85 +52,93 @@ func testBuckets() [][]Pair {
 }
 
 // TestWriteSpillExactBytes is the spill-accounting regression (the engine
-// once estimated spill volume at a hardcoded 24 bytes/record): the byte
-// count writeSpill reports — the number SpillBytes is built from — must
-// equal the bytes physically on disk, and the segment metadata must mirror
-// the in-memory accounting exactly.
+// once estimated spill volume at a hardcoded 24 bytes/record): the framed
+// byte count the encoder reports — the number CompressedSpillBytes is
+// built from — must equal the bytes physically on disk, and the segment
+// metadata must mirror the in-memory accounting exactly. Runs under every
+// codec.
 func TestWriteSpillExactBytes(t *testing.T) {
-	sd := newSpillDir(t.TempDir())
-	defer sd.cleanup()
-	sf, err := sd.create("run-m-*")
-	if err != nil {
-		t.Fatal(err)
-	}
-	buckets := testBuckets()
-	var enc []byte
-	var total int64
-	for flush := 0; flush < 3; flush++ {
-		written, err := sf.writeSpill(buckets, &enc)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if written <= 0 {
-			t.Fatalf("flush %d: written = %d", flush, written)
-		}
-		total += written
-		st, err := os.Stat(sf.path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if st.Size() != total {
-			t.Fatalf("flush %d: reported %d cumulative bytes, file holds %d", flush, total, st.Size())
-		}
-	}
-	for flush, segs := range sf.spills {
-		for r, seg := range segs {
-			want := buckets[r]
-			if seg.records != int64(len(want)) {
-				t.Fatalf("flush %d reducer %d: %d records, want %d", flush, r, seg.records, len(want))
+	for _, name := range blockcodec.Names() {
+		t.Run(name, func(t *testing.T) {
+			codec, err := blockcodec.ByName(name)
+			if err != nil {
+				t.Fatal(err)
 			}
-			var raw int64
-			for i := range want {
-				raw += pairBytes(want[i].Key, want[i].Val)
+			sd := newSpillDir(t.TempDir())
+			defer sd.cleanup()
+			sf, err := sd.create("run-m-*")
+			if err != nil {
+				t.Fatal(err)
 			}
-			if seg.raw != raw {
-				t.Fatalf("flush %d reducer %d: raw %d, want %d", flush, r, seg.raw, raw)
-			}
-			rd := newSegReader(seg)
-			for i := range want {
-				k, v, ok, err := rd.next()
-				if err != nil || !ok {
-					t.Fatalf("flush %d reducer %d record %d: ok=%v err=%v", flush, r, i, ok, err)
+			buckets := testBuckets()
+			var total int64
+			for flush := 0; flush < 3; flush++ {
+				written, encBytes := writeSpillSync(t, sf, buckets, codec)
+				if written <= 0 || encBytes <= 0 {
+					t.Fatalf("flush %d: written = %d, encBytes = %d", flush, written, encBytes)
 				}
-				if string(k) != want[i].Key || !bytes.Equal(v, want[i].Val) {
-					t.Fatalf("flush %d reducer %d record %d: got (%q, %q), want (%q, %q)",
-						flush, r, i, k, v, want[i].Key, want[i].Val)
+				total += written
+				st, err := os.Stat(sf.path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st.Size() != total {
+					t.Fatalf("flush %d: reported %d cumulative bytes, file holds %d", flush, total, st.Size())
 				}
 			}
-			if _, _, ok, _ := rd.next(); ok {
-				t.Fatalf("flush %d reducer %d: segment over-reads", flush, r)
+			for flush, segs := range sf.spills {
+				var segSum int64
+				for r, seg := range segs {
+					segSum += seg.length
+					want := buckets[r]
+					if seg.records != int64(len(want)) {
+						t.Fatalf("flush %d reducer %d: %d records, want %d", flush, r, seg.records, len(want))
+					}
+					var raw int64
+					for i := range want {
+						raw += pairBytes(want[i].Key, want[i].Val)
+					}
+					if seg.raw != raw {
+						t.Fatalf("flush %d reducer %d: raw %d, want %d", flush, r, seg.raw, raw)
+					}
+					rd := newSegReader(seg, 0, nil, nil)
+					for i := range want {
+						k, v, ok, err := rd.next()
+						if err != nil || !ok {
+							t.Fatalf("flush %d reducer %d record %d: ok=%v err=%v", flush, r, i, ok, err)
+						}
+						if string(k) != want[i].Key || !bytes.Equal(v, want[i].Val) {
+							t.Fatalf("flush %d reducer %d record %d: got (%q, %q), want (%q, %q)",
+								flush, r, i, k, v, want[i].Key, want[i].Val)
+						}
+					}
+					if _, _, ok, _ := rd.next(); ok {
+						t.Fatalf("flush %d reducer %d: segment over-reads", flush, r)
+					}
+					// A reset re-reads the segment from the start (retried attempt).
+					rd.reset()
+					if k, _, ok, err := rd.next(); len(want) > 0 && (err != nil || !ok || string(k) != want[0].Key) {
+						t.Fatalf("flush %d reducer %d: reset re-read failed: %q %v %v", flush, r, k, ok, err)
+					}
+				}
+				// Segment lengths tile the flush exactly: no gaps, no overlap.
+				if segSum*3 != total {
+					t.Fatalf("flush %d: segment lengths sum to %d, flush wrote %d", flush, segSum, total/3)
+				}
 			}
-			// A reset re-reads the segment from the start (retried attempt).
-			rd.reset()
-			if k, _, ok, err := rd.next(); len(want) > 0 && (err != nil || !ok || string(k) != want[0].Key) {
-				t.Fatalf("flush %d reducer %d: reset re-read failed: %q %v %v", flush, r, k, ok, err)
-			}
-		}
+		})
 	}
 }
 
 func TestSpillDirCleanupRemovesEverything(t *testing.T) {
 	base := t.TempDir()
 	sd := newSpillDir(base)
-	var enc []byte
 	for i := 0; i < 4; i++ {
 		sf, err := sd.create(fmt.Sprintf("run-%d-*", i))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := sf.writeSpill(testBuckets(), &enc); err != nil {
-			t.Fatal(err)
-		}
+		writeSpillSync(t, sf, testBuckets(), blockcodec.Raw{})
 	}
 	if got := listAll(t, base); len(got) == 0 {
 		t.Fatal("expected run files before cleanup")
@@ -146,6 +170,23 @@ func TestSpillFileDiscard(t *testing.T) {
 	var nilFile *spillFile
 	nilFile.discard() // nil-safe: failed attempts may never have spilled
 	nilFile.close()
+}
+
+// TestSpillDirHonorsTMPDIR: with Config.SpillDir unset the run files must
+// land under $TMPDIR (via os.TempDir), not a hardcoded /tmp — operators
+// point TMPDIR at the scratch disk that can actually hold a shuffle.
+func TestSpillDirHonorsTMPDIR(t *testing.T) {
+	base := t.TempDir()
+	t.Setenv("TMPDIR", base)
+	sd := newSpillDir("")
+	defer sd.cleanup()
+	sf, err := sd.create("run-m-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel, err := filepath.Rel(base, sf.path); err != nil || strings.HasPrefix(rel, "..") {
+		t.Errorf("spill file %q is outside TMPDIR %q", sf.path, base)
+	}
 }
 
 func TestSpillDirLazyCreation(t *testing.T) {

@@ -57,6 +57,20 @@ const (
 	// reduce attempt externally aggregating a group that exceeded its
 	// memory (§3.2 skew penalty). Bytes is the exact encoded run size.
 	EvSpill = "spill"
+	// EvSpillFlush is fired once per map-side spill flush when the flush's
+	// background write has completed (at the attempt's writer join).
+	// Attempts that crashed or aborted emit none — their writes are
+	// discarded with them; attempts that completed and were only then
+	// timeout-killed or lost a speculative race did write, and their
+	// events stand. Bytes is the framed, block-compressed size physically
+	// written — the on-disk counterpart of the preceding EvSpill's
+	// pre-compression Bytes — and Records the flush's record count.
+	EvSpillFlush = "spill-flush"
+	// EvMergePass reports one intermediate fan-in merge: a reduce task
+	// with more live runs than Config.MergeFanIn merged a group of them
+	// into a new on-disk run before streaming its final merge. Records and
+	// Bytes are the merged run's record count and compressed size.
+	EvMergePass = "merge-pass"
 	// EvTaskSuccess closes a task: output Records/Bytes and simulated
 	// CPUSeconds of the successful attempt.
 	EvTaskSuccess = "task-success"

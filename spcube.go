@@ -192,6 +192,8 @@ type config struct {
 	trace       io.Writer
 	spillBudget int64
 	spillDir    string
+	spillCodec  string
+	mergeFanIn  int
 }
 
 // engineConfig converts the facade configuration into the engine's,
@@ -212,6 +214,8 @@ func (c *config) engineConfig() (mr.Config, error) {
 		TaskTimeout:      c.taskTimeout,
 		SpillBudgetBytes: c.spillBudget,
 		SpillDir:         c.spillDir,
+		SpillCodec:       c.spillCodec,
+		MergeFanIn:       c.mergeFanIn,
 	}
 	if c.trace != nil {
 		cfg.Tracer = mr.NewJSONLTracer(c.trace)
@@ -291,6 +295,23 @@ func SpillBudget(bytes int64) Option { return func(c *config) { c.spillBudget = 
 // failure). Empty (the default) uses the operating system's temp dir.
 func SpillDir(dir string) Option { return func(c *config) { c.spillDir = dir } }
 
+// SpillCodec selects the block compression codec for spill run files
+// written under the SpillBudget option: "raw" (no compression) or "lz"
+// (an LZ77-family byte compressor). Empty (the default) means "raw". The
+// computed cube and every deterministic statistic except the spilled byte
+// counts are identical under any codec; an unknown name surfaces as an
+// error from Compute.
+func SpillCodec(name string) Option { return func(c *config) { c.spillCodec = name } }
+
+// MergeFanIn caps how many spill runs a reducer merges at once (the analog
+// of Hadoop's io.sort.factor, default 64): when a tiny SpillBudget produces
+// more runs than the cap, contiguous groups are first merged into
+// intermediate on-disk runs, repeating until at most MergeFanIn remain.
+// The computed cube and reducer input are byte-identical at any fan-in;
+// only Stats.MergePasses and the simulated I/O cost change. Values below 2
+// are raised to 2.
+func MergeFanIn(n int) Option { return func(c *config) { c.mergeFanIn = n } }
+
 // Trace streams the simulated cluster's structured lifecycle events — round
 // start/end, task attempt start/success/failure/retry, shuffle, spill,
 // fault injection — to w as JSON lines (one mr.TraceEvent per line). The
@@ -328,10 +349,16 @@ type Stats struct {
 	WastedBytes      int64
 	// Spills is the number of spill events (map-side run-file flushes under
 	// the SpillBudget option plus reduce-side external aggregations), and
-	// SpillBytes the exact encoded bytes they wrote. Both zero when nothing
+	// SpillBytes the exact front-coded bytes they encoded (before block
+	// compression). CompressedSpillBytes is what physically hit disk after
+	// the SpillCodec ran — equal to the framed raw size under "raw", smaller
+	// under "lz" on compressible data. MergePasses counts intermediate
+	// fan-in merges forced by the MergeFanIn cap. All zero when nothing
 	// spilled.
-	Spills     int64
-	SpillBytes int64
+	Spills               int64
+	SpillBytes           int64
+	CompressedSpillBytes int64
+	MergePasses          int64
 	// MapReexecutions is the number of completed map tasks re-run because a
 	// node crash lost their output, and FetchFailures the lost map outputs
 	// the reducers observed. SpeculativeLaunched/Won/Killed count straggler
@@ -361,6 +388,9 @@ func statsFromRun(run *cube.Run) Stats {
 		WastedBytes:      run.Metrics.WastedBytes(),
 		Spills:           run.Metrics.Spills(),
 		SpillBytes:       run.Metrics.SpillBytes(),
+
+		CompressedSpillBytes: run.Metrics.CompressedSpillBytes(),
+		MergePasses:          run.Metrics.MergePasses(),
 
 		MapReexecutions:     run.Metrics.MapReexecutions(),
 		FetchFailures:       run.Metrics.FetchFailures(),
