@@ -2,12 +2,13 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race retry-race fuzz-smoke chaos bench \
-	bench-json bench-delta bench-spill bench-hotpath bench-hotpath-json \
-	bench-compare serve-smoke cover-serve cover-delta delta-soak soak-scale lint
+.PHONY: check fmt vet build test race retry-race fuzz-smoke chaos chaos-proc \
+	proc-smoke bench bench-json bench-delta bench-spill bench-hotpath \
+	bench-hotpath-json bench-compare serve-smoke cover-serve cover-delta \
+	delta-soak soak-scale lint
 
-check: fmt vet race fuzz-smoke chaos serve-smoke cover-serve cover-delta \
-	delta-soak bench-spill
+check: fmt vet race fuzz-smoke chaos proc-smoke chaos-proc serve-smoke \
+	cover-serve cover-delta delta-soak bench-spill
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -48,6 +49,20 @@ fuzz-smoke:
 # differentially validated against the brute-force cube.
 chaos:
 	$(GO) test -count=1 -run TestChaosRandomFaultPlans ./internal/integration
+
+# Execution-backend equivalence gate: every algorithm x fault plan on the
+# proc backend — real worker processes, node crashes delivered as real
+# SIGKILLs — must produce byte-identical output and volatile-stripped
+# metrics vs the local backend, plus the differential oracle check and the
+# cancellation/reap contract.
+proc-smoke:
+	$(GO) test -count=1 -run 'TestBackendDeterminismProc|TestBackendDifferentialProc|TestContextCancelProc' ./internal/mr/exec
+
+# Randomized kill soak for the proc backend: SIGKILL worker processes at
+# random moments mid-run; every run must either recover to the exact
+# brute-force cube or fail plainly, leaking no processes or socket dirs.
+chaos-proc:
+	$(GO) test -count=1 -run TestChaosProcKillSoak ./internal/mr/exec
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

@@ -30,21 +30,33 @@
 //	spbench -exp fig6 -metrics-out BENCH_fig6.json
 //	spbench -validate BENCH_fig6.json
 //	spbench -exp all -pprof localhost:6060
+//
+// Execution backends: -backend proc runs every experiment engine against
+// real worker processes (one per simulated machine, with heartbeats, RPC
+// deadlines and crash recovery) instead of in-process goroutines. Figures
+// are identical across backends; comparing wall-clock between -backend
+// local and -backend proc measures the process-isolation overhead:
+//
+//	spbench -exp fig6 -backend proc
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"github.com/spcube/spcube/internal/bench"
 	"github.com/spcube/spcube/internal/cleanup"
 	"github.com/spcube/spcube/internal/mr"
+	"github.com/spcube/spcube/internal/mr/exec"
 	"github.com/spcube/spcube/internal/obs"
 )
 
 func main() {
+	exec.MaybeWorkerMain() // proc-backend workers: spbench re-executes itself
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
@@ -76,6 +88,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		valDelta   = fs.String("validate-delta", "", "validate a delta-benchmark JSON document (including the speedup floor) and exit")
 		spillOut   = fs.String("spill-out", "", "run the spill-pipeline benchmark (async+lz pipeline vs sync raw baseline) and write its JSON document to this file")
 		valSpill   = fs.String("validate-spill", "", "validate a spill-benchmark JSON document (including the speedup and bytes-reduction floors) and exit")
+		backend    = fs.String("backend", "local", "execution backend: local (simulated nodes are goroutines) or proc (one real worker process per node); figures are identical across backends")
+		workerCmd  = fs.String("worker-cmd", "", "worker argv for -backend proc, space-separated (default: this binary re-executes itself)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -222,6 +236,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// an interrupt can remove them: deferred engine cleanup never executes
 	// when a signal kills the process mid-run.
 	dir := *spillDir
+	teardown := func() {}
 	if budget > 0 {
 		root, err := os.MkdirTemp(dir, "spbench-*")
 		if err != nil {
@@ -230,15 +245,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		dir = root
 		defer os.RemoveAll(root)
-		stop := cleanup.OnSignal(func() { os.RemoveAll(root) }, os.Exit)
-		defer stop()
+		teardown = func() { os.RemoveAll(root) }
 	}
+
+	// Two-stage interrupt handling: the first SIGINT/SIGTERM cancels the
+	// sweep's context (reaping proc-backend workers through the deferred
+	// Close), a second forces teardown and exit.
+	ctx, stopSig := cleanup.NotifyContext(context.Background(), teardown, os.Exit)
+	defer stopSig()
 
 	cfg := bench.Config{Workers: *workers, Seed: *seed, Scale: *scale, Parallelism: *par,
 		Faults: plan, MaxAttempts: *maxAtt,
 		SpeculativeSlack: *specSlack, TaskTimeout: *taskTO,
 		SpillBudgetBytes: budget, SpillDir: dir,
-		SpillCodec: *spillCodec, MergeFanIn: *mergeFanIn}
+		SpillCodec: *spillCodec, MergeFanIn: *mergeFanIn,
+		Context: ctx}
+
+	switch *backend {
+	case "", "local":
+	case "proc":
+		var opts exec.Options
+		if *workerCmd != "" {
+			opts.WorkerCommand = strings.Fields(*workerCmd)
+		}
+		p := exec.NewProc(opts)
+		defer p.Close()
+		cfg.Executor = p
+	default:
+		fmt.Fprintf(stderr, "-backend %s: want local or proc\n", *backend)
+		return 2
+	}
 
 	var col bench.Collector
 	if *metricsOut != "" {

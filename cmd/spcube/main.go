@@ -55,6 +55,19 @@
 //	spcube -in big.csv -spill-budget 65536 -spill-codec lz
 //	spcube -in big.csv -spill-budget 1024 -merge-fan-in 8
 //
+// Execution backends: -backend local (the default) executes the simulated
+// cluster's tasks as goroutines inside this process; -backend proc runs
+// one real worker process per simulated node — spawned by re-executing
+// this binary (override with -worker-cmd, e.g. a cmd/spworker build) —
+// with heartbeat liveness, RPC deadlines and crash recovery that SIGKILLs
+// and respawns actual OS processes. A node-crash fault under proc kills a
+// real process. The cube and all simulated statistics are byte-identical
+// across backends; only the health counters (heartbeat misses, worker
+// restarts, RPC retries) and wall-clock time differ:
+//
+//	spcube -in sales.csv -backend proc
+//	spcube -in sales.csv -backend proc -faults '*:node:1:node-crash'  # real SIGKILL
+//
 // Observability: -trace FILE streams the simulated cluster's structured
 // lifecycle events as JSON lines, -metrics-out FILE writes the run's full
 // per-round metrics as a versioned JSON document, and -pprof ADDR serves
@@ -77,6 +90,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"errors"
 	"flag"
@@ -85,6 +99,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 
 	"github.com/spcube/spcube"
 	"github.com/spcube/spcube/internal/agg"
@@ -93,6 +108,7 @@ import (
 	"github.com/spcube/spcube/internal/delta"
 	"github.com/spcube/spcube/internal/lattice"
 	"github.com/spcube/spcube/internal/mr"
+	"github.com/spcube/spcube/internal/mr/exec"
 	"github.com/spcube/spcube/internal/obs"
 	"github.com/spcube/spcube/internal/relation"
 )
@@ -103,6 +119,7 @@ import (
 // run so deferred cleanup (output flush, trace close, pprof shutdown, spill
 // temp removal) always executes before the process exits.
 func main() {
+	exec.MaybeWorkerMain() // proc-backend workers: spcube re-executes itself
 	os.Exit(realMain())
 }
 
@@ -131,6 +148,8 @@ func realMain() int {
 	flag.StringVar(&o.spillCodec, "spill-codec", "raw", "block compression codec for spill run files: raw or lz; the cube is identical under any codec")
 	flag.IntVar(&o.mergeFanIn, "merge-fan-in", 0, "cap on runs merged at once by a reducer (0 = engine default, 64; minimum 2); excess runs are first merged into intermediate on-disk runs")
 	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof and /debug/runtime on this address (e.g. localhost:6060)")
+	flag.StringVar(&o.backend, "backend", "local", "execution backend: local (simulated nodes are goroutines) or proc (one real worker process per node, with heartbeats, RPC deadlines and crash recovery); the cube is byte-identical across backends")
+	flag.StringVar(&o.workerCmd, "worker-cmd", "", "worker argv for -backend proc, space-separated (default: this binary re-executes itself; cmd/spworker is a standalone alternative)")
 	flag.Parse()
 
 	// Map the flag's surface to the engine's: -1 = never spill (engine 0),
@@ -148,8 +167,9 @@ func realMain() int {
 	}
 
 	// With spilling enabled, run files live under a CLI-owned temp root so
-	// an interrupt can remove them: deferred engine cleanup never executes
+	// a forced exit can remove them: deferred engine cleanup never executes
 	// when a signal kills the process mid-run.
+	teardown := func() {}
 	if o.spillBudget > 0 {
 		root, err := os.MkdirTemp(o.spillDir, "spcube-*")
 		if err != nil {
@@ -158,9 +178,16 @@ func realMain() int {
 		}
 		o.spillDir = root
 		defer os.RemoveAll(root)
-		stop := cleanup.OnSignal(func() { os.RemoveAll(root) }, os.Exit)
-		defer stop()
+		teardown = func() { os.RemoveAll(root) }
 	}
+
+	// Two-stage interrupt handling: the first SIGINT/SIGTERM cancels the
+	// run's context — in-flight rounds stop at the next attempt boundary,
+	// proc-backend workers are reaped, deferred cleanup runs — and a second
+	// signal forces the teardown-and-exit path.
+	ctx, stopSig := cleanup.NotifyContext(context.Background(), teardown, os.Exit)
+	defer stopSig()
+	o.ctx = ctx
 
 	if err := run(o, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "spcube:", err)
@@ -208,6 +235,9 @@ type options struct {
 	spillCodec       string
 	mergeFanIn       int
 	pprofAddr        string
+	backend          string
+	workerCmd        string
+	ctx              context.Context
 }
 
 func run(o options, stderr io.Writer) error {
@@ -260,6 +290,11 @@ func run(o options, stderr io.Writer) error {
 		spcube.SpillDir(o.spillDir),
 		spcube.SpillCodec(o.spillCodec),
 		spcube.MergeFanIn(o.mergeFanIn),
+		spcube.Backend(o.backend),
+		spcube.Context(o.ctx),
+	}
+	if o.workerCmd != "" {
+		opts = append(opts, spcube.WorkerCommand(strings.Fields(o.workerCmd)...))
 	}
 	if o.traceFile != "" {
 		tf, err := os.Create(o.traceFile)
@@ -346,6 +381,11 @@ func runDelta(o options, stderr io.Writer) error {
 	if o.in == "" {
 		return usageError{fmt.Errorf("-delta mode needs -in (the base relation cannot come from stdin alongside the batch)")}
 	}
+	if o.backend == "proc" {
+		// Maintenance jobs are small and frequent — per-job worker-process
+		// spawn costs dwarf the work (see delta.Config.Context).
+		fmt.Fprintln(stderr, "spcube: -backend proc is ignored in delta mode; maintenance engines run the local backend")
+	}
 	rel, schema, err := readCSVRel(o.in)
 	if err != nil {
 		return err
@@ -367,6 +407,7 @@ func runDelta(o options, stderr io.Writer) error {
 		SpillCodec:       o.spillCodec,
 		MergeFanIn:       o.mergeFanIn,
 		RebuildThreshold: o.rebuildThr,
+		Context:          o.ctx,
 	}
 	if o.traceFile != "" {
 		tf, err := os.Create(o.traceFile)

@@ -1,0 +1,41 @@
+// Command spworker is the execution-backend worker process for the proc
+// backend (-backend=proc on spcube/spbench). One spworker runs per
+// simulated failure domain: it answers the parent's attempt, storage and
+// heartbeat RPCs over a unix socket, and its death — a SIGKILL delivered
+// for a node-crash fault, or a real crash — makes exactly those RPCs fail,
+// driving the engine's genuine recovery paths.
+//
+// Normally spcube and spbench re-execute themselves as workers, so this
+// binary is not needed; it exists for running workers as a distinct
+// executable (e.g. a minimal deployment image, or attaching tooling to the
+// worker process only):
+//
+//	spcube -in sales.csv -backend proc -worker-cmd /path/to/spworker
+//
+// The socket path and node index arrive via SPCUBE_WORKER_SOCKET and
+// SPCUBE_WORKER_NODE (set by the parent), or via the -socket and -node
+// flags when driving a worker by hand.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/spcube/spcube/internal/mr/exec"
+)
+
+func main() {
+	exec.MaybeWorkerMain() // parent-spawned: env carries the identity
+	socket := flag.String("socket", "", "unix socket path to listen on")
+	node := flag.Int("node", 0, "failure-domain index this worker serves")
+	flag.Parse()
+	if *socket == "" {
+		fmt.Fprintln(os.Stderr, "spworker: no socket: set -socket or SPCUBE_WORKER_SOCKET")
+		os.Exit(2)
+	}
+	if err := exec.ServeWorker(*socket, *node); err != nil {
+		fmt.Fprintf(os.Stderr, "spworker node %d: %v\n", *node, err)
+		os.Exit(1)
+	}
+}

@@ -13,6 +13,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -72,6 +73,15 @@ type Config struct {
 	// with the run's full per-round metrics — the raw material of the
 	// machine-readable metrics document (see MetricsDoc).
 	Collect func(RunRecord)
+	// Executor, when set, runs every experiment engine on that execution
+	// backend (e.g. exec.Proc for real worker processes) instead of the
+	// in-process local backend. Figures are identical across backends;
+	// only wall-clock and the health counters change. The executor is
+	// shared by all runs and closed by the caller.
+	Executor mr.Executor
+	// Context, when set, cancels in-flight experiments: the sweep stops at
+	// the next engine attempt boundary and the run reports a DNF.
+	Context context.Context
 }
 
 func (c *Config) defaults() {
@@ -148,7 +158,7 @@ func (c Config) engineConfig() mr.Config {
 		SpeculativeSlack: c.SpeculativeSlack, TaskTimeout: c.TaskTimeout,
 		SpillBudgetBytes: c.SpillBudgetBytes, SpillDir: c.SpillDir,
 		SpillCodec: c.SpillCodec, MergeFanIn: c.MergeFanIn,
-		Tracer: c.Tracer}
+		Tracer: c.Tracer, Executor: c.Executor, Context: c.Context}
 }
 
 // runOne executes one algorithm on one relation with a fresh engine.

@@ -75,7 +75,7 @@ func TestValidateMetricsJSONAcceptsVersionRange(t *testing.T) {
 	const shell = `{"schemaVersion":%d,"tool":"x","experiment":"y","workers":1,"seed":1,"scale":1,` +
 		`"environment":{"goVersion":"go"},"figures":[],` +
 		`"runs":[{"algo":"a","inputTuples":1,"metrics":{"schemaVersion":%d,"rounds":[]}}]}`
-	cases := []struct{ top, run int }{{2, 2}, {3, 3}, {4, 4}, {5, 5}, {3, 2}, {2, 3}, {4, 2}, {2, 4}, {5, 2}, {2, 5}}
+	cases := []struct{ top, run int }{{2, 2}, {3, 3}, {4, 4}, {5, 5}, {6, 6}, {3, 2}, {2, 3}, {4, 2}, {2, 4}, {5, 2}, {2, 5}, {6, 2}, {2, 6}}
 	for _, c := range cases {
 		doc := fmt.Sprintf(shell, c.top, c.run)
 		if err := ValidateMetricsJSON([]byte(doc)); err != nil {
@@ -83,15 +83,15 @@ func TestValidateMetricsJSONAcceptsVersionRange(t *testing.T) {
 		}
 	}
 	// Out-of-range versions are named together with the accepted range.
-	for _, bad := range []int{1, 6} {
+	for _, bad := range []int{1, 7} {
 		err := ValidateMetricsJSON([]byte(fmt.Sprintf(shell, bad, 2)))
 		if err == nil || !strings.Contains(err.Error(), fmt.Sprintf("schemaVersion %d", bad)) ||
-			!strings.Contains(err.Error(), "accepted range 2..5") {
+			!strings.Contains(err.Error(), "accepted range 2..6") {
 			t.Errorf("top-level v%d: error %v does not name version and range", bad, err)
 		}
 		err = ValidateMetricsJSON([]byte(fmt.Sprintf(shell, 3, bad)))
 		if err == nil || !strings.Contains(err.Error(), fmt.Sprintf("schemaVersion %d", bad)) ||
-			!strings.Contains(err.Error(), "accepted range 2..5") {
+			!strings.Contains(err.Error(), "accepted range 2..6") {
 			t.Errorf("run v%d: error %v does not name version and range", bad, err)
 		}
 	}

@@ -5,10 +5,15 @@
 // exits the process immediately, leaking whatever the deferred calls
 // would have removed. OnSignal installs a handler that runs the given
 // teardown first and then exits with the conventional 128+signum status,
-// so an interrupted run leaves no spill directories behind.
+// so an interrupted run leaves no spill directories behind. NotifyContext
+// adds a graceful stage in front: the first signal cancels a context so
+// the engine can unwind cleanly (reaping worker processes and running the
+// deferred cleanup on the normal return path), and only a second signal
+// forces the teardown-and-exit path.
 package cleanup
 
 import (
+	"context"
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,6 +44,43 @@ func OnSignal(fn func(), exit func(code int), sigs ...os.Signal) (stop func()) {
 		signal.Stop(ch)
 		close(ch)
 		<-done
+	}
+}
+
+// NotifyContext installs a two-stage interrupt handler: the first SIGINT
+// or SIGTERM cancels the returned context — the engine stops in-flight
+// rounds at the next attempt boundary, worker processes are reaped, and
+// the CLI's deferred cleanup runs on the normal return path — while a
+// second signal gives up on graceful shutdown, runs fn (the last-resort
+// teardown, e.g. removing the spill root) and exits with 128+signum.
+// The returned stop uninstalls the handler and must be called (deferred)
+// before the process returns normally.
+func NotifyContext(parent context.Context, fn func(), exit func(code int), sigs ...os.Signal) (ctx context.Context, stop func()) {
+	if len(sigs) == 0 {
+		sigs = []os.Signal{os.Interrupt, syscall.SIGTERM}
+	}
+	cctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, sigs...)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, ok := <-ch; !ok {
+			return
+		}
+		cancel()
+		sig, ok := <-ch
+		if !ok {
+			return
+		}
+		fn()
+		exit(128 + signum(sig))
+	}()
+	return cctx, func() {
+		signal.Stop(ch)
+		close(ch)
+		<-done
+		cancel()
 	}
 }
 

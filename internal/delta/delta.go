@@ -31,6 +31,7 @@
 package delta
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -95,6 +96,11 @@ type Config struct {
 	// maint-start/maint-end cycle events (numbered by the maintainer's own
 	// sequence counter; engine sequences restart per cycle).
 	Tracer mr.Tracer
+	// Context, when set, cancels in-flight maintenance jobs: Apply returns
+	// the context's error at the next attempt boundary. Maintenance engines
+	// always run the local execution backend — delta jobs are small and
+	// frequent, a poor fit for per-job worker-process spawn costs.
+	Context context.Context
 }
 
 // Batch is one maintenance batch: tuples to append and tuples to delete.
@@ -544,6 +550,7 @@ func (m *Maintainer) runOne(fn cube.ComputeFunc, rel *relation.Relation, f agg.F
 		SpillCodec:       m.cfg.SpillCodec,
 		MergeFanIn:       m.cfg.MergeFanIn,
 		Tracer:           m.cfg.Tracer,
+		Context:          m.cfg.Context,
 	}, dfs.New(false))
 	run, err := fn(eng, rel, cube.Spec{Agg: f})
 	if err != nil {

@@ -26,6 +26,9 @@ func zeroWall(m mr.JobMetrics) mr.JobMetrics {
 		r := &out.Rounds[i]
 		r.WallSeconds = 0
 		r.SpillWriteStallNs, r.PrefetchHits, r.PrefetchMisses = 0, 0, 0
+		// Execution-backend health counters: volatile under the proc
+		// backend (real crash recovery does not replay identically).
+		r.HeartbeatMisses, r.WorkerRestarts, r.RPCRetries = 0, 0, 0
 		r.Mappers = append([]mr.TaskMetrics(nil), r.Mappers...)
 		r.Reducers = append([]mr.TaskMetrics(nil), r.Reducers...)
 		for j := range r.Mappers {

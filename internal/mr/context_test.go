@@ -1,0 +1,150 @@
+package mr
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/spcube/spcube/internal/dfs"
+	"github.com/spcube/spcube/internal/relation"
+)
+
+// countJob is a minimal word-count job for the cancellation tests; onMap,
+// when non-nil, runs on every mapped tuple (the mid-run cancellation hook).
+func countJob(onMap func()) *Job {
+	return &Job{
+		Name: "ctxcount",
+		MapTuple: func(ctx *MapCtx, tp relation.Tuple) {
+			if onMap != nil {
+				onMap()
+			}
+			ctx.Emit(fmt.Sprintf("word-%c", 'a'+rune(tp.Dims[0])%26), binary.AppendVarint(nil, 1))
+		},
+		Reduce: func(ctx *RedCtx, key string, vals [][]byte) {
+			var total int64
+			for _, v := range vals {
+				n, _ := binary.Varint(v)
+				total += n
+			}
+			ctx.EmitKV(key, binary.AppendVarint(nil, total))
+		},
+	}
+}
+
+// assertNoGoroutineGrowth fails the test if the goroutine count stays above
+// the baseline after a short settling window — the leak probe for abandoned
+// task goroutines on the cancellation path.
+func assertNoGoroutineGrowth(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), base)
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestContextPreCancelled pins the error contract: a run under an
+// already-cancelled context returns the context's own error, unwrapped —
+// not dressed up as a task failure ("failed after N attempts") — and runs
+// no user code.
+func TestContextPreCancelled(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	mapped := false
+	tuples, _ := tuplesFromWords(spillWords())
+	eng := New(Config{Workers: 4, Parallelism: 4, Context: ctx}, dfs.New(false))
+	_, err := eng.RunTuples(countJob(func() { mapped = true }), tuples)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if strings.Contains(fmt.Sprint(err), "attempts") {
+		t.Errorf("cancellation dressed up as a task failure: %v", err)
+	}
+	if mapped {
+		t.Error("map function ran under a pre-cancelled context")
+	}
+	assertNoGoroutineGrowth(t, base)
+}
+
+// TestContextMidRunCancel cancels from inside a map function — the
+// SIGINT-arrives-mid-round shape — and asserts the run unwinds promptly
+// with the context's error and leaks no task goroutines.
+func TestContextMidRunCancel(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for _, par := range []int{1, 8} {
+		t.Run(fmt.Sprintf("p%d", par), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			tuples, _ := tuplesFromWords(spillWords())
+			eng := New(Config{Workers: 4, Parallelism: par, Context: ctx}, dfs.New(false))
+			_, err := eng.RunTuples(countJob(cancel), tuples)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+		})
+	}
+	assertNoGoroutineGrowth(t, base)
+}
+
+// TestContextCancelWithSpill cancels mid-run with the out-of-core shuffle
+// active and asserts the spill directory is removed — the deferred cleanup
+// must run on the cancellation path too.
+func TestContextCancelWithSpill(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	dir := t.TempDir()
+	tuples, _ := tuplesFromWords(spillWords())
+	eng := New(Config{Workers: 4, Parallelism: 4, Context: ctx,
+		SpillBudgetBytes: 1, SpillDir: dir}, dfs.New(false))
+	_, err := eng.RunTuples(countJob(cancel), tuples)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if files := filesUnderDir(t, dir); len(files) != 0 {
+		t.Errorf("cancelled run leaked spill files: %v", files)
+	}
+}
+
+// filesUnderDir lists every file under dir recursively — the spill-leak
+// probe for the cancellation path.
+func filesUnderDir(t *testing.T, dir string) []string {
+	t.Helper()
+	var out []string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if path != dir {
+			out = append(out, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestContextNilIsUncancellable pins the default: a nil Context means no
+// cancellation checks, and the run completes normally.
+func TestContextNilIsUncancellable(t *testing.T) {
+	tuples, _ := tuplesFromWords(spillWords())
+	eng := New(Config{Workers: 4, Parallelism: 4}, dfs.New(false))
+	if _, err := eng.RunTuples(countJob(nil), tuples); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -52,8 +52,10 @@
 package mr
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -187,6 +189,26 @@ type Config struct {
 	// inline on the task goroutine, with no encode/I-O overlap. The
 	// pipeline's benchmark baseline, and a debugging aid.
 	SpillSync bool
+	// SpillWriteWrapper, when set, wraps every spill run file's writer —
+	// the fault-injection hook for the disk plane. A wrapper that returns
+	// ENOSPC, another write error, or a silent short write makes the
+	// owning attempt fail with a clean, retryable task error instead of a
+	// panic or a truncated run. Test-only; nil in production.
+	SpillWriteWrapper func(w io.Writer) io.Writer
+	// Executor selects the execution backend attempts are dispatched
+	// through: nil — the default — is the in-process local backend (the
+	// goroutine pool above, with node crashes fully simulated); the proc
+	// backend (internal/mr/exec) backs each failure domain with a real
+	// worker process and realizes node-crash faults by SIGKILLing it.
+	// Output is byte-identical across backends: see the Executor interface
+	// for the determinism argument.
+	Executor Executor
+	// Context, when non-nil, cancels the run: it is checked at phase
+	// boundaries and between task attempts, so SIGINT-driven cancellation
+	// stops a round in bounded time — in-flight rounds included — rather
+	// than only between rounds. A canceled run returns the context's
+	// error, plainly (not retryable, not a fault).
+	Context context.Context
 }
 
 // Job describes one MapReduce round. Exactly one of MapTuple and MapPair
@@ -658,13 +680,50 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 	nodes := e.nodeCount()
 	dead := e.deadNodes(round, nodes)
 
+	// Execution backend: the engine makes every scheduling decision and the
+	// backend realizes it (see Executor). down is the backend's own set of
+	// permanently unusable nodes — workers it could not respawn within the
+	// restart budget — whose tasks drain onto live nodes through the same
+	// placeLive probe the simulated crashes use; it is nil under the local
+	// backend, so nothing below changes behavior there. A backend with no
+	// usable node at all fails the round plainly instead of hanging.
+	if cerr := e.cancelErr(); cerr != nil {
+		return nil, cerr
+	}
+	rex, down, execErr := e.executor().RoundStart(round, nodes, dead, RoundHooks{Trace: tr.backendEvent})
+	if execErr != nil {
+		rm.Failed = true
+		rm.FailReason = fmt.Sprintf("execution backend: %v", execErr)
+		rm.finalize(e.Cfg.Cost)
+		rm.WallSeconds = time.Since(start).Seconds()
+		tr.roundEnd(rm)
+		return res, fmt.Errorf("mr: job %s: execution backend: %w", job.Name, execErr)
+	}
+	// finishRound closes the round on every exit path: collect the
+	// backend's health counters (volatile; zero under the local backend),
+	// finalize the metrics, and emit the round-end event.
+	finishRound := func() {
+		st := rex.RoundEnd()
+		rm.finalize(e.Cfg.Cost)
+		rm.HeartbeatMisses = st.HeartbeatMisses
+		rm.WorkerRestarts = st.WorkerRestarts
+		rm.RPCRetries = st.RPCRetries
+		rm.WallSeconds = time.Since(start).Seconds()
+		if st.RPCRetries > 0 {
+			// Volatile by nature (real transport flakiness does not replay);
+			// emitted from the run goroutine so the sequence stays ordered.
+			tr.event(TraceEvent{Type: EvRPCRetry, Records: st.RPCRetries})
+		}
+		tr.roundEnd(rm)
+	}
+
 	// Out-of-core spill lifecycle: all of the round's run files live in
 	// one lazily created directory, removed wholesale when the round ends.
 	// Individual files of failed, killed, speculation-losing or
 	// node-crash-lost attempts are deleted eagerly below; the deferred
 	// cleanup is the backstop that makes leaks impossible on any exit
 	// path, error returns included.
-	sd := newSpillDir(e.Cfg.SpillDir)
+	sd := newSpillDir(e.Cfg.SpillDir, e.Cfg.SpillWriteWrapper)
 	defer sd.cleanup()
 
 	// Map phase. Tasks run on the worker pool; each partitions its own
@@ -679,16 +738,21 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 	mapOuts := make([]mapOutput, e.Cfg.Workers)
 	mapErrs := make([]error, e.Cfg.Workers)
 	mapWinner := make([]int, e.Cfg.Workers) // winning attempt index: decides output placement
+	mapNode := make([]int, e.Cfg.Workers)   // the node the winning attempt ran on and stored its output
 	tr.startPhase(e.Cfg.Workers)
 	e.forEachTask(e.Cfg.Workers, func(task int) {
 		var wasted int64
 		var retryWall float64
 		for attempt := 0; ; attempt++ {
+			if cerr := e.cancelErr(); cerr != nil {
+				mapErrs[task] = cerr
+				return
+			}
 			tstart := time.Now()
 			inj := e.injectorFor(round, PhaseMap, task, attempt)
 			tr.attemptStart(PhaseMap, task, attempt, inj)
 			ctx := e.newMapCtx(job, task, attempt, inj, reducers, partition, sd, codec, tr)
-			mout, err := e.mapAttempt(job, ctx, task, feed)
+			node, mout, err := e.runMapAttempt(rex, job, ctx, round, task, attempt, down, nodes, feed)
 			if err == nil {
 				stall := inj.simDelay()
 				if kill := e.timeoutKill(PhaseMap, task, attempt, stall); kill != nil {
@@ -696,11 +760,11 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 					err = kill           // discard the attempt and fall through to retry
 				} else {
 					ctx.metrics.WallSeconds = time.Since(tstart).Seconds()
-					winCtx, winOut, winAttempt := ctx, mout, attempt
+					winCtx, winOut, winAttempt, winNode := ctx, mout, attempt, node
 					var sp specOutcome
 					if e.Cfg.SpeculativeSlack > 0 && stall > e.Cfg.SpeculativeSlack {
-						winCtx, winOut, winAttempt, sp = e.speculateMap(
-							job, round, task, attempt, feed, reducers, partition, sd, codec, ctx, mout, stall, tr)
+						winCtx, winOut, winAttempt, winNode, sp = e.speculateMap(
+							job, round, task, attempt, node, feed, reducers, partition, sd, codec, ctx, mout, stall, rex, down, nodes, tr)
 					}
 					m := &winCtx.metrics
 					m.Attempts = int64(attempt+1) + sp.launched
@@ -712,12 +776,13 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 					m.SpeculativeWallSeconds = sp.wall
 					rm.Mappers[task] = *m
 					mapWinner[task] = winAttempt
+					mapNode[task] = winNode
 					mapOuts[task] = winOut
 					tr.taskSuccess(PhaseMap, task, winAttempt, &rm.Mappers[task])
 					return
 				}
 			}
-			retryable := isFaultError(err) || isKillError(err)
+			retryable := retryableErr(err)
 			if retryable {
 				wasted += ctx.metrics.PreCombineBytes
 				retryWall += time.Since(tstart).Seconds()
@@ -738,16 +803,14 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 	tr.flushPhase()
 	for task := 0; task < e.Cfg.Workers; task++ {
 		if err := mapErrs[task]; err != nil {
-			if isFaultError(err) || isKillError(err) {
+			if retryableErr(err) {
 				rm.Failed = true
 				rm.FailReason = fmt.Sprintf("map task %d failed after %d attempts: %v",
 					task, rm.Mappers[task].Attempts, err)
 				err = fmt.Errorf("mr: job %s: map task %d failed after %d attempts: %w",
 					job.Name, task, rm.Mappers[task].Attempts, err)
 			}
-			rm.finalize(e.Cfg.Cost)
-			rm.WallSeconds = time.Since(start).Seconds()
-			tr.roundEnd(rm)
+			finishRound()
 			return res, err
 		}
 	}
@@ -758,19 +821,32 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 	// continuing the attempt numbering with a fresh budget — before the
 	// shuffle hand-off. Re-executed output is byte-identical (the
 	// re-entrancy contract), so only the recovery counters change.
+	//
+	// The backend realizes the planned deaths first — the proc backend
+	// SIGKILLs the doomed worker processes and waits for them to die — and
+	// then every winning map output is probed through it, so under the proc
+	// backend "lost" means the fetch RPC genuinely failed against a dead
+	// process. The local backend's probe reproduces the historical
+	// stored-on-dead-node check bit for bit, and CrashNodes kills exactly
+	// the planDead set, so the lost sets are equal by construction.
 	if dead != nil {
 		for n := 0; n < nodes; n++ {
 			if dead[n] {
 				tr.nodeCrash(n)
 			}
 		}
+	}
+	rex.CrashNodes()
+	// Reduce-side placement drains around both the simulated dead nodes and
+	// the backend's permanently failed workers.
+	redDown := unionDead(dead, down)
+	{
 		var lost []int
 		lostNode := make([]int, e.Cfg.Workers)
 		for task := 0; task < e.Cfg.Workers; task++ {
-			node := PlaceNode(e.Cfg.Seed, round, PhaseMap, task, mapWinner[task], nodes)
-			if dead[node] {
+			if ferr := rex.FetchMapOutput(task, mapWinner[task], mapNode[task]); ferr != nil {
 				lost = append(lost, task)
-				lostNode[task] = node
+				lostNode[task] = mapNode[task]
 			}
 		}
 		if len(lost) > 0 {
@@ -786,21 +862,19 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 			}
 			tr.startPhase(e.Cfg.Workers)
 			e.forEachTask(len(lost), func(i int) {
-				e.reexecuteMap(job, round, lost[i], feed, reducers, partition, sd, codec, dead, nodes, rm, mapOuts, mapErrs, tr)
+				e.reexecuteMap(rex, job, round, lost[i], feed, reducers, partition, sd, codec, redDown, nodes, rm, mapOuts, mapErrs, tr)
 			})
 			tr.flushPhase()
 			for _, task := range lost {
 				if err := mapErrs[task]; err != nil {
-					if isFaultError(err) || isKillError(err) {
+					if retryableErr(err) {
 						rm.Failed = true
 						rm.FailReason = fmt.Sprintf("map task %d failed after %d attempts: %v",
 							task, rm.Mappers[task].Attempts, err)
 						err = fmt.Errorf("mr: job %s: map task %d failed after %d attempts: %w",
 							job.Name, task, rm.Mappers[task].Attempts, err)
 					}
-					rm.finalize(e.Cfg.Cost)
-					rm.WallSeconds = time.Since(start).Seconds()
-					tr.roundEnd(rm)
+					finishRound()
 					return res, err
 				}
 			}
@@ -955,8 +1029,9 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 				var ferr error
 				runs, ferr = e.fanInMerge(runs, fanIn, sd, task, codec, &base, tr)
 				if ferr != nil {
-					// Spill infrastructure failures are plain errors, not
-					// injected faults: fail the task without retrying.
+					// A fan-in merge failure fails the task without
+					// retrying: the merge happens once, before the attempt
+					// loop, so there is no per-attempt retry to feed it to.
 					base.Attempts = 1
 					rm.Reducers[task] = base
 					redErrs[task] = ferr
@@ -983,6 +1058,11 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 		var wasted int64
 		var retryWall float64
 		for attempt := 0; ; attempt++ {
+			if cerr := e.cancelErr(); cerr != nil {
+				rm.Reducers[task] = base
+				redErrs[task] = cerr
+				return
+			}
 			tstart := time.Now()
 			attemptMetrics := base
 			inj := e.injectorFor(round, PhaseReduce, task, attempt)
@@ -990,10 +1070,20 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 			ctx := e.newRedCtx(job, task, attempt, file, sideFile, &attemptMetrics, inj, sd, codec, tr)
 			fileMark := e.FS.Mark(file)
 			sideMark := e.FS.Mark(sideFile)
-			err := e.nodeKill(round, PhaseReduce, task, attempt, dead, nodes)
+			node, err := e.placeAttempt(round, PhaseReduce, task, attempt, redDown, nodes)
+			if err == nil {
+				if berr := rex.BeginAttempt(PhaseReduce, task, attempt, node); berr != nil {
+					err = &killError{reason: fmt.Sprintf("backend refused attempt: %v", berr), phase: PhaseReduce, task: task, attempt: attempt}
+				}
+			}
 			if err == nil {
 				err = e.reduceAttempt(job, ctx, in, oomMem, inflation)
 				ctx.discardExtSpill()
+				if err == nil {
+					if eerr := rex.EndAttempt(PhaseReduce, task, attempt, node); eerr != nil {
+						err = &killError{reason: fmt.Sprintf("worker lost mid-attempt: %v", eerr), phase: PhaseReduce, task: task, attempt: attempt}
+					}
+				}
 			}
 			if err == nil {
 				stall := inj.simDelay()
@@ -1006,7 +1096,7 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 					if e.Cfg.SpeculativeSlack > 0 && stall > e.Cfg.SpeculativeSlack {
 						win, winCollect, winAttempt, sp = e.speculateReduce(
 							job, round, task, attempt, base, in, oomMem, inflation,
-							file, sideFile, sd, codec, &attemptMetrics, ctx, stall, tr)
+							file, sideFile, sd, codec, &attemptMetrics, ctx, stall, rex, down, nodes, tr)
 					}
 					win.Attempts = int64(attempt+1) + sp.launched
 					win.RetryWallSeconds = retryWall
@@ -1041,6 +1131,12 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 	tr.flushPhase()
 	for task := 0; task < runTasks; task++ {
 		if err := redErrs[task]; err != nil && failErr == nil {
+			if cerr := e.cancelErr(); cerr != nil && err == cerr {
+				// Cancellation is a plain abort, not a task failure: return
+				// the context error unwrapped, without failing the round.
+				failErr = err
+				break
+			}
 			rm.Failed = true
 			rm.FailReason = fmt.Sprintf("reduce task %d failed after %d attempts: %v",
 				task, rm.Reducers[task].Attempts, err)
@@ -1058,9 +1154,7 @@ func (e *Engine) run(job *Job, n int, totalInBytes int64, feed func(task int, ct
 		res.Output = append(res.Output, taskCollect[task]...)
 	}
 
-	rm.finalize(e.Cfg.Cost)
-	rm.WallSeconds = time.Since(start).Seconds()
-	tr.roundEnd(rm)
+	finishRound()
 	if failErr != nil {
 		return res, failErr
 	}
@@ -1103,12 +1197,46 @@ func (e *Engine) newRedCtx(job *Job, task, attempt int, file, sideFile string, m
 	return ctx
 }
 
+// runMapAttempt runs one map attempt through the execution backend: place
+// it against the down set, open it on its node, run the map function
+// in-process, close the attempt, and register its output as stored on the
+// node. Any backend refusal — a dead or unreachable worker at open, close,
+// or store time — discards the attempt's output and surfaces as a
+// killError, so the caller's retry loop re-places it exactly like a
+// simulated node crash. The returned node is where the output lives until
+// the shuffle (meaningful only when err == nil).
+func (e *Engine) runMapAttempt(rex RoundExecutor, job *Job, ctx *MapCtx, round, task, attempt int,
+	down []bool, nodes int, feed func(task int, ctx *MapCtx)) (int, mapOutput, error) {
+	node, err := e.placeAttempt(round, PhaseMap, task, attempt, down, nodes)
+	if err != nil {
+		return node, mapOutput{}, err
+	}
+	if berr := rex.BeginAttempt(PhaseMap, task, attempt, node); berr != nil {
+		return node, mapOutput{}, &killError{reason: fmt.Sprintf("backend refused attempt: %v", berr), phase: PhaseMap, task: task, attempt: attempt}
+	}
+	mout, err := e.mapAttempt(job, ctx, task, feed)
+	if err != nil {
+		return node, mapOutput{}, err
+	}
+	if eerr := rex.EndAttempt(PhaseMap, task, attempt, node); eerr != nil {
+		mout.spill.discard()
+		return node, mapOutput{}, &killError{reason: fmt.Sprintf("worker lost mid-attempt: %v", eerr), phase: PhaseMap, task: task, attempt: attempt}
+	}
+	if serr := rex.StoreMapOutput(task, attempt, node, ctx.metrics.OutRecords, ctx.metrics.OutBytes); serr != nil {
+		mout.spill.discard()
+		return node, mapOutput{}, &killError{reason: fmt.Sprintf("storing map output failed: %v", serr), phase: PhaseMap, task: task, attempt: attempt}
+	}
+	return node, mout, nil
+}
+
 // mapAttempt executes one attempt of one map task: fresh TaskState, the
 // input feed, MapFlush, the combiner, partitioning into per-reducer
 // buckets, and the map-side sort of each bucket. An injected crash
 // surfaces as a *FaultError; the partial results accumulated in ctx —
 // spilled run files included — die with it. Partition range violations
-// and spill I/O failures are returned as plain (non-retryable) errors.
+// are returned as plain (non-retryable) errors; spill I/O failures carry
+// a spillIOError and are retryable — a fresh attempt re-places onto
+// another node whose disk may be healthy.
 func (e *Engine) mapAttempt(job *Job, ctx *MapCtx, task int, feed func(task int, ctx *MapCtx)) (mout mapOutput, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -1405,14 +1533,20 @@ func (e *Engine) externalAgg(ctx *RedCtx, key string, excess [][]byte) (float64,
 
 // speculateMap races one backup attempt against a completed-but-stalled
 // original map attempt (Config.SpeculativeSlack) and returns the winner's
-// context, buckets and attempt index plus the race's recovery accounting.
-// The backup runs at the next attempt index with its own injector, so fault
-// plans can target it too; a crashed backup loses by definition. Attempts
-// are byte-identical under the re-entrancy contract, so the loser differs
-// from the winner only in its simulated stall.
-func (e *Engine) speculateMap(job *Job, round, task, attempt int, feed func(int, *MapCtx),
+// context, buckets, attempt index and storage node plus the race's
+// recovery accounting. The backup runs at the next attempt index with its
+// own injector, so fault plans can target it too; a crashed backup — an
+// injected fault or a real worker refusal under the proc backend — loses
+// by definition. Attempts are byte-identical under the re-entrancy
+// contract, so the loser differs from the winner only in its simulated
+// stall. Backups are placed against the backend's down set only (nil under
+// the local backend — backups historically skip the simulated node check):
+// a backend refusal can change the winner's index and recovery counters
+// but never an output byte.
+func (e *Engine) speculateMap(job *Job, round, task, attempt, node int, feed func(int, *MapCtx),
 	reducers int, partition func(string, int) int, sd *spillDir, codec blockcodec.Codec,
-	ctx *MapCtx, mout mapOutput, stall float64, tr *roundTracer) (*MapCtx, mapOutput, int, specOutcome) {
+	ctx *MapCtx, mout mapOutput, stall float64, rex RoundExecutor, down []bool, nodes int,
+	tr *roundTracer) (*MapCtx, mapOutput, int, int, specOutcome) {
 	sp := specOutcome{launched: 1}
 	bAttempt := attempt + 1
 	bstart := time.Now()
@@ -1420,7 +1554,7 @@ func (e *Engine) speculateMap(job *Job, round, task, attempt int, feed func(int,
 	tr.speculate(PhaseMap, task, bAttempt)
 	tr.attemptStart(PhaseMap, task, bAttempt, binj)
 	bctx := e.newMapCtx(job, task, bAttempt, binj, reducers, partition, sd, codec, tr)
-	bout, berr := e.mapAttempt(job, bctx, task, feed)
+	bNode, bout, berr := e.runMapAttempt(rex, job, bctx, round, task, bAttempt, down, nodes, feed)
 	bWall := time.Since(bstart).Seconds()
 	switch {
 	case berr != nil:
@@ -1429,20 +1563,20 @@ func (e *Engine) speculateMap(job *Job, round, task, attempt int, feed func(int,
 		// work (but no retry — the task has succeeded).
 		sp.wasted = bctx.metrics.PreCombineBytes
 		sp.wall = bWall
-		return ctx, mout, attempt, sp
+		return ctx, mout, attempt, node, sp
 	case backupWins(bctx.metrics.CPUSeconds+binj.simDelay(), ctx.metrics.CPUSeconds+stall):
 		sp.won, sp.killed = 1, 1
 		sp.wasted = ctx.metrics.PreCombineBytes
 		sp.wall = ctx.metrics.WallSeconds
 		bctx.metrics.WallSeconds = bWall
 		mout.spill.discard() // the losing original's run file
-		return bctx, bout, bAttempt, sp
+		return bctx, bout, bAttempt, bNode, sp
 	default:
 		sp.killed = 1
 		sp.wasted = bctx.metrics.PreCombineBytes
 		sp.wall = bWall
 		bout.spill.discard() // the losing backup's run file
-		return ctx, mout, attempt, sp
+		return ctx, mout, attempt, node, sp
 	}
 }
 
@@ -1454,7 +1588,7 @@ func (e *Engine) speculateMap(job *Job, round, task, attempt int, feed func(int,
 func (e *Engine) speculateReduce(job *Job, round, task, attempt int, base TaskMetrics,
 	in *reduceInput, oomMem, inflation float64, file, sideFile string, sd *spillDir,
 	codec blockcodec.Codec, orig *TaskMetrics, origCtx *RedCtx, stall float64,
-	tr *roundTracer) (*TaskMetrics, []Pair, int, specOutcome) {
+	rex RoundExecutor, down []bool, nodes int, tr *roundTracer) (*TaskMetrics, []Pair, int, specOutcome) {
 	sp := specOutcome{launched: 1}
 	bAttempt := attempt + 1
 	bstart := time.Now()
@@ -1465,8 +1599,23 @@ func (e *Engine) speculateReduce(job *Job, round, task, attempt int, base TaskMe
 	bctx := e.newRedCtx(job, task, bAttempt, file, sideFile, &bMetrics, binj, sd, codec, tr)
 	bFileMark := e.FS.Mark(file)
 	bSideMark := e.FS.Mark(sideFile)
-	berr := e.reduceAttempt(job, bctx, in, oomMem, inflation)
-	bctx.discardExtSpill()
+	// Backups place against the backend's down set only (see speculateMap);
+	// a refusal at open or close means the backup crashed and loses.
+	bNode, berr := e.placeAttempt(round, PhaseReduce, task, bAttempt, down, nodes)
+	if berr == nil {
+		if err := rex.BeginAttempt(PhaseReduce, task, bAttempt, bNode); err != nil {
+			berr = &killError{reason: fmt.Sprintf("backend refused attempt: %v", err), phase: PhaseReduce, task: task, attempt: bAttempt}
+		}
+	}
+	if berr == nil {
+		berr = e.reduceAttempt(job, bctx, in, oomMem, inflation)
+		bctx.discardExtSpill()
+		if berr == nil {
+			if err := rex.EndAttempt(PhaseReduce, task, bAttempt, bNode); err != nil {
+				berr = &killError{reason: fmt.Sprintf("worker lost mid-attempt: %v", err), phase: PhaseReduce, task: task, attempt: bAttempt}
+			}
+		}
+	}
 	e.FS.Rollback(file, bFileMark)
 	e.FS.Rollback(sideFile, bSideMark)
 	bWall := time.Since(bstart).Seconds()
@@ -1496,7 +1645,7 @@ func (e *Engine) speculateReduce(job *Job, round, task, attempt int, base TaskMe
 // into RetryWallSeconds; re-placements avoid the dead nodes, and when no
 // node is live every attempt is killed until the budget runs out, failing
 // the round with a plain (non-fault) error.
-func (e *Engine) reexecuteMap(job *Job, round, task int, feed func(int, *MapCtx), reducers int,
+func (e *Engine) reexecuteMap(rex RoundExecutor, job *Job, round, task int, feed func(int, *MapCtx), reducers int,
 	partition func(string, int) int, sd *spillDir, codec blockcodec.Codec, dead []bool, nodes int,
 	rm *RoundMetrics, mapOuts []mapOutput, mapErrs []error, tr *roundTracer) {
 	prev := rm.Mappers[task]
@@ -1505,17 +1654,19 @@ func (e *Engine) reexecuteMap(job *Job, round, task int, feed func(int, *MapCtx)
 	base := int(prev.Attempts)
 	for try := 0; ; try++ {
 		attempt := base + try
+		if cerr := e.cancelErr(); cerr != nil {
+			mapErrs[task] = cerr
+			return
+		}
 		tstart := time.Now()
 		inj := e.injectorFor(round, PhaseMap, task, attempt)
 		tr.attemptStart(PhaseMap, task, attempt, inj)
 		ctx := e.newMapCtx(job, task, attempt, inj, reducers, partition, sd, codec, tr)
-		var mout mapOutput
-		var err error
-		if placeLive(PlaceNode(e.Cfg.Seed, round, PhaseMap, task, attempt, nodes), dead, nodes) < 0 {
-			err = &killError{reason: "no live node", phase: PhaseMap, task: task, attempt: attempt}
-		} else {
-			mout, err = e.mapAttempt(job, ctx, task, feed)
-		}
+		// Re-executions never keep the raw placement — the node the output
+		// died on is dead by definition — and placeAttempt (inside
+		// runMapAttempt) probes placeLive for every attempt index > 0;
+		// re-execution attempts continue the original numbering, always > 0.
+		_, mout, err := e.runMapAttempt(rex, job, ctx, round, task, attempt, dead, nodes, feed)
 		if err == nil {
 			m := &ctx.metrics
 			m.WallSeconds = time.Since(tstart).Seconds()
@@ -1532,7 +1683,7 @@ func (e *Engine) reexecuteMap(job *Job, round, task int, feed func(int, *MapCtx)
 			tr.taskSuccess(PhaseMap, task, attempt, &rm.Mappers[task])
 			return
 		}
-		retryable := isFaultError(err) || isKillError(err)
+		retryable := retryableErr(err)
 		if retryable {
 			wasted += ctx.metrics.PreCombineBytes
 			retryWall += time.Since(tstart).Seconds()
@@ -1557,6 +1708,26 @@ func (e *Engine) reexecuteMap(job *Job, round, task int, feed func(int, *MapCtx)
 func isFaultError(err error) bool {
 	var fe *FaultError
 	return errors.As(err, &fe)
+}
+
+// retryableErr reports whether a failed attempt should be retried: injected
+// faults, engine kills (node crashes, timeouts, backend refusals), and
+// spill I/O failures (a fresh attempt may land on a healthy disk). Anything
+// else — partition range violations, context cancellation — is
+// deterministic or terminal and fails the task immediately.
+func retryableErr(err error) bool {
+	return isFaultError(err) || isKillError(err) || isSpillIOError(err)
+}
+
+// cancelErr returns the configured context's cancellation error, or nil
+// when no context is set or it is still live. Checked at every attempt
+// boundary so SIGINT aborts an in-flight round promptly instead of after
+// it completes.
+func (e *Engine) cancelErr() error {
+	if e.Cfg.Context == nil {
+		return nil
+	}
+	return e.Cfg.Context.Err()
 }
 
 // forEachTask runs fn(task) for every task in [0, n), on min(Parallelism,

@@ -1,0 +1,115 @@
+// Package exec provides the multi-process execution backend for the MR
+// engine: one real worker process per simulated failure domain, attempts
+// opened and closed over gob-encoded RPCs on a unix socket, liveness
+// tracked by heartbeats with deadline-based RPC timeouts, and node-crash
+// faults realized by SIGKILLing the actual worker process.
+//
+// The division of labor mirrors a task-tracker architecture under the
+// engine's determinism contract (see mr.Executor): the engine decides,
+// workers attest. Map and reduce functions run in the parent — moving the
+// computation out of process would force output bytes through a codec and
+// make results depend on which process survived — while each worker is its
+// node's liveness and storage agent: an attempt only counts if its worker
+// acknowledged it at open and close, and a map output is only fetchable if
+// the worker that recorded it is still alive to say so. SIGKILL therefore
+// makes exactly the RPCs fail that the simulated plan says must fail, and
+// recovery exercises genuine crash paths end to end.
+package exec
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Op names one worker RPC.
+const (
+	opPing     = "ping"     // heartbeat probe
+	opReset    = "reset"    // new round: drop stored-output records
+	opBegin    = "begin"    // open a task attempt on this node
+	opEnd      = "end"      // close a completed attempt
+	opStore    = "store"    // record a map attempt's output as stored here
+	opFetch    = "fetch"    // probe a stored map output's fetchability
+	opShutdown = "shutdown" // graceful exit
+)
+
+// request is one RPC to a worker. IDs increase per connection; a response
+// with a mismatched ID is a protocol error (a stale reply after a
+// reconnect) and fails the call.
+type request struct {
+	ID      uint64
+	Op      string
+	Round   int
+	Phase   int // mr.Phase of the attempt (begin/end)
+	Task    int
+	Attempt int
+	Records int64 // store: shuffle accounting
+	Bytes   int64
+}
+
+// response answers one request.
+type response struct {
+	ID  uint64
+	OK  bool
+	Err string
+}
+
+// wireConn is one gob-encoded RPC connection. Calls are synchronous and
+// serialized by the owner (the parent serializes per worker; the worker
+// handles one request at a time per connection).
+type wireConn struct {
+	c      net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	nextID uint64
+}
+
+func newWireConn(c net.Conn) *wireConn {
+	return &wireConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+// call performs one request/response exchange under deadline. Transport
+// errors poison the gob streams, so the connection must be discarded after
+// any error return.
+func (w *wireConn) call(req request, timeout time.Duration) error {
+	w.nextID++
+	req.ID = w.nextID
+	if err := w.c.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return err
+	}
+	if err := w.enc.Encode(&req); err != nil {
+		return fmt.Errorf("send %s: %w", req.Op, err)
+	}
+	var resp response
+	if err := w.dec.Decode(&resp); err != nil {
+		return fmt.Errorf("recv %s: %w", req.Op, err)
+	}
+	if resp.ID != req.ID {
+		return fmt.Errorf("recv %s: response id %d for request %d", req.Op, resp.ID, req.ID)
+	}
+	if !resp.OK {
+		return &workerError{op: req.Op, msg: resp.Err}
+	}
+	return nil
+}
+
+// workerError is an application-level refusal from a live worker (e.g. a
+// fetch probe for an output it does not hold). The connection stays
+// healthy — unlike transport errors, these are never retried.
+type workerError struct {
+	op, msg string
+}
+
+func (e *workerError) Error() string { return "worker " + e.op + ": " + e.msg }
+
+func isWorkerError(err error) bool {
+	_, ok := err.(*workerError)
+	return ok
+}
+
+func (w *wireConn) close() {
+	if w != nil {
+		w.c.Close()
+	}
+}

@@ -1,0 +1,122 @@
+package exec
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+)
+
+// Environment variables a spawned worker reads its identity from. Set by
+// the parent; their presence turns MaybeWorkerMain into the worker loop.
+const (
+	envSocket = "SPCUBE_WORKER_SOCKET"
+	envNode   = "SPCUBE_WORKER_NODE"
+)
+
+// MaybeWorkerMain turns the current process into an execution-backend
+// worker when the worker environment variables are set, and returns
+// without effect otherwise. Call it first thing in main (and in TestMain
+// for test binaries that use the proc backend): the default worker command
+// re-executes the parent binary, and this hook routes the child into the
+// worker loop instead of the CLI. Does not return when the process is a
+// worker — the loop exits the process.
+func MaybeWorkerMain() {
+	socket := os.Getenv(envSocket)
+	if socket == "" {
+		return
+	}
+	node, _ := strconv.Atoi(os.Getenv(envNode))
+	if err := ServeWorker(socket, node); err != nil {
+		fmt.Fprintf(os.Stderr, "spworker node %d: %v\n", node, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// ServeWorker runs the worker loop: listen on the unix socket, answer the
+// parent's RPCs (one connection at a time; the parent reconnects after
+// transport errors), and exit on a shutdown request. The worker also
+// watches its stdin — the parent holds the write end of a pipe open for
+// the worker's lifetime, so EOF means the parent died and the worker must
+// not linger as an orphan. SIGINT is ignored: a ^C at the terminal reaches
+// the whole process group, and workers must stay up for the parent's
+// context-cancelled rounds to drain and reap them deliberately.
+func ServeWorker(socket string, node int) error {
+	signal.Ignore(os.Interrupt)
+	go func() {
+		io.Copy(io.Discard, os.Stdin)
+		os.Exit(1)
+	}()
+	ln, err := net.Listen("unix", socket)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", socket, err)
+	}
+	defer ln.Close()
+	w := &workerState{node: node, outputs: make(map[outputKey]bool)}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("accept: %w", err)
+		}
+		done := w.serveConn(conn)
+		conn.Close()
+		if done {
+			return nil
+		}
+	}
+}
+
+// outputKey identifies one stored map output: task and attempt index.
+type outputKey struct{ task, attempt int }
+
+// workerState is the node's storage ledger: which map outputs this node
+// holds for the current round. It dies with the process — that is the
+// point: a SIGKILLed node genuinely cannot attest to its outputs anymore.
+type workerState struct {
+	node    int
+	round   int
+	outputs map[outputKey]bool
+}
+
+// serveConn answers requests on one connection until it breaks (the
+// parent reconnects) or a shutdown arrives (returns true).
+func (w *workerState) serveConn(conn net.Conn) (shutdown bool) {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return false
+		}
+		resp := response{ID: req.ID, OK: true}
+		switch req.Op {
+		case opPing:
+		case opReset:
+			w.round = req.Round
+			clear(w.outputs)
+		case opBegin, opEnd:
+			// Liveness attestations: answering at all is the point. A dead
+			// or unreachable worker cannot, and the engine kills the attempt.
+		case opStore:
+			w.outputs[outputKey{req.Task, req.Attempt}] = true
+		case opFetch:
+			if !w.outputs[outputKey{req.Task, req.Attempt}] {
+				resp.OK = false
+				resp.Err = fmt.Sprintf("node %d holds no output for map task %d attempt %d", w.node, req.Task, req.Attempt)
+			}
+		case opShutdown:
+			enc.Encode(&resp)
+			return true
+		default:
+			resp.OK = false
+			resp.Err = "unknown op " + req.Op
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return false
+		}
+	}
+}

@@ -34,8 +34,12 @@ import (
 // size) and "mergePasses" (intermediate fan-in merges), both
 // deterministic, plus the volatile overlap counters "spillWriteStallNs",
 // "prefetchHits" and "prefetchMisses", which join the wall-clock fields
-// outside the determinism contract.
-const MetricsSchemaVersion = 5
+// outside the determinism contract; v6 added the execution-backend health
+// counters "heartbeatMisses", "workerRestarts" and "rpcRetries" at round
+// and job level — all volatile (real crash recovery and transport
+// flakiness do not replay), always zero under the in-process local
+// backend.
+const MetricsSchemaVersion = 6
 
 // LoadBalance summarizes how evenly a byte quantity is spread over a
 // round's reduce tasks — the paper's §6.2 closing claim is that SP-Cube's
@@ -191,8 +195,13 @@ type roundMetricsJSON struct {
 	SpeculativeWon         int64   `json:"speculativeWon"`
 	SpeculativeKilled      int64   `json:"speculativeKilled"`
 	SpeculativeWallSeconds float64 `json:"speculativeWallSeconds"`
-	Failed                 bool    `json:"failed,omitempty"`
-	FailReason             string  `json:"failReason,omitempty"`
+	// Schema v6 execution-backend health counters (volatile; zero under
+	// the local backend).
+	HeartbeatMisses int64  `json:"heartbeatMisses"`
+	WorkerRestarts  int64  `json:"workerRestarts"`
+	RPCRetries      int64  `json:"rpcRetries"`
+	Failed          bool   `json:"failed,omitempty"`
+	FailReason      string `json:"failReason,omitempty"`
 	// Schema v3 maintenance annotation (nil for ordinary rounds).
 	Maint    *maintInfoJSON    `json:"maint,omitempty"`
 	Mappers  []taskMetricsJSON `json:"mappers"`
@@ -245,6 +254,7 @@ func roundJSON(r *RoundMetrics) roundMetricsJSON {
 		MapReexecutions: r.MapReexecutions, FetchFailures: r.FetchFailures,
 		SpeculativeLaunched: r.SpeculativeLaunched, SpeculativeWon: r.SpeculativeWon,
 		SpeculativeKilled: r.SpeculativeKilled, SpeculativeWallSeconds: r.SpeculativeWallSeconds,
+		HeartbeatMisses: r.HeartbeatMisses, WorkerRestarts: r.WorkerRestarts, RPCRetries: r.RPCRetries,
 		Failed: r.Failed, FailReason: r.FailReason,
 		Maint:                maintJSON(r.Maint),
 		Mappers:              tasksJSON(r.Mappers),
@@ -283,8 +293,13 @@ type jobMetricsJSON struct {
 	SpeculativeWon         int64   `json:"speculativeWon"`
 	SpeculativeKilled      int64   `json:"speculativeKilled"`
 	SpeculativeWallSeconds float64 `json:"speculativeWallSeconds"`
-	Failed                 bool    `json:"failed,omitempty"`
-	FailReason             string  `json:"failReason,omitempty"`
+	// Schema v6 execution-backend health counters (volatile; zero under
+	// the local backend).
+	HeartbeatMisses int64  `json:"heartbeatMisses"`
+	WorkerRestarts  int64  `json:"workerRestarts"`
+	RPCRetries      int64  `json:"rpcRetries"`
+	Failed          bool   `json:"failed,omitempty"`
+	FailReason      string `json:"failReason,omitempty"`
 }
 
 // MarshalJSON renders the job's metrics as the stable, versioned document
@@ -319,6 +334,10 @@ func (j *JobMetrics) MarshalJSON() ([]byte, error) {
 		SpeculativeWon:         j.SpeculativeWon(),
 		SpeculativeKilled:      j.SpeculativeKilled(),
 		SpeculativeWallSeconds: j.SpeculativeWallSeconds(),
+
+		HeartbeatMisses: j.HeartbeatMisses(),
+		WorkerRestarts:  j.WorkerRestarts(),
+		RPCRetries:      j.RPCRetries(),
 	}
 	doc.Failed, doc.FailReason = j.Failed()
 	for i := range j.Rounds {

@@ -75,7 +75,7 @@ func TestFanInMergeMatchesGlobalMerge(t *testing.T) {
 					t.Fatal(err)
 				}
 				eng := New(Config{Workers: 4, MergeFanIn: fanIn}, dfs.New(false))
-				sd := newSpillDir(t.TempDir())
+				sd := newSpillDir(t.TempDir(), nil)
 				defer sd.cleanup()
 
 				const nRuns = 17
@@ -122,7 +122,7 @@ func TestFanInMergeMatchesGlobalMerge(t *testing.T) {
 // encodeSpill of the same records would have accounted.
 func TestSegWriterRoundTrip(t *testing.T) {
 	codec := blockcodec.LZ{}
-	sd := newSpillDir(t.TempDir())
+	sd := newSpillDir(t.TempDir(), nil)
 	defer sd.cleanup()
 	sf, err := sd.create("run-i-*")
 	if err != nil {

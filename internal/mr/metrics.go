@@ -155,6 +155,16 @@ type RoundMetrics struct {
 	SpeculativeKilled      int64
 	SpeculativeWallSeconds float64
 
+	// Execution-backend health counters (schema v6), collected from the
+	// round's RoundExecutor at round end. All three are volatile: real
+	// transport flakiness and crash recovery do not replay identically, so
+	// the determinism contract strips them like WallSeconds. Always zero
+	// under the in-process local backend. Set after finalize, which must
+	// not zero them.
+	HeartbeatMisses int64
+	WorkerRestarts  int64
+	RPCRetries      int64
+
 	Failed     bool
 	FailReason string
 
@@ -504,6 +514,36 @@ func (j *JobMetrics) SpeculativeWallSeconds() float64 {
 	var s float64
 	for i := range j.Rounds {
 		s += j.Rounds[i].SpeculativeWallSeconds
+	}
+	return s
+}
+
+// HeartbeatMisses is the total number of worker heartbeat probes that
+// timed out or errored (proc backend; volatile, always zero under local).
+func (j *JobMetrics) HeartbeatMisses() int64 {
+	var s int64
+	for i := range j.Rounds {
+		s += j.Rounds[i].HeartbeatMisses
+	}
+	return s
+}
+
+// WorkerRestarts is the total number of worker processes respawned after a
+// crash (proc backend; volatile, always zero under local).
+func (j *JobMetrics) WorkerRestarts() int64 {
+	var s int64
+	for i := range j.Rounds {
+		s += j.Rounds[i].WorkerRestarts
+	}
+	return s
+}
+
+// RPCRetries is the total number of worker RPCs retried after a timeout or
+// transport error (proc backend; volatile, always zero under local).
+func (j *JobMetrics) RPCRetries() int64 {
+	var s int64
+	for i := range j.Rounds {
+		s += j.Rounds[i].RPCRetries
 	}
 	return s
 }

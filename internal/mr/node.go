@@ -87,25 +87,51 @@ func placeLive(node int, dead []bool, nodes int) int {
 	return -1
 }
 
-// nodeKill returns the kill for an attempt placed on a dead node, or nil.
-// Attempt 0 keeps its raw placement — it was already running when the node
-// died mid-round, so it dies with it; later attempts are re-placed on live
-// nodes and only die when none is left.
-func (e *Engine) nodeKill(round int, phase Phase, task, attempt int, dead []bool, nodes int) error {
-	if dead == nil {
-		return nil
-	}
+// placeAttempt resolves the node an attempt runs on against a down set —
+// the round's simulated dead nodes, the execution backend's permanently
+// failed workers, or their union — and returns the kill for an attempt
+// that cannot be placed. Attempt 0 keeps its raw placement — it was
+// already running when the node died mid-round, so it dies with it; later
+// attempts are re-placed on live nodes (placeLive) and only die when none
+// is left. A nil down set places on the raw hash, unconditionally.
+func (e *Engine) placeAttempt(round int, phase Phase, task, attempt int, down []bool, nodes int) (int, error) {
 	node := PlaceNode(e.Cfg.Seed, round, phase, task, attempt, nodes)
+	if down == nil {
+		return node, nil
+	}
 	if attempt > 0 {
-		node = placeLive(node, dead, nodes)
+		node = placeLive(node, down, nodes)
 		if node < 0 {
-			return &killError{reason: "no live node", phase: phase, task: task, attempt: attempt}
+			return -1, &killError{reason: "no live node", phase: phase, task: task, attempt: attempt}
 		}
 	}
-	if dead[node] {
-		return &killError{reason: fmt.Sprintf("node %d crashed", node), phase: phase, task: task, attempt: attempt}
+	if down[node] {
+		return node, &killError{reason: fmt.Sprintf("node %d crashed", node), phase: phase, task: task, attempt: attempt}
 	}
-	return nil
+	return node, nil
+}
+
+// nodeKill returns the kill for an attempt placed on a dead node, or nil.
+func (e *Engine) nodeKill(round int, phase Phase, task, attempt int, dead []bool, nodes int) error {
+	_, err := e.placeAttempt(round, phase, task, attempt, dead, nodes)
+	return err
+}
+
+// unionDead merges two down sets (either may be nil, and nil means "none
+// down"). When only one is non-nil it is returned as-is — the common case,
+// since the local backend never reports down nodes.
+func unionDead(a, b []bool) []bool {
+	if b == nil {
+		return a
+	}
+	if a == nil {
+		return b
+	}
+	out := make([]bool, len(a))
+	for i := range a {
+		out[i] = a[i] || b[i]
+	}
+	return out
 }
 
 // timeoutKill returns the kill for a completed attempt whose simulated

@@ -1,0 +1,142 @@
+package mr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+
+	"github.com/spcube/spcube/internal/dfs"
+	"github.com/spcube/spcube/internal/relation"
+)
+
+// faultyWriter injects spill-plane I/O failures through
+// Config.SpillWriteWrapper. A script is shared across every run file the
+// engine creates: calls counts write calls globally, and the script decides
+// per call whether to fail hard (ENOSPC), fail silently (a short write with
+// a nil error — the lying-disk case), or pass through.
+type faultScript struct {
+	calls    atomic.Int64
+	failCall int64 // 1-based write call to fail, 0 = never
+	short    bool  // fail as a silent short write instead of ENOSPC
+	always   bool  // every write fails (the disk stays full)
+}
+
+func (s *faultScript) wrap(w io.Writer) io.Writer { return &faultyWriter{s: s, w: w} }
+
+type faultyWriter struct {
+	s *faultScript
+	w io.Writer
+}
+
+func (f *faultyWriter) Write(p []byte) (int, error) {
+	n := f.s.calls.Add(1)
+	if f.s.always || (f.s.failCall > 0 && n == f.s.failCall) {
+		if f.s.short && len(p) > 0 {
+			return len(p) - 1, nil // silent short write: bytes vanish, no error
+		}
+		return 0, syscall.ENOSPC
+	}
+	return f.w.Write(p)
+}
+
+// runSpillFault executes the word-count workload at a one-byte spill budget
+// (every emitted record flushes, so the wrapper sees plenty of write calls)
+// with the given fault script, in async or synchronous spill mode.
+func runSpillFault(t *testing.T, script *faultScript, syncMode bool) (uint64, RoundMetrics, error) {
+	t.Helper()
+	tuples, _ := tuplesFromWords(spillWords())
+	job := &Job{
+		Name: "spillfault",
+		MapTuple: func(ctx *MapCtx, tp relation.Tuple) {
+			ctx.Emit(fmt.Sprintf("word-%c", 'a'+rune(tp.Dims[0])%26), binary.AppendVarint(nil, 1))
+		},
+		Reduce: func(ctx *RedCtx, key string, vals [][]byte) {
+			var total int64
+			for _, v := range vals {
+				n, _ := binary.Varint(v)
+				total += n
+			}
+			ctx.EmitKV(key, binary.AppendVarint(nil, total))
+		},
+	}
+	cfg := Config{Workers: 4, Parallelism: 4, MaxAttempts: 4,
+		SpillBudgetBytes: 1, SpillDir: t.TempDir(), SpillSync: syncMode}
+	if script != nil {
+		cfg.SpillWriteWrapper = script.wrap
+	}
+	eng := New(cfg, dfs.New(false))
+	res, err := eng.RunTuples(job, tuples)
+	if err != nil {
+		return 0, RoundMetrics{}, err
+	}
+	return eng.FS.TotalChecksum("out/spillfault/"), res.Metrics, nil
+}
+
+// TestSpillFaultRecovery is the disk-fault half of the robustness contract:
+// a transient spill-plane failure — ENOSPC on one write, or a silent short
+// write — kills only the attempt that hit it. The retry re-runs on a
+// healthy writer and the job's reduce output is byte-identical to an
+// uninjected run, in both async and synchronous spill modes.
+func TestSpillFaultRecovery(t *testing.T) {
+	for _, syncMode := range []bool{false, true} {
+		mode := "async"
+		if syncMode {
+			mode = "sync"
+		}
+		t.Run(mode, func(t *testing.T) {
+			clean, cleanM, err := runSpillFault(t, nil, syncMode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cleanM.Spills == 0 {
+				t.Fatal("budget 1 did not spill; the fault wrapper is not being exercised")
+			}
+			for _, fault := range []struct {
+				name   string
+				script *faultScript
+			}{
+				{"enospc-once", &faultScript{failCall: 3}},
+				{"short-write-once", &faultScript{failCall: 3, short: true}},
+			} {
+				t.Run(fault.name, func(t *testing.T) {
+					sum, m, err := runSpillFault(t, fault.script, syncMode)
+					if err != nil {
+						t.Fatalf("transient spill fault was not recovered: %v", err)
+					}
+					if sum != clean {
+						t.Errorf("recovered output differs from clean run: %x vs %x", sum, clean)
+					}
+					if m.Retries <= cleanM.Retries {
+						t.Errorf("no retry recorded: %d retries faulted vs %d clean", m.Retries, cleanM.Retries)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestSpillFaultPersistent pins graceful degradation when the disk stays
+// full: every attempt hits ENOSPC, MaxAttempts is exhausted, and the run
+// fails with a plain error naming the spill write — no panic, no hang, no
+// partial output served as success.
+func TestSpillFaultPersistent(t *testing.T) {
+	for _, syncMode := range []bool{false, true} {
+		mode := "async"
+		if syncMode {
+			mode = "sync"
+		}
+		t.Run(mode, func(t *testing.T) {
+			_, _, err := runSpillFault(t, &faultScript{always: true}, syncMode)
+			if err == nil {
+				t.Fatal("run succeeded with a permanently failing spill plane")
+			}
+			if !strings.Contains(err.Error(), "spill write") {
+				t.Errorf("failure does not name the spill plane: %v", err)
+			}
+		})
+	}
+}

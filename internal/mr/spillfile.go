@@ -1,12 +1,34 @@
 package mr
 
 import (
+	"errors"
+	"fmt"
 	"io"
 	"os"
 	"sync"
 
 	"github.com/spcube/spcube/internal/mr/blockcodec"
 )
+
+// spillIOError marks a spill-plane I/O failure — a full disk, a write
+// error, a short write — as distinct from both injected faults and
+// deterministic job errors. The engine treats it as retryable: the failed
+// attempt dies cleanly (its run file is discarded, nothing truncated
+// survives) and the retry is re-placed, where a different node's disk may
+// be healthy. Persistent failures exhaust MaxAttempts and fail the round
+// plainly.
+type spillIOError struct {
+	err error
+}
+
+func (e *spillIOError) Error() string { return "spill write: " + e.err.Error() }
+func (e *spillIOError) Unwrap() error { return e.err }
+
+// isSpillIOError reports whether err is a spill-plane I/O failure.
+func isSpillIOError(err error) bool {
+	var se *spillIOError
+	return errors.As(err, &se)
+}
 
 // spillDir owns one engine run's spill directory. The directory is created
 // lazily on the first spill (a run whose buckets all fit in memory never
@@ -17,36 +39,45 @@ import (
 // honors $TMPDIR) when unset.
 type spillDir struct {
 	base string // Config.SpillDir, or os.TempDir() when empty
+	wrap func(io.Writer) io.Writer
 
 	mu    sync.Mutex
 	dir   string
 	files []*spillFile
 }
 
-func newSpillDir(base string) *spillDir {
+// newSpillDir builds the run's spill directory handle. wrap, when non-nil,
+// decorates every run file's writer (Config.SpillWriteWrapper) — the
+// disk-full/short-write injection point for tests.
+func newSpillDir(base string, wrap func(io.Writer) io.Writer) *spillDir {
 	if base == "" {
 		base = os.TempDir()
 	}
-	return &spillDir{base: base}
+	return &spillDir{base: base, wrap: wrap}
 }
 
 // create opens a fresh run file inside the (lazily created) spill
-// directory. Safe to call from concurrent task attempts.
+// directory. Safe to call from concurrent task attempts. Creation failures
+// (the directory or file itself — e.g. a full disk failing MkdirTemp) are
+// spill I/O errors like write failures.
 func (d *spillDir) create(pattern string) (*spillFile, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.dir == "" {
 		dir, err := os.MkdirTemp(d.base, "spcube-spill-*")
 		if err != nil {
-			return nil, err
+			return nil, &spillIOError{err: err}
 		}
 		d.dir = dir
 	}
 	f, err := os.CreateTemp(d.dir, pattern)
 	if err != nil {
-		return nil, err
+		return nil, &spillIOError{err: err}
 	}
-	sf := &spillFile{f: f, path: f.Name()}
+	sf := &spillFile{f: f, w: io.Writer(f), path: f.Name()}
+	if d.wrap != nil {
+		sf.w = d.wrap(f)
+	}
 	d.files = append(d.files, sf)
 	return sf, nil
 }
@@ -78,10 +109,27 @@ func (d *spillDir) cleanup() {
 // goroutine. Readers use ReadAt and never touch the write offset.
 type spillFile struct {
 	f      *os.File
+	w      io.Writer // write target: f, or the injection wrapper around it
 	path   string
 	off    int64
 	spills [][]spillSeg
 	closed bool
+}
+
+// write appends buf through the (possibly wrapped) writer, converting
+// errors and silent short writes into spill I/O errors. A short write
+// must never pass silently: a truncated frame would surface later as a
+// block-checksum failure in a reducer, far from the cause.
+func (w *spillFile) write(buf []byte) error {
+	n, err := w.w.Write(buf)
+	if err == nil && n < len(buf) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		return &spillIOError{err: fmt.Errorf("%s at offset %d: %w", w.path, w.off+int64(n), err)}
+	}
+	w.off += int64(len(buf))
+	return nil
 }
 
 // spillSeg locates one sorted run inside a spill file and carries the
@@ -142,10 +190,9 @@ func (w *spillFile) append(framed []byte, segs []spillSeg) error {
 		segs[i].f = w.f
 		segs[i].off += w.off
 	}
-	if _, err := w.f.Write(framed); err != nil {
+	if err := w.write(framed); err != nil {
 		return err
 	}
-	w.off += int64(len(framed))
 	w.spills = append(w.spills, segs)
 	return nil
 }
@@ -154,11 +201,7 @@ func (w *spillFile) append(framed []byte, segs []spillSeg) error {
 // (reduce-side external-aggregation runs, which are written for their I/O
 // cost but never merged back).
 func (w *spillFile) writeRaw(buf []byte) error {
-	if _, err := w.f.Write(buf); err != nil {
-		return err
-	}
-	w.off += int64(len(buf))
-	return nil
+	return w.write(buf)
 }
 
 func (w *spillFile) close() {

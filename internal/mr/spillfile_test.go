@@ -64,7 +64,7 @@ func TestWriteSpillExactBytes(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			sd := newSpillDir(t.TempDir())
+			sd := newSpillDir(t.TempDir(), nil)
 			defer sd.cleanup()
 			sf, err := sd.create("run-m-*")
 			if err != nil {
@@ -132,7 +132,7 @@ func TestWriteSpillExactBytes(t *testing.T) {
 
 func TestSpillDirCleanupRemovesEverything(t *testing.T) {
 	base := t.TempDir()
-	sd := newSpillDir(base)
+	sd := newSpillDir(base, nil)
 	for i := 0; i < 4; i++ {
 		sf, err := sd.create(fmt.Sprintf("run-%d-*", i))
 		if err != nil {
@@ -153,7 +153,7 @@ func TestSpillDirCleanupRemovesEverything(t *testing.T) {
 
 func TestSpillFileDiscard(t *testing.T) {
 	base := t.TempDir()
-	sd := newSpillDir(base)
+	sd := newSpillDir(base, nil)
 	defer sd.cleanup()
 	sf, err := sd.create("run-m-*")
 	if err != nil {
@@ -178,7 +178,7 @@ func TestSpillFileDiscard(t *testing.T) {
 func TestSpillDirHonorsTMPDIR(t *testing.T) {
 	base := t.TempDir()
 	t.Setenv("TMPDIR", base)
-	sd := newSpillDir("")
+	sd := newSpillDir("", nil)
 	defer sd.cleanup()
 	sf, err := sd.create("run-m-*")
 	if err != nil {
@@ -191,7 +191,7 @@ func TestSpillDirHonorsTMPDIR(t *testing.T) {
 
 func TestSpillDirLazyCreation(t *testing.T) {
 	base := t.TempDir()
-	sd := newSpillDir(base)
+	sd := newSpillDir(base, nil)
 	sd.cleanup() // no create call: nothing must have touched base
 	if got := listAll(t, base); len(got) != 0 {
 		t.Fatalf("spillDir touched the filesystem without a spill: %v", got)

@@ -30,7 +30,7 @@ func TestSpillWriterAsyncMatchesSync(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			sd := newSpillDir(t.TempDir())
+			sd := newSpillDir(t.TempDir(), nil)
 			defer sd.cleanup()
 			files := make([]*spillFile, 2)
 			for mode, syncMode := range []bool{true, false} {
@@ -80,7 +80,7 @@ func TestSpillWriterAsyncMatchesSync(t *testing.T) {
 // at join, later submits must not wedge the double buffer, and join must
 // stay idempotent, reporting the same first error every time.
 func TestSpillWriterErrorPropagation(t *testing.T) {
-	sd := newSpillDir(t.TempDir())
+	sd := newSpillDir(t.TempDir(), nil)
 	defer sd.cleanup()
 	sf, err := sd.create("run-m-*")
 	if err != nil {
@@ -111,7 +111,7 @@ func TestSpillWriterErrorPropagation(t *testing.T) {
 // when submit returns — no join needed for visibility, and no goroutine is
 // ever started.
 func TestSpillWriterSyncModeInline(t *testing.T) {
-	sd := newSpillDir(t.TempDir())
+	sd := newSpillDir(t.TempDir(), nil)
 	defer sd.cleanup()
 	sf, err := sd.create("run-m-*")
 	if err != nil {
@@ -136,7 +136,7 @@ func TestSpillWriterSyncModeInline(t *testing.T) {
 // alike, so a leak here would grow with every spilling attempt.
 func TestSpillWriterNoGoroutineLeak(t *testing.T) {
 	before := runtime.NumGoroutine()
-	sd := newSpillDir(t.TempDir())
+	sd := newSpillDir(t.TempDir(), nil)
 	defer sd.cleanup()
 	for i := 0; i < 100; i++ {
 		sf, err := sd.create("run-m-*")

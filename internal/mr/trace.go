@@ -90,6 +90,22 @@ const (
 	// EvMaintEnd closes a maintenance cycle: Records carries the number of
 	// changed c-groups, Failed whether the cycle was rolled back.
 	EvMaintEnd = "maint-end"
+
+	// EvWorkerSpawn records the execution backend (re)starting a worker
+	// process for a failure domain (Node). Emitted from RoundStart, on the
+	// run goroutine, so its position in the sequence is deterministic for a
+	// fixed fault plan; whether a respawn happens at all depends on real
+	// crash recovery, so consumers should treat presence as informational.
+	EvWorkerSpawn = "worker-spawn"
+	// EvWorkerDead records a worker process (Node) the backend declared
+	// permanently failed — it could not be respawned within the restart
+	// budget — whose tasks drain onto live nodes.
+	EvWorkerDead = "worker-dead"
+	// EvRPCRetry reports a round's worker-RPC retry total (Records) at
+	// round end. Per-RPC incidents are counted, not traced: they happen on
+	// task goroutines where emitting would scramble sequence numbers. The
+	// count is volatile, like the wall-clock fields.
+	EvRPCRetry = "rpc-retry"
 )
 
 // TraceEvent is one structured engine lifecycle event. Numeric fields are
@@ -309,6 +325,14 @@ func (t *roundTracer) speculate(phase Phase, task, attempt int) {
 // nodeCrash records a failure domain dying at the round's shuffle barrier.
 func (t *roundTracer) nodeCrash(node int) {
 	t.event(TraceEvent{Type: EvNodeCrash, Node: node})
+}
+
+// backendEvent delivers an execution-backend lifecycle event (worker-spawn,
+// worker-dead). Handed to the backend through RoundHooks; safe on a nil
+// tracer, and must only be called from the run goroutine (RoundStart /
+// CrashNodes) so sequence numbering stays deterministic.
+func (t *roundTracer) backendEvent(ev TraceEvent) {
+	t.event(ev)
 }
 
 // fetchFail records map task task's completed output (stored on the dead

@@ -1,8 +1,7 @@
 package sketch
 
 import (
-	"bytes"
-	"encoding/gob"
+	"encoding/binary"
 	"strings"
 	"testing"
 
@@ -10,13 +9,25 @@ import (
 	"github.com/spcube/spcube/internal/relation"
 )
 
-func encodeWire(t *testing.T, w wire) []byte {
-	t.Helper()
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
-		t.Fatal(err)
+// header builds the fixed prefix of the wire format: magic, version, and
+// the D/K/SampleN + alpha/beta block.
+func header(d, k, sampleN int) []byte {
+	buf := append([]byte(wireMagic), wireVersion)
+	buf = binary.AppendUvarint(buf, uint64(d))
+	buf = binary.AppendUvarint(buf, uint64(k))
+	buf = binary.AppendUvarint(buf, uint64(sampleN))
+	buf = binary.LittleEndian.AppendUint64(buf, 0)
+	buf = binary.LittleEndian.AppendUint64(buf, 0)
+	return buf
+}
+
+// emptyBody appends 2^d empty skew sets and a nil-parts flag — the rest of
+// a minimal valid document after header(d, k, n).
+func emptyBody(buf []byte, d int) []byte {
+	for i := 0; i < 1<<uint(d); i++ {
+		buf = binary.AppendUvarint(buf, 0)
 	}
-	return buf.Bytes()
+	return append(buf, 0)
 }
 
 // TestDecodeRejectsMalformedWire is the regression test for Decode trusting
@@ -24,29 +35,37 @@ func encodeWire(t *testing.T, w wire) []byte {
 // with skews/parts slices shorter than 2^D, panicking later inside cuboid
 // lookups. Every malformed shape must be rejected with an error.
 func TestDecodeRejectsMalformedWire(t *testing.T) {
-	skewSets := func(n int) [][]string { return make([][]string, n) }
+	valid := emptyBody(header(2, 3, 10), 2)
+	if _, err := Decode(valid); err != nil {
+		t.Fatalf("baseline document does not decode: %v", err)
+	}
+	corrupt := func(mutate func([]byte) []byte) []byte {
+		b := append([]byte(nil), valid...)
+		return mutate(b)
+	}
 	cases := []struct {
 		name string
-		w    wire
+		data []byte
 		want string
 	}{
-		{"negative dims", wire{D: -1, K: 2}, "dimensions"},
-		{"dims beyond MaxDims", wire{D: lattice.MaxDims + 1, K: 2}, "dimensions"},
-		{"zero machines", wire{D: 2, K: 0, Skews: skewSets(4)}, "machine count"},
-		{"negative machines", wire{D: 2, K: -3, Skews: skewSets(4)}, "machine count"},
-		{"skews too short", wire{D: 2, K: 2, Skews: skewSets(3)}, "skew sets"},
-		{"skews too long", wire{D: 2, K: 2, Skews: skewSets(5)}, "skew sets"},
-		{"skews missing", wire{D: 2, K: 2}, "skew sets"},
-		{"parts too short", wire{D: 2, K: 2, Skews: skewSets(4),
-			Parts: make([][][]relation.Value, 2)}, "partition sets"},
-		{"parts too long", wire{D: 2, K: 2, Skews: skewSets(4),
-			Parts: make([][][]relation.Value, 8)}, "partition sets"},
+		{"bad magic", corrupt(func(b []byte) []byte { b[0] = 'X'; return b }), "magic"},
+		{"wrong version", corrupt(func(b []byte) []byte { b[4] = 99; return b }), "version"},
+		{"dims beyond MaxDims", emptyBody(header(lattice.MaxDims+1, 2, 0), 0), "dimensions"},
+		{"zero machines", emptyBody(header(2, 0, 0), 2), "machine count"},
+		{"truncated header", valid[:8], "truncated"},
+		{"truncated skew sets", valid[:len(valid)-3], "truncated"},
+		{"oversized skew count", corrupt(func(b []byte) []byte {
+			b[len(b)-5] = 200 // first skew-set count: 200 keys with 4 bytes left
+			return b
+		}), "count"},
+		{"bad partition flag", corrupt(func(b []byte) []byte { b[len(b)-1] = 7; return b }), "partition flag"},
+		{"trailing bytes", append(append([]byte(nil), valid...), 0xAA), "trailing"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			s, err := Decode(encodeWire(t, tc.w))
+			s, err := Decode(tc.data)
 			if err == nil {
-				t.Fatalf("Decode accepted malformed wire %+v (got sketch D=%d K=%d)", tc.w, s.D, s.K)
+				t.Fatalf("Decode accepted malformed document (got sketch D=%d K=%d)", s.D, s.K)
 			}
 			if !strings.Contains(err.Error(), tc.want) {
 				t.Errorf("error %q does not mention %q", err, tc.want)
@@ -56,7 +75,7 @@ func TestDecodeRejectsMalformedWire(t *testing.T) {
 }
 
 func TestDecodeRejectsGarbage(t *testing.T) {
-	if _, err := Decode([]byte("not a gob stream")); err == nil {
+	if _, err := Decode([]byte("not a sketch document")); err == nil {
 		t.Error("Decode accepted garbage bytes")
 	}
 	if _, err := Decode(nil); err == nil {
@@ -65,11 +84,10 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 }
 
 func TestDecodeAcceptsValidShapes(t *testing.T) {
-	// A well-formed wire with nil Parts (a sketch that recorded no
-	// partition elements) must still decode: nil Parts means "use fresh
-	// empty sets", not a malformed document.
-	w := wire{D: 2, K: 3, Skews: make([][]string, 4)}
-	s, err := Decode(encodeWire(t, w))
+	// A well-formed document with the nil-parts flag (a sketch that
+	// recorded no partition elements) must still decode: nil parts means
+	// "use fresh empty sets", not a malformed document.
+	s, err := Decode(emptyBody(header(2, 3, 0), 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,5 +97,44 @@ func TestDecodeAcceptsValidShapes(t *testing.T) {
 	// Partition on an empty cuboid must not panic and routes to range 0.
 	if got := s.Partition(3, []relation.Value{1, 2}); got != 0 {
 		t.Errorf("partition = %d, want 0", got)
+	}
+}
+
+// TestEncodeDeterministicAcrossHistory pins the property that motivated the
+// hand-rolled wire format: the encoded size is a pure function of the
+// sketch's content. The gob encoding it replaced assigned type IDs from a
+// process-global counter, so the serialized sketch — a paper-reported
+// figure — grew by a byte whenever unrelated code gob-encoded first (the
+// proc backend's RPC layer did exactly that).
+func TestEncodeDeterministicAcrossHistory(t *testing.T) {
+	s := newSketch(2, 3)
+	s.SampleN = 7
+	s.Alpha, s.Beta = 0.25, 8.5
+	s.skews[1]["\x02\x04"] = struct{}{}
+	s.parts = make([][][]relation.Value, 4)
+	s.parts[2] = [][]relation.Value{{1, -2}, {3, 4}}
+	a, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("two encodes of the same sketch differ")
+	}
+	dec, err := Decode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.SampleN != 7 || dec.Alpha != 0.25 || dec.Beta != 8.5 {
+		t.Errorf("round trip lost metadata: %+v", dec)
+	}
+	if _, ok := dec.skews[1]["\x02\x04"]; !ok {
+		t.Error("round trip lost a skew key")
+	}
+	if len(dec.parts[2]) != 2 || dec.parts[2][0][1] != -2 {
+		t.Errorf("round trip lost partition elements: %v", dec.parts[2])
 	}
 }

@@ -17,8 +17,7 @@
 package sketch
 
 import (
-	"bytes"
-	"encoding/gob"
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/rand"
@@ -165,65 +164,197 @@ func decodeValsKey(key string) []relation.Value {
 	return out
 }
 
-// wire is the gob-serializable form of the sketch.
-type wire struct {
-	D, K, SampleN int
-	Alpha, Beta   float64
-	Skews         [][]string
-	Parts         [][][]relation.Value
-}
+// Wire format. The sketch's serialized size is a paper-reported quantity
+// (Figures 5c and 6c), so the encoding must be a pure function of the
+// sketch's content. encoding/gob is not: it assigns user type IDs from a
+// process-global counter in first-use order, so the encoded size shifted
+// by a byte depending on what else had gob-encoded first in the process
+// (the proc execution backend's RPC layer, for instance). The layout is a
+// fixed header followed by varint-framed sections:
+//
+//	magic "SPSK" | version (1 byte) | D, K, SampleN (uvarint)
+//	Alpha, Beta (IEEE 754 bits, 8 bytes little-endian each)
+//	2^D skew sets: count, then each key as length-prefixed bytes (sorted)
+//	parts presence flag (1 byte); if 1, 2^D element lists: count, then
+//	each element as a count-prefixed run of zigzag-varint values
+const (
+	wireMagic   = "SPSK"
+	wireVersion = 1
+)
 
 // Encode serializes the sketch (the form distributed to all machines
-// through the DFS before round 2).
+// through the DFS before round 2). The encoding is deterministic: equal
+// sketches encode to equal bytes regardless of process history.
 func (s *Sketch) Encode() ([]byte, error) {
-	w := wire{D: s.D, K: s.K, SampleN: s.SampleN, Alpha: s.Alpha, Beta: s.Beta,
-		Skews: make([][]string, len(s.skews)), Parts: s.parts}
-	for i, m := range s.skews {
+	buf := make([]byte, 0, 256)
+	buf = append(buf, wireMagic...)
+	buf = append(buf, wireVersion)
+	buf = binary.AppendUvarint(buf, uint64(s.D))
+	buf = binary.AppendUvarint(buf, uint64(s.K))
+	buf = binary.AppendUvarint(buf, uint64(s.SampleN))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.Alpha))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.Beta))
+	for _, m := range s.skews {
 		keys := make([]string, 0, len(m))
 		for k := range m {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		w.Skews[i] = keys
+		buf = binary.AppendUvarint(buf, uint64(len(keys)))
+		for _, k := range keys {
+			buf = binary.AppendUvarint(buf, uint64(len(k)))
+			buf = append(buf, k...)
+		}
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
-		return nil, fmt.Errorf("sketch: encode: %w", err)
+	if s.parts == nil {
+		buf = append(buf, 0)
+		return buf, nil
 	}
-	return buf.Bytes(), nil
+	buf = append(buf, 1)
+	for _, elems := range s.parts {
+		buf = binary.AppendUvarint(buf, uint64(len(elems)))
+		for _, el := range elems {
+			buf = binary.AppendUvarint(buf, uint64(len(el)))
+			for _, v := range el {
+				buf = binary.AppendVarint(buf, int64(v))
+			}
+		}
+	}
+	return buf, nil
+}
+
+// wireReader walks an encoded sketch, remembering the first error; every
+// accessor returns a zero value once the stream is exhausted or corrupt,
+// so Decode can validate once at the end instead of after every read.
+type wireReader struct {
+	b   []byte
+	err error
+}
+
+func (r *wireReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.err = fmt.Errorf("sketch: decode: truncated varint")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *wireReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.err = fmt.Errorf("sketch: decode: truncated varint")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *wireReader) bytes(n uint64) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if uint64(len(r.b)) < n {
+		r.err = fmt.Errorf("sketch: decode: truncated: want %d bytes, have %d", n, len(r.b))
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+// count reads a length prefix and bounds it against the bytes remaining
+// (every counted item occupies at least one byte), so a corrupted count
+// cannot drive a giant allocation.
+func (r *wireReader) count() int {
+	v := r.uvarint()
+	if r.err == nil && v > uint64(len(r.b)) {
+		r.err = fmt.Errorf("sketch: decode: count %d exceeds remaining %d bytes", v, len(r.b))
+		return 0
+	}
+	return int(v)
 }
 
 // Decode parses an encoded sketch, validating the wire form before
 // trusting it: a truncated or corrupted sketch file would otherwise panic
 // deep inside cuboid lookups (skews/parts are indexed by mask up to 2^D).
 func Decode(data []byte) (*Sketch, error) {
-	var w wire
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
-		return nil, fmt.Errorf("sketch: decode: %w", err)
+	if len(data) < len(wireMagic)+1 || string(data[:len(wireMagic)]) != wireMagic {
+		return nil, fmt.Errorf("sketch: decode: bad magic")
 	}
-	if w.D < 0 || w.D > lattice.MaxDims {
-		return nil, fmt.Errorf("sketch: decode: dimensions %d out of range [0, %d]", w.D, lattice.MaxDims)
+	if v := data[len(wireMagic)]; v != wireVersion {
+		return nil, fmt.Errorf("sketch: decode: wire version %d, want %d", v, wireVersion)
 	}
-	if w.K < 1 {
-		return nil, fmt.Errorf("sketch: decode: machine count %d, want at least 1", w.K)
+	r := &wireReader{b: data[len(wireMagic)+1:]}
+	d := int(r.uvarint())
+	k := int(r.uvarint())
+	sampleN := int(r.uvarint())
+	if r.err != nil {
+		return nil, r.err
 	}
-	if want := 1 << uint(w.D); len(w.Skews) != want {
-		return nil, fmt.Errorf("sketch: decode: %d skew sets for %d dimensions, want %d", len(w.Skews), w.D, want)
+	if d < 0 || d > lattice.MaxDims {
+		return nil, fmt.Errorf("sketch: decode: dimensions %d out of range [0, %d]", d, lattice.MaxDims)
 	}
-	if want := 1 << uint(w.D); w.Parts != nil && len(w.Parts) != want {
-		return nil, fmt.Errorf("sketch: decode: %d partition sets for %d dimensions, want %d", len(w.Parts), w.D, want)
+	if k < 1 {
+		return nil, fmt.Errorf("sketch: decode: machine count %d, want at least 1", k)
 	}
-	s := newSketch(w.D, w.K)
-	s.SampleN = w.SampleN
-	s.Alpha = w.Alpha
-	s.Beta = w.Beta
-	if w.Parts != nil {
-		s.parts = w.Parts
+	ab := r.bytes(16)
+	if r.err != nil {
+		return nil, r.err
 	}
-	for i, keys := range w.Skews {
-		for _, k := range keys {
-			s.skews[i][k] = struct{}{}
+	alpha := math.Float64frombits(binary.LittleEndian.Uint64(ab[:8]))
+	beta := math.Float64frombits(binary.LittleEndian.Uint64(ab[8:]))
+	s := newSketch(d, k)
+	s.SampleN = sampleN
+	s.Alpha = alpha
+	s.Beta = beta
+	for i := range s.skews {
+		n := r.count()
+		for j := 0; j < n && r.err == nil; j++ {
+			s.skews[i][string(r.bytes(r.uvarint()))] = struct{}{}
 		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	flag := r.bytes(1)
+	if r.err != nil {
+		return nil, r.err
+	}
+	switch flag[0] {
+	case 0:
+		// No partition elements on the wire: keep newSketch's fresh empty
+		// sets, so lookups on any cuboid still work.
+	case 1:
+		s.parts = make([][][]relation.Value, 1<<uint(d))
+		for i := range s.parts {
+			n := r.count()
+			elems := make([][]relation.Value, 0, n)
+			for j := 0; j < n && r.err == nil; j++ {
+				vn := r.count()
+				el := make([]relation.Value, 0, vn)
+				for v := 0; v < vn && r.err == nil; v++ {
+					el = append(el, relation.Value(r.varint()))
+				}
+				elems = append(elems, el)
+			}
+			s.parts[i] = elems
+		}
+	default:
+		return nil, fmt.Errorf("sketch: decode: bad partition flag %d", flag[0])
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("sketch: decode: %d trailing bytes", len(r.b))
 	}
 	return s, nil
 }

@@ -29,6 +29,7 @@
 package spcube
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -46,6 +47,7 @@ import (
 	"github.com/spcube/spcube/internal/dfs"
 	"github.com/spcube/spcube/internal/lattice"
 	"github.com/spcube/spcube/internal/mr"
+	"github.com/spcube/spcube/internal/mr/exec"
 	"github.com/spcube/spcube/internal/relation"
 )
 
@@ -194,6 +196,24 @@ type config struct {
 	spillDir    string
 	spillCodec  string
 	mergeFanIn  int
+	backend     string
+	workerCmd   []string
+	ctx         context.Context
+}
+
+// newExecutor resolves the configured execution backend. The local backend
+// needs no construction (a nil Executor selects it); the proc backend
+// spawns one worker process per simulated node and must be closed after
+// the run — the caller defers the returned cleanup.
+func (c *config) newExecutor() (mr.Executor, func(), error) {
+	switch c.backend {
+	case "", "local":
+		return nil, func() {}, nil
+	case "proc":
+		p := exec.NewProc(exec.Options{WorkerCommand: c.workerCmd})
+		return p, func() { p.Close() }, nil
+	}
+	return nil, nil, fmt.Errorf("unknown backend %q (want local or proc)", c.backend)
 }
 
 // engineConfig converts the facade configuration into the engine's,
@@ -216,6 +236,7 @@ func (c *config) engineConfig() (mr.Config, error) {
 		SpillDir:         c.spillDir,
 		SpillCodec:       c.spillCodec,
 		MergeFanIn:       c.mergeFanIn,
+		Context:          c.ctx,
 	}
 	if c.trace != nil {
 		cfg.Tracer = mr.NewJSONLTracer(c.trace)
@@ -319,6 +340,26 @@ func MergeFanIn(n int) Option { return func(c *config) { c.mergeFanIn = n } }
 // Parallelism setting. A nil writer (the default) disables tracing at zero
 // cost.
 func Trace(w io.Writer) Option { return func(c *config) { c.trace = w } }
+
+// Backend selects the execution backend: "local" (the default — simulated
+// nodes execute as goroutines in this process) or "proc", which runs one
+// real worker process per simulated node, with heartbeat liveness, RPC
+// deadlines and crash recovery that kills and respawns actual OS
+// processes. Output is byte-identical across backends; "proc" trades
+// process-spawn and RPC overhead for genuine fault isolation.
+func Backend(name string) Option { return func(c *config) { c.backend = name } }
+
+// WorkerCommand overrides the worker argv for the proc backend (default:
+// the current binary re-executes itself as its workers; cmd/spworker is a
+// standalone alternative). Ignored by the local backend.
+func WorkerCommand(argv ...string) Option {
+	return func(c *config) { c.workerCmd = argv }
+}
+
+// Context attaches a cancellation context to the computation: when ctx is
+// cancelled (e.g. on SIGINT), in-flight rounds stop at the next attempt
+// boundary, worker processes are reaped, and Compute returns ctx's error.
+func Context(ctx context.Context) Option { return func(c *config) { c.ctx = ctx } }
 
 // Stats summarizes a computation's execution on the simulated cluster.
 type Stats struct {
@@ -435,6 +476,12 @@ func Compute(rel *Relation, opts ...Option) (*Cube, error) {
 	if err != nil {
 		return nil, fmt.Errorf("spcube: %w", err)
 	}
+	ex, closeEx, err := cfg.newExecutor()
+	if err != nil {
+		return nil, fmt.Errorf("spcube: %w", err)
+	}
+	defer closeEx()
+	engCfg.Executor = ex
 	eng := mr.New(engCfg, dfs.New(false))
 	spec := cube.Spec{Agg: cfg.aggFn, MinSup: cfg.minSup}
 
@@ -486,6 +533,12 @@ func ComputeSet(rel *Relation, aggs []Agg, opts ...Option) ([]*Cube, error) {
 	if err != nil {
 		return nil, fmt.Errorf("spcube: %w", err)
 	}
+	ex, closeEx, err := cfg.newExecutor()
+	if err != nil {
+		return nil, fmt.Errorf("spcube: %w", err)
+	}
+	defer closeEx()
+	engCfg.Executor = ex
 	eng := mr.New(engCfg, dfs.New(false))
 	specs := make([]cube.Spec, len(aggs))
 	for i, a := range aggs {
